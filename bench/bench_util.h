@@ -1,0 +1,34 @@
+#pragma once
+// Shared output helpers for the experiment binaries: every bench prints
+// a banner, an aligned table, an ASCII rendering of the figure's shape,
+// and writes the raw series to bench_out/<name>.csv for re-plotting.
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "common/ascii_chart.h"
+#include "common/csv.h"
+#include "common/table.h"
+
+namespace dap::bench {
+
+inline std::string csv_path(const std::string& name) {
+  std::filesystem::create_directories("bench_out");
+  return "bench_out/" + name + ".csv";
+}
+
+inline void banner(const std::string& title, const std::string& paper_ref,
+                   const std::string& expectation) {
+  std::cout << "================================================================\n"
+            << title << '\n'
+            << "Reproduces: " << paper_ref << '\n'
+            << "Expected shape: " << expectation << '\n'
+            << "================================================================\n";
+}
+
+inline void footer(const std::string& name) {
+  std::cout << "[series written to " << csv_path(name) << "]\n\n";
+}
+
+}  // namespace dap::bench

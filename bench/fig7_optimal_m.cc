@@ -1,0 +1,54 @@
+// E3 / Fig. 7 — optimal buffer count m* vs attack level p (Algorithm 3,
+// cap M = 50), in the paper's interior-seeking mode plus the pure
+// cost-arg-min variant for comparison.
+
+#include <iostream>
+
+#include "analysis/figures.h"
+#include "bench_util.h"
+#include "game/ess.h"
+
+int main() {
+  using namespace dap;
+  bench::banner(
+      "Fig. 7 — optimised number of buffers m at different DoS levels",
+      "ICDCS'16 DAP paper, Fig. 7",
+      "m* grows with p, then jumps to the cap (50) past p ~ 0.94 where "
+      "no interior ESS exists (the mechanism 'gives up')");
+
+  const auto sweep = analysis::default_p_sweep();
+  const auto paper_rows =
+      analysis::fig7_series(sweep, game::OptimizeMode::kPaperInterior);
+  const auto argmin_rows =
+      analysis::fig7_series(sweep, game::OptimizeMode::kMinimizeCost);
+
+  common::TextTable table({"p", "m* (paper mode)", "ESS", "E(m*)",
+                           "m* (arg-min E)", "E(arg-min)"});
+  common::CsvWriter csv(bench::csv_path("fig7_optimal_m"),
+                        {"p", "m_paper", "cost_paper", "m_argmin",
+                         "cost_argmin"});
+  common::Series s_paper{"m* paper mode", {}, {}};
+  common::Series s_argmin{"m* arg-min", {}, {}};
+  for (std::size_t i = 0; i < paper_rows.size(); ++i) {
+    const auto& row = paper_rows[i];
+    const auto& alt = argmin_rows[i];
+    table.add_row({common::format_number(row.p), std::to_string(row.m_opt),
+                   game::ess_kind_name(row.kind),
+                   common::format_number(row.cost), std::to_string(alt.m_opt),
+                   common::format_number(alt.cost)});
+    csv.row({row.p, static_cast<double>(row.m_opt), row.cost,
+             static_cast<double>(alt.m_opt), alt.cost});
+    s_paper.xs.push_back(row.p);
+    s_paper.ys.push_back(static_cast<double>(row.m_opt));
+    s_argmin.xs.push_back(alt.p);
+    s_argmin.ys.push_back(static_cast<double>(alt.m_opt));
+  }
+  std::cout << table.render() << '\n';
+  common::ChartOptions options;
+  options.title = "optimal buffer count m* vs attack level p";
+  options.x_label = "p";
+  options.y_label = "m*";
+  std::cout << common::render_chart({s_paper, s_argmin}, options);
+  bench::footer("fig7_optimal_m");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Micro-benchmarks (google-benchmark): the primitive costs that bound a
+// node's per-packet work — SHA-256, HMAC, key-chain generation and
+// verification walks, μMAC re-MACing, DAP receiver hot paths.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "crypto/hmac.h"
+#include "crypto/keychain.h"
+#include "crypto/mac.h"
+#include "crypto/sha256.h"
+#include "crypto/wots.h"
+#include "dap/dap.h"
+#include "sim/clock_model.h"
+
+namespace {
+
+using namespace dap;
+
+void BM_Sha256(benchmark::State& state) {
+  common::Rng rng(1);
+  const common::Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(256)->Arg(1024)->Arg(16384);
+
+void BM_HmacSha256(benchmark::State& state) {
+  common::Rng rng(2);
+  const common::Bytes key = rng.bytes(16);
+  const common::Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha256(key, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(25)->Arg(256)->Arg(1024);
+
+void BM_KeyChainGeneration(benchmark::State& state) {
+  common::Rng rng(3);
+  const common::Bytes seed = rng.bytes(16);
+  const auto length = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    crypto::KeyChain chain(seed, length);
+    benchmark::DoNotOptimize(chain.commitment());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_KeyChainGeneration)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_ChainWalkVerification(benchmark::State& state) {
+  common::Rng rng(4);
+  const crypto::KeyChain chain(rng.bytes(16), 1024);
+  const auto steps = static_cast<std::size_t>(state.range(0));
+  const auto& key = chain.key(steps);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::chain_walk(
+        crypto::PrfDomain::kChainStep, key, steps, chain.key_size()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ChainWalkVerification)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_MicroMac(benchmark::State& state) {
+  common::Rng rng(5);
+  const common::Bytes recv_key = rng.bytes(16);
+  const common::Bytes mac = rng.bytes(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::micro_mac(recv_key, mac));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MicroMac);
+
+void BM_WotsSign(benchmark::State& state) {
+  common::Rng rng(6);
+  const common::Bytes seed = rng.bytes(16);
+  const common::Bytes message = rng.bytes(64);
+  for (auto _ : state) {
+    crypto::WotsKeyPair kp(seed, 4);
+    benchmark::DoNotOptimize(kp.sign(message));
+  }
+}
+BENCHMARK(BM_WotsSign);
+
+void BM_WotsVerify(benchmark::State& state) {
+  common::Rng rng(7);
+  crypto::WotsKeyPair kp(rng.bytes(16), 4);
+  const common::Bytes message = rng.bytes(64);
+  const auto sig = kp.sign(message);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::wots_verify(kp.public_key(), message, sig));
+  }
+}
+BENCHMARK(BM_WotsVerify);
+
+void BM_DapReceiverAnnounce(benchmark::State& state) {
+  protocol::DapConfig config;
+  config.buffers = static_cast<std::size_t>(state.range(0));
+  config.chain_length = 2;
+  protocol::DapSender sender(config, common::bytes_of("seed"));
+  protocol::DapReceiver receiver(config, sender.chain().commitment(),
+                                 common::bytes_of("local"),
+                                 sim::LooseClock(0, 0), common::Rng(8));
+  const auto announce = sender.announce(1, common::bytes_of("message"));
+  for (auto _ : state) {
+    receiver.receive(announce, sim::kSecond / 2);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DapReceiverAnnounce)->Arg(4)->Arg(16)->Arg(50);
+
+void BM_DapFullRound(benchmark::State& state) {
+  protocol::DapConfig config;
+  config.buffers = 8;
+  config.chain_length = 2;
+  common::Rng rng(9);
+  for (auto _ : state) {
+    protocol::DapSender sender(config, common::bytes_of("seed"));
+    protocol::DapReceiver receiver(config, sender.chain().commitment(),
+                                   common::bytes_of("local"),
+                                   sim::LooseClock(0, 0), rng.fork(1));
+    receiver.receive(sender.announce(1, common::bytes_of("m")),
+                     sim::kSecond / 2);
+    benchmark::DoNotOptimize(
+        receiver.receive(sender.reveal(1), sim::kSecond * 3 / 2));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DapFullRound);
+
+}  // namespace

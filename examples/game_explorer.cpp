@@ -1,0 +1,157 @@
+// Game explorer: a small CLI for the evolutionary-game layer.
+//
+//   game_explorer ess <p> <m>        classify the ESS and verify it
+//   game_explorer optimize <p>       run all three optimiser modes
+//   game_explorer trajectory <p> <m> print the Euler evolution (Fig. 6)
+//   game_explorer field <p> <m>      ASCII phase portrait of the field
+//
+// Defaults to `ess 0.8 30` when run without arguments.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/ascii_chart.h"
+#include "common/csv.h"
+#include "common/table.h"
+#include "game/ess.h"
+#include "game/optimizer.h"
+
+namespace {
+
+using namespace dap;
+
+void show_ess(double p, std::size_t m) {
+  const auto g = game::GameParams::paper_defaults(p, m);
+  const auto ess = game::solve_ess(g);
+  const auto c = game::ess_candidates(g);
+  std::cout << "p=" << p << " m=" << m
+            << "  P=p^m=" << common::format_number(g.attack_success())
+            << "\n\nESS: " << game::ess_kind_name(ess.kind) << " at ("
+            << common::format_number(ess.point.x) << ", "
+            << common::format_number(ess.point.y) << ")\n";
+  std::cout << "candidates (unclamped): Y'(X=1)="
+            << common::format_number(c.y_at_x1)
+            << "  X'(Y=1)=" << common::format_number(c.x_at_y1)
+            << "  X*=" << common::format_number(c.x_interior)
+            << "  Y*=" << common::format_number(c.y_interior) << '\n';
+  const auto j = game::jacobian_at(g, ess.point.x, ess.point.y);
+  std::cout << "Jacobian at ESS: trace=" << common::format_number(j.trace())
+            << " det=" << common::format_number(j.det())
+            << (j.discriminant() < 0 ? " (spiral)" : " (node)")
+            << (j.stable() ? ", locally stable" : "") << '\n';
+  std::cout << "numerical verification (RK4 from (0.5,0.5) + perturbations): "
+            << (game::verify_ess(g, ess) ? "CONFIRMED" : "NOT CONFIRMED")
+            << '\n';
+  std::cout << "defender cost at ESS: E = "
+            << common::format_number(game::defense_cost(g)) << '\n';
+}
+
+void show_optimize(double p) {
+  const auto g = game::GameParams::paper_defaults(p, 1);
+  common::TextTable table({"mode", "m*", "ESS", "E", "vs naive N"});
+  const double naive = game::naive_cost(g);
+  const struct {
+    const char* name;
+    game::OptimizeMode mode;
+  } modes[] = {
+      {"paper (interior-seeking)", game::OptimizeMode::kPaperInterior},
+      {"arg-min cost", game::OptimizeMode::kMinimizeCost},
+      {"Algorithm 3 verbatim", game::OptimizeMode::kFaithfulAlg3},
+  };
+  for (const auto& mode : modes) {
+    const auto result = game::optimize_m(g, mode.mode);
+    table.add_row({mode.name, std::to_string(result.m),
+                   game::ess_kind_name(result.ess.kind),
+                   common::format_number(result.cost),
+                   common::format_number(naive)});
+  }
+  std::cout << table.render();
+}
+
+void show_trajectory(double p, std::size_t m) {
+  const auto g = game::GameParams::paper_defaults(p, m);
+  game::IntegrationOptions options;
+  options.max_steps = 500000;
+  options.record_every = 10;
+  const auto traj = game::integrate(g, {0.5, 0.5}, options);
+  common::Series sx{"X", {}, {}}, sy{"Y", {}, {}};
+  for (std::size_t i = 0; i < traj.points.size(); ++i) {
+    sx.xs.push_back(static_cast<double>(i * 10));
+    sx.ys.push_back(traj.points[i].x);
+    sy.xs.push_back(static_cast<double>(i * 10));
+    sy.ys.push_back(traj.points[i].y);
+  }
+  common::ChartOptions chart;
+  chart.title = "evolution from (0.5, 0.5), Euler dt=0.01";
+  chart.x_label = "step";
+  std::cout << common::render_chart({sx, sy}, chart);
+  std::cout << "final (" << common::format_number(traj.final.x) << ", "
+            << common::format_number(traj.final.y) << ") after "
+            << traj.steps << " steps\n";
+}
+
+void show_field(double p, std::size_t m) {
+  const auto g = game::GameParams::paper_defaults(p, m);
+  const auto ess = game::solve_ess(g);
+  std::cout << "replicator field, p=" << p << " m=" << m << " (ESS "
+            << game::ess_kind_name(ess.kind) << "; o marks the ESS)\n\n";
+  const int rows = 17, cols = 33;
+  for (int r = rows; r >= 0; --r) {
+    const double y = static_cast<double>(r) / rows;
+    std::string line;
+    for (int c = 0; c <= cols; ++c) {
+      const double x = static_cast<double>(c) / cols;
+      if (std::abs(x - ess.point.x) < 0.5 / cols &&
+          std::abs(y - ess.point.y) < 0.5 / rows) {
+        line += 'o';
+        continue;
+      }
+      const auto d = game::replicator_field(g, x, y);
+      // Quadrant glyphs: which way does the flow point?
+      const bool right = d.dx > 1e-9, left = d.dx < -1e-9;
+      const bool up = d.dy > 1e-9, down = d.dy < -1e-9;
+      char glyph = '.';
+      if (right && up) glyph = '/';
+      else if (right && down) glyph = '\\';
+      else if (left && up) glyph = '`';
+      else if (left && down) glyph = ',';
+      else if (right) glyph = '>';
+      else if (left) glyph = '<';
+      else if (up) glyph = '^';
+      else if (down) glyph = 'v';
+      line += glyph;
+    }
+    std::printf("%4.2f |%s\n", y, line.c_str());
+  }
+  std::cout << "      " << std::string(cols + 1, '-') << "\n      X: 0 .. 1  "
+            << "(/ up-right, \\ down-right, ` up-left, , down-left)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string cmd = argc > 1 ? argv[1] : "ess";
+  const double p = argc > 2 ? std::atof(argv[2]) : 0.8;
+  const std::size_t m =
+      argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 30;
+  try {
+    if (cmd == "ess") {
+      show_ess(p, m);
+    } else if (cmd == "optimize") {
+      show_optimize(p);
+    } else if (cmd == "trajectory") {
+      show_trajectory(p, m);
+    } else if (cmd == "field") {
+      show_field(p, m);
+    } else {
+      std::cerr << "usage: game_explorer [ess|optimize|trajectory|field] "
+                   "[p] [m]\n";
+      return 2;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

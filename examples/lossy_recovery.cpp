@@ -1,0 +1,108 @@
+// Lossy-channel recovery: multi-level μTESLA vs EFTP vs EDRP.
+//
+// Runs the two-level protocol over a bursty Gilbert-Elliott channel that
+// wipes out whole stretches of packets (including every disclosure in
+// one interval), and shows how each variant recovers:
+//  - original link: lost low-level keys return two high intervals later,
+//  - EFTP: one interval later,
+//  - EDRP: CDMs authenticate instantly through the hash chain, keeping
+//    the DoS filter alive throughout.
+//
+//   ./build/examples/lossy_recovery
+
+#include <iostream>
+
+#include "analysis/recovery.h"
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "sim/channel.h"
+#include "tesla/multilevel.h"
+
+int main() {
+  using namespace dap;
+
+  std::cout << "Part 1 — controlled disclosure loss (all key disclosures\n"
+               "of high interval 4 lost from low index 3 onward):\n\n";
+  common::TextTable table({"variant", "tail data recovered at",
+                           "CDM auth latency (intervals)"});
+  struct Variant {
+    const char* name;
+    crypto::LevelLink link;
+    bool edrp;
+  };
+  for (const auto& variant :
+       {Variant{"original", crypto::LevelLink::kOriginal, false},
+        Variant{"EFTP", crypto::LevelLink::kEftp, false},
+        Variant{"EDRP", crypto::LevelLink::kOriginal, true},
+        Variant{"EFTP+EDRP", crypto::LevelLink::kEftp, true}}) {
+    analysis::RecoverySetup setup;
+    setup.link = variant.link;
+    setup.edrp = variant.edrp;
+    const auto report = analysis::run_recovery_experiment(setup);
+    table.add_row({std::string(variant.name),
+                   "interval " +
+                       std::to_string(report.data_recovered_at_interval) +
+                       " (lost in 4)",
+                   common::format_number(report.mean_cdm_auth_latency)});
+  }
+  std::cout << table.render();
+
+  std::cout << "\nPart 2 — random burst loss (Gilbert-Elliott, ~20% loss in "
+               "bursts):\n\n";
+  tesla::MultiLevelConfig config;
+  config.high_length = 10;
+  config.low_length = 8;
+  config.cdm_buffers = 4;
+  config.high_schedule = sim::IntervalSchedule(0, 8 * sim::kSecond);
+
+  common::TextTable burst_table({"variant", "data authenticated", "of sent",
+                                 "low chains recovered via high key"});
+  for (const auto& variant :
+       {Variant{"original", crypto::LevelLink::kOriginal, false},
+        Variant{"EFTP", crypto::LevelLink::kEftp, false},
+        Variant{"EFTP+EDRP", crypto::LevelLink::kEftp, true}}) {
+    tesla::MultiLevelConfig cfg = config;
+    cfg.link = variant.link;
+    cfg.edrp = variant.edrp;
+    tesla::MultiLevelSender sender(cfg, common::bytes_of("seed"));
+    common::Rng rng(11);
+    tesla::MultiLevelReceiver receiver(cfg, sender.bootstrap(),
+                                       sim::LooseClock(0, 0), rng.fork(1));
+    sim::GilbertElliottChannel channel(0.08, 0.3, 0.02, 0.9);
+    common::Rng channel_rng = rng.fork(2);
+
+    std::size_t sent = 0, authenticated = 0;
+    const auto low_duration = cfg.low_schedule().duration();
+    for (std::uint32_t i = 1; i <= cfg.high_length; ++i) {
+      const auto start = cfg.high_schedule.interval_start(i);
+      // Three CDM copies per interval.
+      for (int c = 0; c < 3; ++c) {
+        if (channel.deliver(channel_rng)) {
+          const auto events =
+              receiver.receive(sender.cdm(i), start + low_duration / 2);
+          authenticated += events.messages.size();
+        }
+      }
+      for (std::uint32_t j = 1; j <= static_cast<std::uint32_t>(cfg.low_length);
+           ++j) {
+        ++sent;
+        if (channel.deliver(channel_rng)) {
+          const auto events = receiver.receive(
+              sender.make_data_packet(i, j, common::bytes_of("reading")),
+              start + (j - 1) * low_duration + low_duration / 2);
+          authenticated += events.messages.size();
+        }
+      }
+    }
+    burst_table.add_row(
+        {variant.name, std::to_string(authenticated), std::to_string(sent),
+         std::to_string(receiver.stats().low_chains_recovered_via_high)});
+  }
+  std::cout << burst_table.render();
+  std::cout << "\n(the receiver only authenticates packets it actually "
+               "heard; ~20% are lost on\nthe channel itself — the point is "
+               "that heard packets are never stranded by\nlost key "
+               "disclosures, and EFTP strands them for one interval less.)\n";
+  return 0;
+}

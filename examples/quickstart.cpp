@@ -1,0 +1,74 @@
+// Quickstart: the smallest complete DAP exchange.
+//
+// One sender, one receiver, one flooding attacker. Shows the two-phase
+// broadcast (MAC first, message+key one interval later), the reservoir
+// buffers absorbing a forged flood, and weak+strong authentication.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <iostream>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "dap/dap.h"
+#include "sim/adversary.h"
+#include "sim/clock_model.h"
+
+int main() {
+  using namespace dap;
+
+  // --- Configure the protocol: 1-second intervals, m = 4 buffers.
+  protocol::DapConfig config;
+  config.chain_length = 16;       // enough intervals for this demo
+  config.buffers = 4;             // m
+  config.schedule = sim::IntervalSchedule(0, sim::kSecond);
+
+  // --- The sender derives its one-way key chain from a secret seed.
+  protocol::DapSender sender(config, common::bytes_of("demo-seed"));
+
+  // --- The receiver is bootstrapped with the authenticated commitment
+  //     K_0 (in deployment: via the WOTS-signed bootstrap packet) and a
+  //     private local key K_recv for its μMAC records.
+  protocol::DapReceiver receiver(config, sender.chain().commitment(),
+                                 common::bytes_of("receiver-private-key"),
+                                 sim::LooseClock(0, 0), common::Rng(1));
+
+  // --- Interval 1: the sender broadcasts (MAC_1, 1). An attacker floods
+  //     nine forged MACs (forged fraction p = 0.9).
+  const auto announce = sender.announce(1, common::bytes_of(
+      "task#17: report temperature at 5th & Main"));
+  receiver.receive(announce, sim::kSecond / 2);
+
+  sim::FloodingForger attacker(config.sender_id, config.mac_size,
+                               common::Rng(2));
+  for (int i = 0; i < 9; ++i) {
+    receiver.receive(attacker.forge(1), sim::kSecond / 2);
+  }
+  std::cout << "interval 1: buffered " << receiver.buffered_records(1)
+            << " of 10 copies in " << config.buffers
+            << " reservoir slots (56 bits each)\n";
+
+  // --- Interval 2: the sender reveals (M_1, K_1, 1). The receiver
+  //     weak-authenticates K_1 against the chain, recomputes the μMAC
+  //     and searches its records.
+  const auto result =
+      receiver.receive(sender.reveal(1), sim::kSecond * 3 / 2);
+  if (result) {
+    std::cout << "interval 2: message AUTHENTICATED: \""
+              << std::string(result->message.begin(), result->message.end())
+              << "\"\n";
+  } else {
+    std::cout << "interval 2: attack succeeded this round (all "
+              << config.buffers << " slots held forged records — "
+              << "probability ~ 0.9^4 = 0.66; rerun with more buffers)\n";
+  }
+
+  const auto& stats = receiver.stats();
+  std::cout << "stats: announces=" << stats.announces_received
+            << " stored=" << stats.records_stored
+            << " weak-auth-failures=" << stats.weak_auth_failures
+            << " strong-auth-success=" << stats.strong_auth_success << '\n';
+  return 0;
+}

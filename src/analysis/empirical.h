@@ -1,0 +1,49 @@
+#pragma once
+// Empirical Fig. 8: the defence-cost comparison with attack outcomes
+// *measured* on real DAP receivers instead of assumed to be p^m.
+//
+// For a given attack level p, the game optimiser picks (m*, ESS (X, Y)).
+// A population of nodes then lives through `intervals` rounds: each node
+// defends with probability X (the ESS mixed strategy) and faces an
+// active attacker with probability Y. Defending nodes run a genuine DAP
+// round (reservoir buffers, μMAC strong auth) against a real flood;
+// non-defending nodes lose any attacked round. Costs follow the paper's
+// model: a defending node pays k2·m·X (the population-scaled defence
+// cost of Table I) and any node whose round was lost pays Ra.
+//
+// The naive arm defends every node with m = M buffers.
+
+#include <cstdint>
+
+#include "game/ess.h"
+#include "game/optimizer.h"
+
+namespace dap::analysis {
+
+struct EmpiricalCostConfig {
+  double p = 0.8;
+  std::size_t nodes = 100;
+  std::size_t intervals = 40;
+  std::size_t max_m = game::kMaxBuffers;
+  game::OptimizeMode mode = game::OptimizeMode::kPaperInterior;
+  /// Flood size scaling: authentic copies per round (large enough that
+  /// the reservoir's hypergeometric matches the model's p^m regime).
+  std::size_t authentic_copies = 24;
+  std::uint64_t seed = 11;
+};
+
+struct EmpiricalCostResult {
+  std::size_t m_opt = 0;
+  game::Ess ess;
+  double analytic_E = 0.0;   // the paper's closed-form cost at the ESS
+  double empirical_E = 0.0;  // measured mean cost per node per interval
+  double analytic_N = 0.0;
+  double empirical_N = 0.0;
+  std::uint64_t rounds_defended = 0;
+  std::uint64_t rounds_lost_defended = 0;    // attack beat the buffers
+  std::uint64_t rounds_lost_undefended = 0;  // no buffers, attacked
+};
+
+EmpiricalCostResult empirical_defense_cost(const EmpiricalCostConfig& config);
+
+}  // namespace dap::analysis

@@ -1,0 +1,131 @@
+#include "analysis/figures.h"
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "crypto/mac.h"
+#include "game/bandwidth.h"
+
+namespace dap::analysis {
+
+Fig5Buffers fig5_buffers(const Fig5Settings& s) {
+  Fig5Buffers b;
+  b.teslapp_large = game::buffers_for_memory(s.mem_large,
+                                             s.record_bits_teslapp);
+  b.teslapp_small = game::buffers_for_memory(s.mem_small,
+                                             s.record_bits_teslapp);
+  b.dap_large = game::buffers_for_memory(s.mem_large, s.record_bits_dap);
+  b.dap_small = game::buffers_for_memory(s.mem_small, s.record_bits_dap);
+  return b;
+}
+
+std::vector<Fig5Row> fig5_series(const Fig5Settings& settings,
+                                 std::size_t points) {
+  const Fig5Buffers b = fig5_buffers(settings);
+  std::vector<Fig5Row> rows;
+  for (double P : common::linspace(0.05, 0.95, points)) {
+    Fig5Row row;
+    row.attack_success_target = P;
+    row.xm_teslapp_large =
+        game::attacker_bandwidth_required(P, b.teslapp_large, settings.xd);
+    row.xm_teslapp_small =
+        game::attacker_bandwidth_required(P, b.teslapp_small, settings.xd);
+    row.xm_dap_large =
+        game::attacker_bandwidth_required(P, b.dap_large, settings.xd);
+    row.xm_dap_small =
+        game::attacker_bandwidth_required(P, b.dap_small, settings.xd);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<RegimeRow> fig6_regime_scan(double p, std::size_t max_m,
+                                        double tol) {
+  std::vector<RegimeRow> rows;
+  rows.reserve(max_m);
+  for (std::size_t m = 1; m <= max_m; ++m) {
+    const auto g = game::GameParams::paper_defaults(p, m);
+    RegimeRow row;
+    row.m = m;
+    row.ess = game::solve_ess(g);
+
+    game::IntegrationOptions options;
+    options.method = game::Integrator::kEuler;
+    options.dt = 0.01;
+    options.max_steps = 2000000;
+    options.convergence_eps = 1e-12;
+    options.record_every = 0;
+    const auto traj = game::integrate(g, {0.5, 0.5}, options);
+    row.simulated = traj.final;
+    row.steps = traj.steps;
+    row.agrees = std::abs(traj.final.x - row.ess.point.x) < tol &&
+                 std::abs(traj.final.y - row.ess.point.y) < tol;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+game::Trajectory fig6_trajectory(double p, std::size_t m,
+                                 std::size_t record_every) {
+  const auto g = game::GameParams::paper_defaults(p, m);
+  game::IntegrationOptions options;
+  options.method = game::Integrator::kEuler;
+  options.dt = 0.01;
+  options.max_steps = 500000;
+  options.convergence_eps = 1e-10;
+  options.record_every = record_every;
+  return game::integrate(g, {0.5, 0.5}, options);
+}
+
+std::vector<Fig7Row> fig7_series(const std::vector<double>& ps,
+                                 game::OptimizeMode mode, std::size_t max_m) {
+  std::vector<Fig7Row> rows;
+  rows.reserve(ps.size());
+  for (double p : ps) {
+    const auto g = game::GameParams::paper_defaults(p, 1);
+    const auto result = game::optimize_m(g, mode, max_m);
+    rows.push_back(Fig7Row{p, result.m, result.ess.kind, result.cost});
+  }
+  return rows;
+}
+
+std::vector<Fig8Row> fig8_series(const std::vector<double>& ps,
+                                 game::OptimizeMode mode, std::size_t max_m) {
+  std::vector<Fig8Row> rows;
+  rows.reserve(ps.size());
+  for (double p : ps) {
+    const auto g = game::GameParams::paper_defaults(p, 1);
+    const auto result = game::optimize_m(g, mode, max_m);
+    rows.push_back(Fig8Row{p, result.m, result.cost,
+                           game::naive_cost(g, max_m)});
+  }
+  return rows;
+}
+
+std::vector<MemoryRow> memory_table() {
+  const auto full = static_cast<double>(crypto::full_record_bits());
+  std::vector<MemoryRow> rows;
+  const auto add = [&rows, full](const char* scheme, std::size_t bits) {
+    MemoryRow row;
+    row.scheme = scheme;
+    row.record_bits = bits;
+    row.buffers_at_1024 = game::buffers_for_memory(1024, bits);
+    row.buffers_at_512 = game::buffers_for_memory(512, bits);
+    row.saving_vs_full = 1.0 - static_cast<double>(bits) / full;
+    rows.push_back(row);
+  };
+  add("TESLA (message+MAC buffered)", crypto::full_record_bits());
+  add("TESLA++ (per-paper accounting)", 280);
+  add("DAP (uMAC+index)", crypto::dap_record_bits());
+  return rows;
+}
+
+std::vector<double> default_p_sweep() {
+  std::vector<double> ps;
+  for (double p = 0.50; p < 0.935; p += 0.02) ps.push_back(p);
+  // Dense around the regime flip the paper reports at p ~ 0.94.
+  for (double p = 0.935; p <= 0.991; p += 0.005) ps.push_back(p);
+  return ps;
+}
+
+}  // namespace dap::analysis

@@ -1,0 +1,104 @@
+#pragma once
+// Analytic series behind each reproduced figure. Bench binaries print
+// these; tests assert their shapes. Everything here is deterministic.
+
+#include <cstddef>
+#include <vector>
+
+#include "game/ess.h"
+#include "game/optimizer.h"
+#include "game/params.h"
+#include "game/replicator.h"
+
+namespace dap::analysis {
+
+// ---------------------------------------------------------------- Fig. 5
+// Attacker bandwidth fraction x_m = P^(1/m)·(1-x_d) required per target
+// attack success P, for the four (protocol, memory budget) combinations
+// of §VI-A: TESLA++ records of 280 bits, DAP records of 56 bits, budgets
+// 1024 and 512 (same unit as the records; see DESIGN.md).
+struct Fig5Settings {
+  double xd = 0.2;
+  std::size_t mem_large = 1024;
+  std::size_t mem_small = 512;
+  std::size_t record_bits_teslapp = 280;
+  std::size_t record_bits_dap = 56;
+};
+
+struct Fig5Row {
+  double attack_success_target = 0.0;  // P
+  double xm_teslapp_large = 0.0;
+  double xm_teslapp_small = 0.0;
+  double xm_dap_large = 0.0;
+  double xm_dap_small = 0.0;
+};
+
+std::vector<Fig5Row> fig5_series(const Fig5Settings& settings,
+                                 std::size_t points = 19);
+
+/// Buffer counts implied by the Fig. 5 settings (M1/M2 in the paper).
+struct Fig5Buffers {
+  std::size_t teslapp_large = 0, teslapp_small = 0;
+  std::size_t dap_large = 0, dap_small = 0;
+};
+Fig5Buffers fig5_buffers(const Fig5Settings& settings);
+
+// ---------------------------------------------------------------- Fig. 6
+// ESS regime of every m in [1, max_m] at fixed p, plus representative
+// Euler trajectories from (0.5, 0.5) with the paper's dt = 0.01.
+struct RegimeRow {
+  std::size_t m = 0;
+  game::Ess ess;             // closed-form classification
+  game::State simulated{};   // Euler final state
+  std::size_t steps = 0;     // steps to convergence
+  bool agrees = false;       // |closed-form - simulated| < tol
+};
+
+std::vector<RegimeRow> fig6_regime_scan(double p, std::size_t max_m,
+                                        double tol = 5e-3);
+
+/// One trajectory (for the four panel plots); dt and start as the paper.
+game::Trajectory fig6_trajectory(double p, std::size_t m,
+                                 std::size_t record_every = 10);
+
+// ---------------------------------------------------------------- Fig. 7
+struct Fig7Row {
+  double p = 0.0;
+  std::size_t m_opt = 0;
+  game::EssKind kind = game::EssKind::kInterior;
+  double cost = 0.0;
+};
+
+std::vector<Fig7Row> fig7_series(
+    const std::vector<double>& ps,
+    game::OptimizeMode mode = game::OptimizeMode::kPaperInterior,
+    std::size_t max_m = game::kMaxBuffers);
+
+// ---------------------------------------------------------------- Fig. 8
+struct Fig8Row {
+  double p = 0.0;
+  std::size_t m_opt = 0;
+  double cost_game = 0.0;   // E at the optimised ESS
+  double cost_naive = 0.0;  // N with fixed m = M
+};
+
+std::vector<Fig8Row> fig8_series(
+    const std::vector<double>& ps,
+    game::OptimizeMode mode = game::OptimizeMode::kPaperInterior,
+    std::size_t max_m = game::kMaxBuffers);
+
+// ------------------------------------------------------ §VI-A memory (E6)
+struct MemoryRow {
+  const char* scheme = "";
+  std::size_t record_bits = 0;
+  std::size_t buffers_at_1024 = 0;
+  std::size_t buffers_at_512 = 0;
+  double saving_vs_full = 0.0;  // fraction of memory saved vs 280-bit rows
+};
+
+std::vector<MemoryRow> memory_table();
+
+/// The default p sweep used by Figs. 7/8 benches.
+std::vector<double> default_p_sweep();
+
+}  // namespace dap::analysis

@@ -1,0 +1,113 @@
+#include "analysis/montecarlo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+#include "sim/adversary.h"
+
+namespace dap::analysis {
+
+bool simulate_dap_round(double p, std::size_t m,
+                        protocol::BufferPolicy policy, FloodTiming timing,
+                        std::size_t authentic_copies, common::Rng& rng) {
+  protocol::DapConfig dap_config;
+  dap_config.buffers = m;
+  dap_config.policy = policy;
+  dap_config.chain_length = 2;
+  dap_config.disclosure_delay = 1;
+  dap_config.schedule = sim::IntervalSchedule(0, sim::kSecond);
+
+  const std::size_t forged =
+      sim::FloodingForger::copies_for_fraction(authentic_copies, p);
+
+  protocol::DapSender sender(dap_config, rng.bytes(16));
+  protocol::DapReceiver receiver(dap_config, sender.chain().commitment(),
+                                 rng.bytes(16), sim::LooseClock(0, 0),
+                                 rng.fork(1));
+  sim::FloodingForger forger(dap_config.sender_id, dap_config.mac_size,
+                             rng.fork(2));
+
+  const wire::MacAnnounce authentic =
+      sender.announce(1, common::bytes_of("crowdsensing-report"));
+  std::vector<wire::MacAnnounce> flood;
+  flood.reserve(authentic_copies + forged);
+  switch (timing) {
+    case FloodTiming::kBeforeAuthentic:
+      for (std::size_t i = 0; i < forged; ++i) flood.push_back(forger.forge(1));
+      for (std::size_t i = 0; i < authentic_copies; ++i) {
+        flood.push_back(authentic);
+      }
+      break;
+    case FloodTiming::kAfterAuthentic:
+      for (std::size_t i = 0; i < authentic_copies; ++i) {
+        flood.push_back(authentic);
+      }
+      for (std::size_t i = 0; i < forged; ++i) flood.push_back(forger.forge(1));
+      break;
+    case FloodTiming::kInterleaved: {
+      for (std::size_t i = 0; i < authentic_copies; ++i) {
+        flood.push_back(authentic);
+      }
+      for (std::size_t i = 0; i < forged; ++i) flood.push_back(forger.forge(1));
+      // Fisher-Yates with the caller's RNG keeps runs reproducible.
+      for (std::size_t i = flood.size(); i > 1; --i) {
+        const auto j = static_cast<std::size_t>(rng.uniform(0, i - 1));
+        std::swap(flood[i - 1], flood[j]);
+      }
+      break;
+    }
+  }
+
+  const sim::SimTime mid_interval = sim::kSecond / 2;
+  for (const auto& packet : flood) {
+    receiver.receive(packet, mid_interval);
+  }
+  const auto result =
+      receiver.receive(sender.reveal(1), sim::kSecond + mid_interval);
+  return !result.has_value();  // attack succeeded
+}
+
+MonteCarloResult measure_attack_success(const MonteCarloConfig& config) {
+  common::Rng master(config.seed);
+  common::RateEstimator estimator;
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    common::Rng trial_rng = master.fork(trial);
+    estimator.add(simulate_dap_round(config.p, config.m, config.policy,
+                                     config.timing, config.authentic_copies,
+                                     trial_rng));
+  }
+
+  MonteCarloResult out;
+  out.measured_attack_success = estimator.rate();
+  const auto [lo, hi] = estimator.wilson95();
+  out.wilson_lo = lo;
+  out.wilson_hi = hi;
+  out.analytic = std::pow(config.p, static_cast<double>(config.m));
+  out.trials = estimator.trials();
+  return out;
+}
+
+std::vector<SweepPoint> attack_success_sweep(
+    const std::vector<double>& ps, const std::vector<std::size_t>& ms,
+    std::size_t trials, std::uint64_t seed, protocol::BufferPolicy policy,
+    FloodTiming timing) {
+  std::vector<SweepPoint> out;
+  out.reserve(ps.size() * ms.size());
+  std::uint64_t salt = 0;
+  for (double p : ps) {
+    for (std::size_t m : ms) {
+      MonteCarloConfig config;
+      config.p = p;
+      config.m = m;
+      config.trials = trials;
+      config.seed = seed + (++salt) * 0x9e3779b97f4a7c15ULL;
+      config.policy = policy;
+      config.timing = timing;
+      out.push_back(SweepPoint{p, m, measure_attack_success(config)});
+    }
+  }
+  return out;
+}
+
+}  // namespace dap::analysis

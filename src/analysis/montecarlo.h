@@ -1,0 +1,69 @@
+#pragma once
+// Monte-Carlo experiments on the DAP receiver under flooding (E7, E9):
+// simulator-measured attack success vs the analytic p^m that the game
+// model assumes, and the buffer-policy ablation.
+
+#include <cstdint>
+#include <vector>
+
+#include "dap/dap.h"
+
+namespace dap::analysis {
+
+/// Where the attacker's burst sits relative to the authentic copies.
+enum class FloodTiming : std::uint8_t {
+  kBeforeAuthentic,  // forged burst first (defeats naive-drop)
+  kAfterAuthentic,   // forged burst last (defeats always-replace)
+  kInterleaved,      // forged copies mixed uniformly at random
+};
+
+struct MonteCarloConfig {
+  double p = 0.8;     // forged fraction of the announcement flood
+  std::size_t m = 4;  // receiver buffers
+  /// Sender redundancy per interval. Reservoir selection keeps a uniform
+  /// size-m subset, so the exclusion probability is hypergeometric; it
+  /// converges to the paper's p^m only when the flood is much larger
+  /// than m. The default keeps total copies >> m for typical (p, m);
+  /// lower it deliberately to measure the small-flood deviation (which
+  /// favours the defender — see EXPERIMENTS.md).
+  std::size_t authentic_copies = 32;
+  std::size_t trials = 2000;
+  protocol::BufferPolicy policy = protocol::BufferPolicy::kReservoir;
+  FloodTiming timing = FloodTiming::kInterleaved;
+  std::uint64_t seed = 42;
+};
+
+struct MonteCarloResult {
+  double measured_attack_success = 0.0;  // fraction of trials defeated
+  double wilson_lo = 0.0;
+  double wilson_hi = 1.0;
+  double analytic = 0.0;  // p^m
+  std::size_t trials = 0;
+};
+
+/// One full DAP round under flooding: the sender announces its MAC
+/// `authentic_copies` times, the attacker floods forged announcements to
+/// forged fraction `p`, the reveal follows. Returns true iff the attack
+/// succeeded (strong authentication failed). The building block of every
+/// Monte-Carlo experiment here.
+bool simulate_dap_round(double p, std::size_t m,
+                        protocol::BufferPolicy policy, FloodTiming timing,
+                        std::size_t authentic_copies, common::Rng& rng);
+
+/// Runs `trials` independent rounds of simulate_dap_round and aggregates
+/// the attack-success rate with its confidence interval.
+MonteCarloResult measure_attack_success(const MonteCarloConfig& config);
+
+/// Convenience sweep over (p, m) grids.
+struct SweepPoint {
+  double p = 0.0;
+  std::size_t m = 0;
+  MonteCarloResult result;
+};
+std::vector<SweepPoint> attack_success_sweep(
+    const std::vector<double>& ps, const std::vector<std::size_t>& ms,
+    std::size_t trials, std::uint64_t seed,
+    protocol::BufferPolicy policy = protocol::BufferPolicy::kReservoir,
+    FloodTiming timing = FloodTiming::kInterleaved);
+
+}  // namespace dap::analysis

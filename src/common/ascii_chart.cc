@@ -1,0 +1,108 @@
+#include "common/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace dap::common {
+
+namespace {
+
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@'};
+
+std::string axis_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%8.3g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_chart(const std::vector<Series>& series,
+                         const ChartOptions& options) {
+  if (series.empty()) {
+    throw std::invalid_argument("render_chart: no series");
+  }
+  if (series.size() > sizeof kGlyphs) {
+    throw std::invalid_argument("render_chart: too many series (max 6)");
+  }
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin;
+  double ymin = xmin;
+  double ymax = -xmin;
+  for (const auto& s : series) {
+    if (s.xs.size() != s.ys.size()) {
+      throw std::invalid_argument("render_chart: xs/ys length mismatch in '" +
+                                  s.name + "'");
+    }
+    if (s.xs.empty()) {
+      throw std::invalid_argument("render_chart: empty series '" + s.name +
+                                  "'");
+    }
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      if (!std::isfinite(s.xs[i]) || !std::isfinite(s.ys[i])) continue;
+      xmin = std::min(xmin, s.xs[i]);
+      xmax = std::max(xmax, s.xs[i]);
+      ymin = std::min(ymin, s.ys[i]);
+      ymax = std::max(ymax, s.ys[i]);
+    }
+  }
+  if (!std::isfinite(xmin) || !std::isfinite(ymin)) {
+    throw std::invalid_argument("render_chart: no finite data points");
+  }
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  const std::size_t w = std::max<std::size_t>(options.width, 16);
+  const std::size_t h = std::max<std::size_t>(options.height, 6);
+  std::vector<std::string> grid(h, std::string(w, ' '));
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const auto& s = series[si];
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      if (!std::isfinite(s.xs[i]) || !std::isfinite(s.ys[i])) continue;
+      const double fx = (s.xs[i] - xmin) / (xmax - xmin);
+      const double fy = (s.ys[i] - ymin) / (ymax - ymin);
+      auto cx = static_cast<std::size_t>(
+          std::lround(fx * static_cast<double>(w - 1)));
+      auto cy = static_cast<std::size_t>(
+          std::lround(fy * static_cast<double>(h - 1)));
+      grid[h - 1 - cy][cx] = kGlyphs[si];
+    }
+  }
+
+  std::ostringstream out;
+  if (!options.title.empty()) out << "  " << options.title << '\n';
+  for (std::size_t r = 0; r < h; ++r) {
+    // y-axis tick at top, middle, bottom rows.
+    if (r == 0) {
+      out << axis_number(ymax) << " |";
+    } else if (r == h - 1) {
+      out << axis_number(ymin) << " |";
+    } else if (r == h / 2) {
+      out << axis_number((ymin + ymax) / 2) << " |";
+    } else {
+      out << std::string(8, ' ') << " |";
+    }
+    out << grid[r] << '\n';
+  }
+  out << std::string(9, ' ') << '+' << std::string(w, '-') << '\n';
+  out << std::string(10, ' ') << axis_number(xmin)
+      << std::string(w > 24 ? w - 24 : 1, ' ') << axis_number(xmax);
+  if (!options.x_label.empty()) out << "   (x: " << options.x_label << ")";
+  out << '\n';
+  out << std::string(10, ' ') << "legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out << "  " << kGlyphs[si] << " = " << series[si].name;
+  }
+  out << '\n';
+  if (!options.y_label.empty()) {
+    out << std::string(10, ' ') << "(y: " << options.y_label << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace dap::common

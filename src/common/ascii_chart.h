@@ -1,0 +1,30 @@
+#pragma once
+// Terminal line charts so bench binaries can show the *shape* of each
+// reproduced figure directly in their stdout, next to the numeric rows.
+
+#include <string>
+#include <vector>
+
+namespace dap::common {
+
+struct Series {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;  // must match xs in length
+};
+
+struct ChartOptions {
+  std::size_t width = 72;   // plot area columns
+  std::size_t height = 20;  // plot area rows
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+};
+
+/// Renders up to 6 series into a multi-line string using per-series glyphs
+/// ('*', 'o', '+', 'x', '#', '@'). Axes are scaled to the combined data
+/// range. Throws std::invalid_argument on empty/odd-shaped input.
+std::string render_chart(const std::vector<Series>& series,
+                         const ChartOptions& options);
+
+}  // namespace dap::common

@@ -1,0 +1,57 @@
+#pragma once
+// Little-endian wire codec used by src/wire for packet serialization.
+//
+// Writer appends fixed-width integers and length-prefixed blobs to a growing
+// buffer; Reader consumes them in order and reports truncation via
+// std::optional rather than exceptions, because truncated packets are an
+// expected runtime condition on a lossy channel.
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+
+namespace dap::common {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Raw bytes, no length prefix (fixed-size fields like MACs).
+  void raw(ByteView data);
+  /// u16 length prefix followed by the bytes; throws if data > 64 KiB.
+  void blob(ByteView data);
+
+  [[nodiscard]] const Bytes& data() const noexcept { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(ByteView data) noexcept : data_(data) {}
+
+  std::optional<std::uint8_t> u8();
+  std::optional<std::uint16_t> u16();
+  std::optional<std::uint32_t> u32();
+  std::optional<std::uint64_t> u64();
+  /// Exactly n raw bytes.
+  std::optional<Bytes> raw(std::size_t n);
+  /// u16 length-prefixed blob.
+  std::optional<Bytes> blob();
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+
+ private:
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dap::common

@@ -1,0 +1,55 @@
+#include "common/csv.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dap::common {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& columns)
+    : path_(path), out_(path), columns_(columns.size()) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  if (columns.empty()) {
+    throw std::invalid_argument("CsvWriter: need at least one column");
+  }
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << columns[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  if (values.size() != columns_) {
+    throw std::invalid_argument("CsvWriter::row: arity mismatch");
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << format_number(values[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row_text(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_) {
+    throw std::invalid_argument("CsvWriter::row_text: arity mismatch");
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+std::string format_number(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace dap::common

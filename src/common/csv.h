@@ -1,0 +1,35 @@
+#pragma once
+// Minimal CSV writer: every bench binary writes its series both to stdout
+// (human-readable table) and to a CSV file so figures can be re-plotted.
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dap::common {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+
+  /// Writes one row; throws std::invalid_argument on arity mismatch.
+  void row(const std::vector<double>& values);
+  /// Mixed-type row (already formatted cells).
+  void row_text(const std::vector<std::string>& cells);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+/// Formats a double with enough precision for round-tripping plots
+/// but without noise ("0.4400", "123.4567" style, trailing zeros trimmed).
+std::string format_number(double v);
+
+}  // namespace dap::common

@@ -1,0 +1,77 @@
+#pragma once
+// Streaming statistics used by the Monte-Carlo experiments and benches.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dap::common {
+
+/// Welford's online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Half-width of the normal-approximation 95% confidence interval of the
+  /// mean (1.96 * stderr); 0 for fewer than two samples.
+  [[nodiscard]] double ci95_halfwidth() const noexcept;
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Bernoulli success-rate estimator with a Wilson score interval, better
+/// behaved than the normal approximation at rates near 0 or 1.
+class RateEstimator {
+ public:
+  void add(bool success) noexcept;
+
+  [[nodiscard]] std::size_t trials() const noexcept { return trials_; }
+  [[nodiscard]] std::size_t successes() const noexcept { return successes_; }
+  [[nodiscard]] double rate() const noexcept;
+  /// Wilson 95% interval as {lo, hi}; {0,1} with no trials.
+  [[nodiscard]] std::pair<double, double> wilson95() const noexcept;
+
+ private:
+  std::size_t trials_ = 0;
+  std::size_t successes_ = 0;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const;
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Linearly spaced sweep points: n values from lo to hi inclusive.
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+}  // namespace dap::common

@@ -1,0 +1,27 @@
+#pragma once
+// Fixed-width text table printer for bench/experiment stdout output.
+
+#include <string>
+#include <vector>
+
+namespace dap::common {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with format_number().
+  void add_row_numeric(const std::vector<double>& cells);
+
+  /// Renders with column alignment and a header separator.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dap::common

@@ -1,0 +1,74 @@
+#include "core/adaptive_defender.h"
+
+namespace dap::core {
+
+AdaptiveDefender::AdaptiveDefender(const AdaptiveConfig& config,
+                                   common::Bytes commitment,
+                                   common::Bytes local_secret,
+                                   sim::LooseClock clock, common::Rng rng)
+    : config_(config),
+      receiver_(config.dap, std::move(commitment), std::move(local_secret),
+                clock, rng),
+      estimator_(config.expected_copies, config.estimator_smoothing) {}
+
+void AdaptiveDefender::receive(const wire::MacAnnounce& packet,
+                               sim::SimTime local_now) {
+  receiver_.receive(packet, local_now);
+}
+
+std::optional<tesla::AuthenticatedMessage> AdaptiveDefender::receive(
+    const wire::MessageReveal& packet, sim::SimTime local_now) {
+  return receiver_.receive(packet, local_now);
+}
+
+void AdaptiveDefender::close_interval(std::size_t observed_copies) {
+  estimator_.observe_interval(observed_copies);
+  ++stats_.intervals_closed;
+
+  // Cost ledger: defending costs k2·m this interval; each attack that
+  // slipped through (strong auth failed => no authentic record survived)
+  // costs the data's value Ra.
+  const auto& ds = receiver_.stats();
+  const std::uint64_t new_successes =
+      ds.strong_auth_success - last_success_count_;
+  const std::uint64_t new_failures =
+      ds.strong_auth_failures - last_failure_count_;
+  last_success_count_ = ds.strong_auth_success;
+  last_failure_count_ = ds.strong_auth_failures;
+  stats_.attacks_defeated += new_successes;
+  stats_.attacks_succeeded += new_failures;
+  stats_.realized_cost +=
+      config_.game.k2 * static_cast<double>(receiver_.buffers()) +
+      config_.game.Ra * static_cast<double>(new_failures);
+
+  if (stats_.intervals_closed % config_.retune_period == 0) {
+    maybe_retune();
+  }
+}
+
+void AdaptiveDefender::maybe_retune() {
+  const double p_hat = estimator_.estimate();
+  if (p_hat <= 0.0) {
+    // No attack observed: a single buffer suffices for loss robustness.
+    receiver_.set_buffers(1);
+    stats_.defense_share_x = 0.0;
+    ++stats_.retunes;
+    return;
+  }
+  game::GameParams g = config_.game;
+  g.xa = p_hat;
+  g.m = 1;  // overwritten by the optimiser
+  const auto result =
+      game::optimize_m(g, config_.mode, config_.max_buffers);
+  receiver_.set_buffers(result.m);
+  stats_.defense_share_x = result.ess.point.x;
+  ++stats_.retunes;
+}
+
+double AdaptiveDefender::average_cost() const noexcept {
+  if (stats_.intervals_closed == 0) return 0.0;
+  return stats_.realized_cost /
+         static_cast<double>(stats_.intervals_closed);
+}
+
+}  // namespace dap::core

@@ -1,0 +1,87 @@
+#pragma once
+// The QoS-balanced DoS-resistant authentication protocol (paper §V put
+// to work): a DAP receiver whose buffer count m is re-tuned online by
+// the evolutionary-game optimiser as the estimated attack level changes.
+//
+// Per interval the defender:
+//  1. runs plain DAP (Algorithm 2) with its current m,
+//  2. feeds the observed announcement count to the attack estimator,
+//  3. every `retune_period` intervals re-runs Algorithm 3 on p̂ and
+//     adopts the resulting m (and the ESS defence share X, which the
+//     population layer uses to decide *whether* this node buffers at all).
+//
+// It also keeps the game-model cost ledger (k2·m per defended round,
+// Ra per successful attack) so experiments can compare realized cost
+// against the analytic E of Fig. 8.
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.h"
+#include "core/attack_estimator.h"
+#include "dap/dap.h"
+#include "game/optimizer.h"
+#include "sim/clock_model.h"
+
+namespace dap::core {
+
+struct AdaptiveConfig {
+  protocol::DapConfig dap;
+  game::GameParams game;            // Ra/k1/k2; xa and m are overwritten
+  std::size_t expected_copies = 1;  // sender's authentic redundancy
+  std::uint32_t retune_period = 8;  // intervals between re-optimisations
+  game::OptimizeMode mode = game::OptimizeMode::kPaperInterior;
+  std::size_t max_buffers = game::kMaxBuffers;
+  double estimator_smoothing = 0.25;
+};
+
+struct AdaptiveStats {
+  std::uint64_t retunes = 0;
+  std::uint64_t intervals_closed = 0;
+  std::uint64_t attacks_succeeded = 0;   // reveal arrived, no record matched
+  std::uint64_t attacks_defeated = 0;    // strong auth succeeded
+  double realized_cost = 0.0;            // game-model ledger (see header)
+  double defense_share_x = 1.0;          // ESS X of the latest retune
+};
+
+class AdaptiveDefender {
+ public:
+  AdaptiveDefender(const AdaptiveConfig& config, common::Bytes commitment,
+                   common::Bytes local_secret, sim::LooseClock clock,
+                   common::Rng rng);
+
+  /// DAP data path.
+  void receive(const wire::MacAnnounce& packet, sim::SimTime local_now);
+  std::optional<tesla::AuthenticatedMessage> receive(
+      const wire::MessageReveal& packet, sim::SimTime local_now);
+
+  /// Call once at the end of each interval with the number of MAC
+  /// announcements observed in it; drives estimation, retuning and the
+  /// cost ledger.
+  void close_interval(std::size_t observed_copies);
+
+  [[nodiscard]] double estimated_p() const noexcept {
+    return estimator_.estimate();
+  }
+  [[nodiscard]] std::size_t current_buffers() const noexcept {
+    return receiver_.buffers();
+  }
+  [[nodiscard]] const AdaptiveStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const protocol::DapStats& dap_stats() const noexcept {
+    return receiver_.stats();
+  }
+  /// Average realized cost per closed interval.
+  [[nodiscard]] double average_cost() const noexcept;
+
+ private:
+  void maybe_retune();
+
+  AdaptiveConfig config_;
+  protocol::DapReceiver receiver_;
+  AttackEstimator estimator_;
+  AdaptiveStats stats_;
+  std::uint64_t last_success_count_ = 0;
+  std::uint64_t last_failure_count_ = 0;
+};
+
+}  // namespace dap::core

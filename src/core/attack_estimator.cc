@@ -1,0 +1,36 @@
+#include "core/attack_estimator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dap::core {
+
+AttackEstimator::AttackEstimator(std::size_t expected_copies,
+                                 double smoothing)
+    : expected_copies_(expected_copies), smoothing_(smoothing) {
+  if (expected_copies_ == 0) {
+    throw std::invalid_argument("AttackEstimator: expected_copies >= 1");
+  }
+  if (smoothing_ <= 0.0 || smoothing_ > 1.0) {
+    throw std::invalid_argument("AttackEstimator: smoothing in (0, 1]");
+  }
+}
+
+void AttackEstimator::observe_interval(std::size_t observed_copies) {
+  double raw = 0.0;
+  if (observed_copies > expected_copies_) {
+    raw = static_cast<double>(observed_copies - expected_copies_) /
+          static_cast<double>(observed_copies);
+  }
+  last_raw_ = raw;
+  if (intervals_ == 0) {
+    ewma_ = raw;
+  } else {
+    ewma_ = smoothing_ * raw + (1.0 - smoothing_) * ewma_;
+  }
+  ++intervals_;
+  // Keep strictly below 1 so GameParams stays valid downstream.
+  ewma_ = std::clamp(ewma_, 0.0, 0.999);
+}
+
+}  // namespace dap::core

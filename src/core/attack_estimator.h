@@ -1,0 +1,46 @@
+#pragma once
+// Online estimation of the attack level p (forged fraction).
+//
+// A DAP receiver cannot tell forged from authentic MAC announcements
+// before key disclosure, but it *can* count them, and it knows the
+// sender's redundancy (how many authentic copies the sender broadcasts
+// per interval — a protocol constant). With k observed copies and c
+// expected authentic ones, the per-interval estimate is
+//   p̂ = max(0, (k - c) / k),
+// smoothed across intervals with an exponentially weighted moving
+// average so that the controller neither chases noise nor lags a real
+// change in attack intensity by much.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dap::core {
+
+class AttackEstimator {
+ public:
+  /// `expected_copies` = sender's per-interval authentic redundancy c;
+  /// `smoothing` = EWMA weight of the newest observation, in (0, 1].
+  AttackEstimator(std::size_t expected_copies, double smoothing = 0.25);
+
+  /// Records one finished interval with `observed_copies` announcements.
+  void observe_interval(std::size_t observed_copies);
+
+  /// Current smoothed estimate p̂ in [0, 1); 0 before any observation.
+  [[nodiscard]] double estimate() const noexcept { return ewma_; }
+
+  /// Raw (unsmoothed) estimate of the last interval.
+  [[nodiscard]] double last_raw() const noexcept { return last_raw_; }
+
+  [[nodiscard]] std::uint64_t intervals_observed() const noexcept {
+    return intervals_;
+  }
+
+ private:
+  std::size_t expected_copies_;
+  double smoothing_;
+  double ewma_ = 0.0;
+  double last_raw_ = 0.0;
+  std::uint64_t intervals_ = 0;
+};
+
+}  // namespace dap::core

@@ -1,0 +1,153 @@
+#include "core/coevolution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dap::core {
+
+CoevolutionSim::CoevolutionSim(const CoevolutionConfig& config,
+                               const game::GameParams& game, common::Rng rng)
+    : config_(config), game_(game), rng_(rng) {
+  game::GameParams::validate(game_);
+  if (config_.defenders == 0 || config_.attackers == 0) {
+    throw std::invalid_argument("CoevolutionSim: empty population");
+  }
+  if (config_.imitation_rate <= 0) {
+    throw std::invalid_argument("CoevolutionSim: imitation_rate > 0");
+  }
+  if (config_.mutation_rate < 0 || config_.mutation_rate > 1) {
+    throw std::invalid_argument("CoevolutionSim: mutation_rate in [0,1]");
+  }
+  if (config_.initial_x < 0 || config_.initial_x > 1 ||
+      config_.initial_y < 0 || config_.initial_y > 1) {
+    throw std::invalid_argument("CoevolutionSim: initial shares in [0,1]");
+  }
+  if (config_.observation_rounds == 0) {
+    throw std::invalid_argument("CoevolutionSim: observation_rounds >= 1");
+  }
+  defender_strategy_.resize(config_.defenders);
+  attacker_strategy_.resize(config_.attackers);
+  defender_accumulated_.assign(config_.defenders, 0.0);
+  attacker_accumulated_.assign(config_.attackers, 0.0);
+  for (std::size_t i = 0; i < config_.defenders; ++i) {
+    defender_strategy_[i] = rng_.bernoulli(config_.initial_x) ? 1 : 0;
+  }
+  for (std::size_t i = 0; i < config_.attackers; ++i) {
+    attacker_strategy_[i] = rng_.bernoulli(config_.initial_y) ? 1 : 0;
+  }
+  const double p_success = game_.attack_success();
+  attack_outcome_ = [p_success](common::Rng& r) {
+    return r.bernoulli(p_success);
+  };
+}
+
+void CoevolutionSim::set_attack_outcome(AttackOutcome outcome) {
+  if (!outcome) {
+    throw std::invalid_argument("CoevolutionSim: null outcome model");
+  }
+  attack_outcome_ = std::move(outcome);
+}
+
+double CoevolutionSim::defender_share() const noexcept {
+  std::size_t count = 0;
+  for (auto s : defender_strategy_) count += s;
+  return static_cast<double>(count) /
+         static_cast<double>(defender_strategy_.size());
+}
+
+double CoevolutionSim::attacker_share() const noexcept {
+  std::size_t count = 0;
+  for (auto s : attacker_strategy_) count += s;
+  return static_cast<double>(count) /
+         static_cast<double>(attacker_strategy_.size());
+}
+
+void CoevolutionSim::step() {
+  const double X = defender_share();
+  const double Y = attacker_share();
+  const double m = static_cast<double>(game_.m);
+  const double Cd = game_.k2 * m * X;       // Table I: cost scales with X
+  const double Ca = game_.k1 * game_.xa * Y;  // and with Y
+
+  // --- Realize one round of payoffs per agent (accumulated until the
+  //     next revision round).
+  for (std::size_t i = 0; i < defender_strategy_.size(); ++i) {
+    const bool attacked = rng_.bernoulli(Y);
+    double payoff = 0.0;
+    if (defender_strategy_[i]) {
+      payoff -= Cd;
+      if (attacked && attack_outcome_(rng_)) payoff -= game_.Ra;
+    } else if (attacked) {
+      payoff -= game_.Ra;
+    }
+    defender_accumulated_[i] += payoff;
+  }
+  for (std::size_t i = 0; i < attacker_strategy_.size(); ++i) {
+    double payoff = 0.0;
+    if (attacker_strategy_[i]) {
+      // Attack a random network node; defended targets only fall with
+      // the (sampled) flooding-success outcome.
+      const bool target_defends = rng_.bernoulli(X);
+      const bool success = target_defends ? attack_outcome_(rng_) : true;
+      payoff = (success ? game_.Ra : 0.0) - Ca;
+    }
+    attacker_accumulated_[i] += payoff;
+  }
+
+  if (++rounds_since_revision_ < config_.observation_rounds) return;
+  rounds_since_revision_ = 0;
+  const double window = static_cast<double>(config_.observation_rounds);
+
+  // --- Pairwise proportional imitation on window-averaged payoffs.
+  const auto revise = [this, window](std::vector<std::uint8_t>& strategy,
+                                     std::vector<double>& accumulated) {
+    std::vector<std::uint8_t> next = strategy;
+    const std::size_t n = strategy.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto peer = static_cast<std::size_t>(rng_.uniform(0, n - 1));
+      const double own = accumulated[i] / window;
+      const double theirs = accumulated[peer] / window;
+      if (strategy[peer] != strategy[i] && theirs > own) {
+        const double probability =
+            std::min(1.0, config_.imitation_rate * (theirs - own));
+        if (rng_.bernoulli(probability)) next[i] = strategy[peer];
+      }
+      if (rng_.bernoulli(config_.mutation_rate)) next[i] ^= 1;
+    }
+    strategy.swap(next);
+    std::fill(accumulated.begin(), accumulated.end(), 0.0);
+  };
+  revise(defender_strategy_, defender_accumulated_);
+  revise(attacker_strategy_, attacker_accumulated_);
+}
+
+std::vector<game::State> CoevolutionSim::run(std::size_t rounds) {
+  std::vector<game::State> trajectory;
+  trajectory.reserve(rounds + 1);
+  trajectory.push_back(state());
+  for (std::size_t r = 0; r < rounds; ++r) {
+    step();
+    trajectory.push_back(state());
+  }
+  return trajectory;
+}
+
+CoevolutionSim::WindowMean CoevolutionSim::run_and_average(
+    std::size_t warmup_rounds, std::size_t window_rounds) {
+  for (std::size_t r = 0; r < warmup_rounds; ++r) step();
+  WindowMean out;
+  out.rounds = window_rounds;
+  for (std::size_t r = 0; r < window_rounds; ++r) {
+    step();
+    out.mean.x += defender_share();
+    out.mean.y += attacker_share();
+  }
+  if (window_rounds > 0) {
+    out.mean.x /= static_cast<double>(window_rounds);
+    out.mean.y /= static_cast<double>(window_rounds);
+  }
+  return out;
+}
+
+}  // namespace dap::core

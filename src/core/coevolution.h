@@ -1,0 +1,90 @@
+#pragma once
+// Co-evolution with realized (sampled) payoffs.
+//
+// PopulationSim (population.h) applies the *expected* payoff matrix —
+// it validates the replicator ODE. This module drops that last piece of
+// omniscience: every agent only ever sees its own noisy, realized payoff
+// for the round (a defended round survived the flood or it did not; an
+// attack run paid off or it did not) and revises by imitating a single
+// random peer, switching with probability proportional to the observed
+// payoff difference. No agent knows p, m, Ra, or the opponent mix —
+// exactly the bounded-rationality premise of the paper's §V-A. The
+// experiments show the population mix still finds the game's ESS.
+//
+// Attack outcomes are Bernoulli(p^m) by default (the rate validated
+// against real DAP receivers in E7); a hook lets tests substitute other
+// outcome models.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "game/ess.h"
+#include "game/params.h"
+
+namespace dap::core {
+
+struct CoevolutionConfig {
+  std::size_t defenders = 2000;
+  std::size_t attackers = 2000;
+  double initial_x = 0.5;
+  double initial_y = 0.5;
+  /// Imitation scale: switch probability = rate * max(0, payoff gap).
+  /// Payoffs are O(Ra), so rate * Ra should stay well below 1.
+  double imitation_rate = 0.002;
+  /// Exploration probability per agent per round (keeps boundaries
+  /// non-absorbing, as in the replicator-mutator model).
+  double mutation_rate = 0.0005;
+  /// Rounds an agent observes (accumulating its realized payoff) before
+  /// each revision. Averaging over several rounds shrinks the payoff
+  /// noise that otherwise biases the quasi-stationary mix away from the
+  /// ESS — "look before you imitate".
+  std::size_t observation_rounds = 8;
+};
+
+class CoevolutionSim {
+ public:
+  /// Outcome model: returns true if an attack on a defender with m
+  /// buffers succeeds. The default samples Bernoulli(p^m).
+  using AttackOutcome = std::function<bool(common::Rng&)>;
+
+  CoevolutionSim(const CoevolutionConfig& config,
+                 const game::GameParams& game, common::Rng rng);
+
+  /// Overrides the attack-vs-defended outcome model.
+  void set_attack_outcome(AttackOutcome outcome);
+
+  /// One round: every defender meets one attacker draw, payoffs are
+  /// realized, then both populations revise by pairwise imitation.
+  void step();
+
+  std::vector<game::State> run(std::size_t rounds);
+
+  [[nodiscard]] double defender_share() const noexcept;
+  [[nodiscard]] double attacker_share() const noexcept;
+  [[nodiscard]] game::State state() const noexcept {
+    return {defender_share(), attacker_share()};
+  }
+
+  /// Mean shares over the last `window` observed rounds of run().
+  struct WindowMean {
+    game::State mean{};
+    std::size_t rounds = 0;
+  };
+  WindowMean run_and_average(std::size_t warmup_rounds,
+                             std::size_t window_rounds);
+
+ private:
+  CoevolutionConfig config_;
+  game::GameParams game_;
+  common::Rng rng_;
+  AttackOutcome attack_outcome_;
+  std::vector<std::uint8_t> defender_strategy_;  // 1 = buffer-selection
+  std::vector<std::uint8_t> attacker_strategy_;  // 1 = DoS
+  std::vector<double> defender_accumulated_;
+  std::vector<double> attacker_accumulated_;
+  std::size_t rounds_since_revision_ = 0;
+};
+
+}  // namespace dap::core

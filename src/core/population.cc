@@ -1,0 +1,149 @@
+#include "core/population.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dap::core {
+
+PopulationSim::PopulationSim(const PopulationConfig& config,
+                             const game::GameParams& game, common::Rng rng)
+    : config_(config), game_(game), rng_(rng) {
+  game::GameParams::validate(game_);
+  if (config_.defenders == 0 || config_.attackers == 0) {
+    throw std::invalid_argument("PopulationSim: empty population");
+  }
+  if (config_.initial_x < 0 || config_.initial_x > 1 ||
+      config_.initial_y < 0 || config_.initial_y > 1) {
+    throw std::invalid_argument("PopulationSim: initial shares in [0,1]");
+  }
+  if (config_.imitation_rate <= 0) {
+    throw std::invalid_argument("PopulationSim: imitation_rate > 0");
+  }
+  if (config_.mutation_rate < 0 || config_.mutation_rate > 1) {
+    throw std::invalid_argument("PopulationSim: mutation_rate in [0,1]");
+  }
+  defending_ = static_cast<std::size_t>(std::llround(
+      config_.initial_x * static_cast<double>(config_.defenders)));
+  attacking_ = static_cast<std::size_t>(std::llround(
+      config_.initial_y * static_cast<double>(config_.attackers)));
+}
+
+double PopulationSim::defender_share() const noexcept {
+  return static_cast<double>(defending_) /
+         static_cast<double>(config_.defenders);
+}
+
+double PopulationSim::attacker_share() const noexcept {
+  return static_cast<double>(attacking_) /
+         static_cast<double>(config_.attackers);
+}
+
+void PopulationSim::step() {
+  const double X = defender_share();
+  const double Y = attacker_share();
+  const auto payoff = game::payoff_matrix(game_, X, Y);
+
+  // Expected payoff of each pure strategy against the opposing mix.
+  const double u_defend =
+      Y * payoff.defend_attack_d + (1 - Y) * payoff.defend_noattack_d;
+  const double u_no_defend =
+      Y * payoff.nodefend_attack_d + (1 - Y) * payoff.nodefend_noattack_d;
+  const double u_attack =
+      X * payoff.defend_attack_a + (1 - X) * payoff.nodefend_attack_a;
+  const double u_no_attack =
+      X * payoff.defend_noattack_a + (1 - X) * payoff.nodefend_noattack_a;
+
+  // Pairwise proportional imitation, aggregated over the population:
+  // the expected flow matches X(1-X)(u_d - u_nd) * rate (replicator),
+  // realized with binomial noise by sampling switch events.
+  const auto flow = [this](std::size_t with, std::size_t total,
+                           double payoff_gap) -> std::ptrdiff_t {
+    const double share = static_cast<double>(with) /
+                         static_cast<double>(total);
+    const double meet = share * (1.0 - share);
+    const double prob =
+        std::clamp(std::abs(payoff_gap) * config_.imitation_rate * meet,
+                   0.0, 1.0);
+    // Number of switchers ~ Binomial(total, prob); sample cheaply via
+    // normal approximation for large totals, exact loop for small.
+    std::size_t switchers = 0;
+    if (total <= 256) {
+      for (std::size_t i = 0; i < total; ++i) {
+        if (rng_.bernoulli(prob)) ++switchers;
+      }
+    } else {
+      const double mean = static_cast<double>(total) * prob;
+      const double sd = std::sqrt(mean * (1.0 - prob));
+      // Box-Muller.
+      const double u1 = std::max(rng_.next_double(), 1e-12);
+      const double u2 = rng_.next_double();
+      const double z =
+          std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+      const double draw = mean + sd * z;
+      switchers = static_cast<std::size_t>(
+          std::clamp(draw, 0.0, static_cast<double>(total)));
+    }
+    return payoff_gap >= 0 ? static_cast<std::ptrdiff_t>(switchers)
+                           : -static_cast<std::ptrdiff_t>(switchers);
+  };
+
+  // Mutation: each agent independently flips strategy with a small
+  // probability, keeping boundaries non-absorbing.
+  const auto mutation_flow = [this](std::size_t with,
+                                    std::size_t total) -> std::ptrdiff_t {
+    if (config_.mutation_rate <= 0.0) return 0;
+    const double mu = config_.mutation_rate;
+    const auto sample = [this, mu](std::size_t n) {
+      const double mean = static_cast<double>(n) * mu;
+      // Poisson-ish approximation is fine at these rates; sample via the
+      // normal when n is large, exactly otherwise.
+      if (n <= 256) {
+        std::size_t hits = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (rng_.bernoulli(mu)) ++hits;
+        }
+        return hits;
+      }
+      const double sd = std::sqrt(mean * (1.0 - mu));
+      const double u1 = std::max(rng_.next_double(), 1e-12);
+      const double u2 = rng_.next_double();
+      const double z =
+          std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+      return static_cast<std::size_t>(
+          std::clamp(mean + sd * z, 0.0, static_cast<double>(n)));
+    };
+    const std::size_t in = sample(total - with);
+    const std::size_t out = sample(with);
+    return static_cast<std::ptrdiff_t>(in) - static_cast<std::ptrdiff_t>(out);
+  };
+
+  const std::ptrdiff_t d_flow =
+      flow(defending_, config_.defenders, u_defend - u_no_defend) +
+      mutation_flow(defending_, config_.defenders);
+  const std::ptrdiff_t a_flow =
+      flow(attacking_, config_.attackers, u_attack - u_no_attack) +
+      mutation_flow(attacking_, config_.attackers);
+
+  const auto apply = [](std::size_t current, std::ptrdiff_t delta,
+                        std::size_t total) {
+    const auto next = static_cast<std::ptrdiff_t>(current) + delta;
+    return static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+        next, 0, static_cast<std::ptrdiff_t>(total)));
+  };
+  defending_ = apply(defending_, d_flow, config_.defenders);
+  attacking_ = apply(attacking_, a_flow, config_.attackers);
+}
+
+std::vector<game::State> PopulationSim::run(std::size_t rounds) {
+  std::vector<game::State> trajectory;
+  trajectory.reserve(rounds + 1);
+  trajectory.push_back(state());
+  for (std::size_t r = 0; r < rounds; ++r) {
+    step();
+    trajectory.push_back(state());
+  }
+  return trajectory;
+}
+
+}  // namespace dap::core

@@ -1,0 +1,61 @@
+#pragma once
+// Agent-based population dynamics (bounded rationality made concrete).
+//
+// The paper justifies the evolutionary model by nodes imitating
+// successful peers rather than solving the game. This module implements
+// that literally: finite populations of defender and attacker agents
+// playing pure strategies, each round revising by *pairwise proportional
+// imitation* — pick a random same-population peer, switch to its
+// strategy with probability proportional to the payoff advantage. In the
+// large-population limit this revision protocol converges to exactly the
+// replicator ODE of src/game, which the tests verify empirically.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "game/params.h"
+#include "game/replicator.h"
+
+namespace dap::core {
+
+struct PopulationConfig {
+  std::size_t defenders = 1000;
+  std::size_t attackers = 1000;
+  double initial_x = 0.5;  // share of defenders starting with buffers on
+  double initial_y = 0.5;  // share of attackers starting with DoS on
+  /// Imitation step scale; plays the role of dt in the ODE.
+  double imitation_rate = 0.005;
+  /// Per-agent, per-round exploration probability (replicator-mutator
+  /// dynamics). Finite populations have absorbing boundaries that the
+  /// continuous replicator does not; a small mutation rate keeps rare
+  /// strategies alive, matching the ODE's open-interval behaviour.
+  double mutation_rate = 0.001;
+};
+
+class PopulationSim {
+ public:
+  PopulationSim(const PopulationConfig& config, const game::GameParams& game,
+                common::Rng rng);
+
+  /// One revision round for both populations.
+  void step();
+
+  /// Runs `rounds` steps, recording the share trajectory.
+  std::vector<game::State> run(std::size_t rounds);
+
+  [[nodiscard]] double defender_share() const noexcept;
+  [[nodiscard]] double attacker_share() const noexcept;
+  [[nodiscard]] game::State state() const noexcept {
+    return {defender_share(), attacker_share()};
+  }
+
+ private:
+  PopulationConfig config_;
+  game::GameParams game_;
+  common::Rng rng_;
+  std::size_t defending_ = 0;  // count of defenders playing buffer-selection
+  std::size_t attacking_ = 0;  // count of attackers playing DoS
+};
+
+}  // namespace dap::core

@@ -1,0 +1,51 @@
+#include "crypto/hmac.h"
+
+#include <array>
+
+namespace dap::crypto {
+
+namespace {
+constexpr std::size_t kBlockSize = 64;
+}
+
+Digest hmac_sha256(common::ByteView key, common::ByteView message) noexcept {
+  std::array<std::uint8_t, kBlockSize> key_block{};
+  if (key.size() > kBlockSize) {
+    const Digest hashed = sha256(key);
+    std::copy(hashed.begin(), hashed.end(), key_block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), key_block.begin());
+  }
+
+  std::array<std::uint8_t, kBlockSize> ipad;
+  std::array<std::uint8_t, kBlockSize> opad;
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(common::ByteView(ipad.data(), ipad.size()));
+  inner.update(message);
+  const Digest inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(common::ByteView(opad.data(), opad.size()));
+  outer.update(common::ByteView(inner_digest.data(), inner_digest.size()));
+  return outer.finalize();
+}
+
+common::Bytes hmac_sha256_bytes(common::ByteView key,
+                                common::ByteView message) {
+  const Digest d = hmac_sha256(key, message);
+  return common::Bytes(d.begin(), d.end());
+}
+
+bool hmac_verify(common::ByteView key, common::ByteView message,
+                 common::ByteView tag) noexcept {
+  const Digest expect = hmac_sha256(key, message);
+  return common::constant_time_equal(
+      common::ByteView(expect.data(), expect.size()), tag);
+}
+
+}  // namespace dap::crypto

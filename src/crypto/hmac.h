@@ -1,0 +1,24 @@
+#pragma once
+// HMAC-SHA-256 (RFC 2104 / FIPS 198-1) built on the local SHA-256.
+//
+// HMAC is the MAC primitive of every protocol here: TESLA's per-packet
+// MAC_{K_i}(M), DAP's receiver-side re-MAC MAC_{K_recv}(MAC_i), and the
+// CDM MACs of multi-level μTESLA.
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace dap::crypto {
+
+/// Full 32-byte HMAC-SHA-256 tag.
+Digest hmac_sha256(common::ByteView key, common::ByteView message) noexcept;
+
+/// Same tag as a Bytes buffer.
+common::Bytes hmac_sha256_bytes(common::ByteView key,
+                                common::ByteView message);
+
+/// Verifies in constant time.
+bool hmac_verify(common::ByteView key, common::ByteView message,
+                 common::ByteView tag) noexcept;
+
+}  // namespace dap::crypto

@@ -1,0 +1,108 @@
+#include "crypto/merkle.h"
+
+#include <stdexcept>
+
+#include "common/codec.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace dap::crypto {
+
+namespace {
+
+common::Bytes hash_pair(common::ByteView left, common::ByteView right) {
+  Sha256 h;
+  const std::uint8_t tag = 0x01;  // domain-separate inner nodes from leaves
+  h.update(common::ByteView(&tag, 1));
+  h.update(left);
+  h.update(right);
+  const Digest d = h.finalize();
+  return common::Bytes(d.begin(), d.end());
+}
+
+common::Bytes leaf_seed(common::ByteView seed, std::size_t index) {
+  common::Writer w;
+  w.u64(static_cast<std::uint64_t>(index));
+  w.raw(seed);
+  const Digest d = hmac_sha256(common::bytes_of("merkle-leaf-seed"), w.data());
+  return common::Bytes(d.begin(), d.end());
+}
+
+}  // namespace
+
+common::Bytes merkle_leaf(common::ByteView wots_public_key) {
+  Sha256 h;
+  const std::uint8_t tag = 0x00;
+  h.update(common::ByteView(&tag, 1));
+  h.update(wots_public_key);
+  const Digest d = h.finalize();
+  return common::Bytes(d.begin(), d.end());
+}
+
+MerkleSigner::MerkleSigner(common::ByteView seed, unsigned height,
+                           unsigned winternitz_bits)
+    : height_(height), w_bits_(winternitz_bits) {
+  if (height_ == 0 || height_ > 16) {
+    throw std::invalid_argument("MerkleSigner: height must be in [1, 16]");
+  }
+  if (seed.empty()) {
+    throw std::invalid_argument("MerkleSigner: empty seed");
+  }
+  const std::size_t leaf_count = std::size_t{1} << height_;
+  keys_.reserve(leaf_count);
+  leaves_.reserve(leaf_count);
+  for (std::size_t i = 0; i < leaf_count; ++i) {
+    keys_.emplace_back(leaf_seed(seed, i), w_bits_);
+    leaves_.push_back(merkle_leaf(keys_.back().public_key()));
+  }
+  levels_.push_back(leaves_);
+  while (levels_.back().size() > 1) {
+    const auto& below = levels_.back();
+    std::vector<common::Bytes> level;
+    level.reserve(below.size() / 2);
+    for (std::size_t i = 0; i + 1 < below.size(); i += 2) {
+      level.push_back(hash_pair(below[i], below[i + 1]));
+    }
+    levels_.push_back(std::move(level));
+  }
+  root_ = levels_.back().front();
+}
+
+MerkleSignature MerkleSigner::sign(common::ByteView message) {
+  if (next_leaf_ >= keys_.size()) {
+    throw std::runtime_error("MerkleSigner: all one-time keys spent");
+  }
+  MerkleSignature sig;
+  sig.leaf_index = static_cast<std::uint32_t>(next_leaf_);
+  sig.wots = keys_[next_leaf_].sign(message);
+  std::size_t index = next_leaf_;
+  for (unsigned level = 0; level < height_; ++level) {
+    const std::size_t sibling = index ^ 1u;
+    sig.auth_path.push_back(levels_[level][sibling]);
+    index >>= 1;
+  }
+  ++next_leaf_;
+  return sig;
+}
+
+bool merkle_verify(common::ByteView root, common::ByteView message,
+                   const MerkleSignature& sig, unsigned height,
+                   unsigned winternitz_bits) noexcept {
+  if (height == 0 || height > 16) return false;
+  if (sig.auth_path.size() != height) return false;
+  if (sig.leaf_index >= (std::uint32_t{1} << height)) return false;
+  const common::Bytes recovered_pk =
+      wots_recover_public_key(message, sig.wots, winternitz_bits);
+  if (recovered_pk.empty()) return false;
+  common::Bytes node = merkle_leaf(recovered_pk);
+  std::size_t index = sig.leaf_index;
+  for (unsigned level = 0; level < height; ++level) {
+    const auto& sibling = sig.auth_path[level];
+    if (sibling.size() != kSha256DigestSize) return false;
+    node = (index & 1u) ? hash_pair(sibling, node) : hash_pair(node, sibling);
+    index >>= 1;
+  }
+  return common::constant_time_equal(node, root);
+}
+
+}  // namespace dap::crypto

@@ -1,0 +1,64 @@
+#pragma once
+// Merkle-tree many-time signatures (XMSS-lite) over WOTS.
+//
+// A WOTS key signs exactly one message; real deployments (TESLA/TESLA++
+// bootstrap re-broadcasts, periodic signed packets) need many. The
+// classic fix is a Merkle tree: generate 2^h WOTS key pairs, hash their
+// public keys into a tree, and publish only the root. Each signature is
+// (leaf index, WOTS signature, authentication path); verifiers rebuild
+// the leaf from the WOTS signature and hash up the path to the root.
+// This keeps the whole system hash-based — the repo's stand-in for the
+// digital signatures the papers assume (see DESIGN.md substitutions).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/wots.h"
+
+namespace dap::crypto {
+
+struct MerkleSignature {
+  std::uint32_t leaf_index = 0;
+  WotsSignature wots;
+  std::vector<common::Bytes> auth_path;  // sibling hashes, leaf -> root
+};
+
+class MerkleSigner {
+ public:
+  /// 2^height one-time keys derived from `seed`. height in [1, 16].
+  MerkleSigner(common::ByteView seed, unsigned height,
+               unsigned winternitz_bits = 4);
+
+  /// Signs with the next unused leaf; throws std::runtime_error once all
+  /// 2^height leaves are spent.
+  MerkleSignature sign(common::ByteView message);
+
+  [[nodiscard]] const common::Bytes& root() const noexcept { return root_; }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return leaves_.size();
+  }
+  [[nodiscard]] std::size_t signatures_used() const noexcept {
+    return next_leaf_;
+  }
+  [[nodiscard]] unsigned height() const noexcept { return height_; }
+
+ private:
+  unsigned height_;
+  unsigned w_bits_;
+  std::vector<WotsKeyPair> keys_;
+  std::vector<std::vector<common::Bytes>> levels_;  // levels_[0] = leaves
+  std::vector<common::Bytes> leaves_;               // alias of levels_[0]
+  common::Bytes root_;
+  std::size_t next_leaf_ = 0;
+};
+
+/// Verifies a Merkle signature against the published root.
+bool merkle_verify(common::ByteView root, common::ByteView message,
+                   const MerkleSignature& sig, unsigned height,
+                   unsigned winternitz_bits = 4) noexcept;
+
+/// Hash of a WOTS public key used as the tree leaf (exposed for tests).
+common::Bytes merkle_leaf(common::ByteView wots_public_key);
+
+}  // namespace dap::crypto

@@ -1,0 +1,47 @@
+#include "crypto/prf.h"
+
+#include <stdexcept>
+
+#include "crypto/hmac.h"
+
+namespace dap::crypto {
+
+std::string_view domain_label(PrfDomain domain) noexcept {
+  switch (domain) {
+    case PrfDomain::kChainStep:
+      return "F/chain-step";
+    case PrfDomain::kHighChainStep:
+      return "F0/high-chain-step";
+    case PrfDomain::kLowChainStep:
+      return "F1/low-chain-step";
+    case PrfDomain::kLevelConnect:
+      return "F01/level-connect";
+    case PrfDomain::kMacKey:
+      return "F'/mac-key";
+    case PrfDomain::kCdmImage:
+      return "H/cdm-image";
+    case PrfDomain::kReceiverLocal:
+      return "K_recv/receiver-local";
+  }
+  return "unknown";
+}
+
+Digest prf(PrfDomain domain, common::ByteView input) noexcept {
+  // HMAC keyed by the domain label: distinct labels yield computationally
+  // independent functions of the same input.
+  const std::string_view label = domain_label(domain);
+  const common::ByteView key(
+      reinterpret_cast<const std::uint8_t*>(label.data()), label.size());
+  return hmac_sha256(key, input);
+}
+
+common::Bytes prf_bytes(PrfDomain domain, common::ByteView input,
+                        std::size_t out_len) {
+  if (out_len == 0 || out_len > kSha256DigestSize) {
+    throw std::invalid_argument("prf_bytes: out_len must be in [1, 32]");
+  }
+  const Digest d = prf(domain, input);
+  return common::Bytes(d.begin(), d.begin() + static_cast<std::ptrdiff_t>(out_len));
+}
+
+}  // namespace dap::crypto

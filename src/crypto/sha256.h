@@ -1,0 +1,49 @@
+#pragma once
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// This is the single cryptographic hash underlying every primitive in the
+// library: HMAC, one-way key chains, the pseudorandom function H used by
+// EDRP, and the WOTS one-time signature. The streaming interface supports
+// incremental input; `sha256()` is the one-shot convenience.
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace dap::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+
+using Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+class Sha256 {
+ public:
+  Sha256() noexcept;
+
+  /// Absorbs more input; may be called any number of times.
+  void update(common::ByteView data) noexcept;
+
+  /// Finalizes and returns the digest. The object must not be reused
+  /// afterwards except via reset().
+  Digest finalize() noexcept;
+
+  /// Returns the object to its freshly-constructed state.
+  void reset() noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// One-shot SHA-256 of `data`.
+Digest sha256(common::ByteView data) noexcept;
+
+/// One-shot SHA-256 returned as a Bytes buffer (for APIs that splice it).
+common::Bytes sha256_bytes(common::ByteView data);
+
+}  // namespace dap::crypto

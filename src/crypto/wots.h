@@ -1,0 +1,67 @@
+#pragma once
+// Winternitz one-time signatures (WOTS) over SHA-256.
+//
+// The TESLA family needs an initial *asymmetric* authentication step: the
+// very first key-chain commitment must reach receivers unforgeably (TESLA
+// signs it; TESLA++ additionally signs periodic packets). No asymmetric
+// crypto library is available offline, so we build the classic hash-based
+// one-time signature instead — it provides exactly the needed property
+// (anyone can verify with a public key; only the holder of the secret can
+// sign ONE message) from the same SHA-256 primitive as everything else.
+// This substitution is recorded in DESIGN.md.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace dap::crypto {
+
+struct WotsSignature {
+  std::vector<common::Bytes> chains;  // one partial chain value per digit
+};
+
+class WotsKeyPair {
+ public:
+  /// Derives the key pair deterministically from `seed`.
+  /// `winternitz_bits` (1, 2, 4 or 8) trades signature size for hashing
+  /// cost; 4 is the conventional default.
+  explicit WotsKeyPair(common::ByteView seed, unsigned winternitz_bits = 4);
+
+  /// Signs the SHA-256 digest of `message`. A WOTS key must sign at most
+  /// one distinct message; signing a second distinct message throws
+  /// std::logic_error (re-signing the identical message is allowed).
+  WotsSignature sign(common::ByteView message);
+
+  [[nodiscard]] const common::Bytes& public_key() const noexcept {
+    return public_key_;
+  }
+  [[nodiscard]] unsigned winternitz_bits() const noexcept { return w_bits_; }
+
+ private:
+  unsigned w_bits_;
+  std::vector<common::Bytes> secret_;
+  common::Bytes public_key_;
+  common::Bytes signed_digest_;  // empty until first sign
+};
+
+/// Verifies `sig` on `message` against `public_key` produced with the same
+/// `winternitz_bits`. Never throws; malformed signatures verify false.
+bool wots_verify(common::ByteView public_key, common::ByteView message,
+                 const WotsSignature& sig,
+                 unsigned winternitz_bits = 4) noexcept;
+
+/// Recomputes the public key a signature implies for `message` (the fold
+/// of the completed chains). Empty result for malformed signatures.
+/// Verification is `recovered == expected`; Merkle trees instead hash the
+/// recovered key and compare against an authentication path.
+common::Bytes wots_recover_public_key(common::ByteView message,
+                                      const WotsSignature& sig,
+                                      unsigned winternitz_bits = 4);
+
+/// Number of hash chains (digits) for a given Winternitz parameter;
+/// exposed for tests and size accounting.
+std::size_t wots_chain_count(unsigned winternitz_bits);
+
+}  // namespace dap::crypto

@@ -1,0 +1,197 @@
+#include "dap/dap.h"
+
+#include <stdexcept>
+
+namespace dap::protocol {
+
+DapSender::DapSender(const DapConfig& config, common::ByteView seed)
+    : config_(config),
+      chain_(seed, config.chain_length, crypto::PrfDomain::kChainStep,
+             config.key_size) {
+  if (config_.disclosure_delay == 0) {
+    throw std::invalid_argument("DapSender: disclosure_delay must be >= 1");
+  }
+}
+
+wire::MacAnnounce DapSender::announce(std::uint32_t i,
+                                      common::ByteView message) {
+  if (i == 0 || i > chain_.length()) {
+    throw std::out_of_range("DapSender::announce: interval");
+  }
+  announced_[i].emplace_back(message.begin(), message.end());
+  wire::MacAnnounce p;
+  p.sender = config_.sender_id;
+  p.interval = i;
+  p.mac = crypto::compute_mac(chain_.mac_key(i), message, config_.mac_size);
+  return p;
+}
+
+wire::MessageReveal DapSender::reveal(std::uint32_t i, std::size_t k) const {
+  const auto it = announced_.find(i);
+  if (it == announced_.end() || k >= it->second.size()) {
+    throw std::logic_error("DapSender::reveal: message never announced");
+  }
+  wire::MessageReveal p;
+  p.sender = config_.sender_id;
+  p.interval = i;
+  p.message = it->second[k];
+  p.key = chain_.key(i);
+  return p;
+}
+
+std::size_t DapSender::announced_count(std::uint32_t i) const noexcept {
+  const auto it = announced_.find(i);
+  return it == announced_.end() ? 0 : it->second.size();
+}
+
+DapReceiver::RecordBuffer::RecordBuffer(std::size_t capacity,
+                                        BufferPolicy policy)
+    : capacity_(capacity), policy_(policy) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("RecordBuffer: capacity must be >= 1");
+  }
+  slots_.reserve(capacity_);
+}
+
+bool DapReceiver::RecordBuffer::offer(Record record, common::Rng& rng) {
+  ++offers_;
+  if (slots_.size() < capacity_) {
+    slots_.push_back(std::move(record));
+    return true;
+  }
+  switch (policy_) {
+    case BufferPolicy::kNaiveDrop:
+      return false;
+    case BufferPolicy::kAlwaysReplace: {
+      const auto victim =
+          static_cast<std::size_t>(rng.uniform(0, capacity_ - 1));
+      slots_[victim] = std::move(record);
+      return true;
+    }
+    case BufferPolicy::kReservoir: {
+      // Algorithm 2 line 9: keep the k-th copy with probability m/k.
+      const double keep = static_cast<double>(capacity_) /
+                          static_cast<double>(offers_);
+      if (!rng.bernoulli(keep)) return false;
+      const auto victim =
+          static_cast<std::size_t>(rng.uniform(0, capacity_ - 1));
+      slots_[victim] = std::move(record);
+      return true;
+    }
+  }
+  return false;
+}
+
+DapReceiver::DapReceiver(const DapConfig& config, common::Bytes commitment,
+                         common::Bytes local_secret, sim::LooseClock clock,
+                         common::Rng rng)
+    : config_(config),
+      local_secret_(std::move(local_secret)),
+      clock_(clock),
+      rng_(rng),
+      auth_(crypto::PrfDomain::kChainStep, config.key_size,
+            std::move(commitment)) {
+  if (local_secret_.empty()) {
+    throw std::invalid_argument("DapReceiver: empty local secret");
+  }
+  if (config_.buffers == 0) {
+    throw std::invalid_argument("DapReceiver: buffers must be >= 1");
+  }
+}
+
+common::Bytes DapReceiver::micro_mac_of(common::ByteView mac) const {
+  return crypto::micro_mac(local_secret_, mac, config_.micro_mac_size);
+}
+
+bool DapReceiver::RecordBuffer::take_matching(common::ByteView micro_mac) {
+  for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+    if (common::constant_time_equal(it->micro_mac, micro_mac)) {
+      slots_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void DapReceiver::prune_stale_rounds(std::uint32_t current_interval) {
+  // Keys of intervals <= current - d are public; their records can never
+  // authenticate anything anymore.
+  if (current_interval <= config_.disclosure_delay) return;
+  const std::uint32_t floor = current_interval - config_.disclosure_delay;
+  auto it = buffers_.begin();
+  while (it != buffers_.end() && it->first < floor) {
+    it = buffers_.erase(it);
+  }
+}
+
+void DapReceiver::receive(const wire::MacAnnounce& packet,
+                          sim::SimTime local_now) {
+  ++stats_.announces_received;
+  prune_stale_rounds(packet.interval);
+  // Algorithm 2 line 2: discard when the key may already be public.
+  if (!clock_.packet_safe(packet.interval, config_.disclosure_delay,
+                          local_now, config_.schedule)) {
+    ++stats_.announces_unsafe;
+    return;
+  }
+  auto [it, created] = buffers_.try_emplace(packet.interval, config_.buffers,
+                                            config_.policy);
+  ++stats_.records_offered;
+  if (it->second.offer(Record{micro_mac_of(packet.mac), packet.interval},
+                       rng_)) {
+    ++stats_.records_stored;
+  }
+}
+
+std::optional<tesla::AuthenticatedMessage> DapReceiver::receive(
+    const wire::MessageReveal& packet, sim::SimTime local_now) {
+  ++stats_.reveals_received;
+  // Algorithm 2 line 16: weak authentication of the disclosed key.
+  if (!auth_.accept(packet.interval, packet.key)) {
+    ++stats_.weak_auth_failures;
+    return std::nullopt;
+  }
+  // Lines 19-24: strong authentication against the stored μMAC records.
+  const auto mac_key = auth_.mac_key(packet.interval);
+  const common::Bytes expected_mac =
+      crypto::compute_mac(*mac_key, packet.message, config_.mac_size);
+  const common::Bytes expected_micro = micro_mac_of(expected_mac);
+
+  const auto buf_it = buffers_.find(packet.interval);
+  bool matched = false;
+  if (buf_it != buffers_.end()) {
+    // Only the matched record is consumed: other records of the same
+    // interval may still authenticate further reveals (multi-message
+    // streams); stale rounds are pruned as later intervals arrive.
+    matched = buf_it->second.take_matching(expected_micro);
+  }
+  if (!matched) {
+    ++stats_.strong_auth_failures;
+    return std::nullopt;
+  }
+  ++stats_.strong_auth_success;
+  return tesla::AuthenticatedMessage{packet.interval, packet.message,
+                                     local_now};
+}
+
+void DapReceiver::set_buffers(std::size_t m) {
+  if (m == 0) {
+    throw std::invalid_argument("DapReceiver::set_buffers: m must be >= 1");
+  }
+  config_.buffers = m;
+}
+
+std::size_t DapReceiver::stored_record_bits() const noexcept {
+  std::size_t records = 0;
+  for (const auto& [interval, buffer] : buffers_) {
+    records += buffer.contents().size();
+  }
+  return records * (config_.micro_mac_size * 8 + 32);
+}
+
+std::size_t DapReceiver::buffered_records(std::uint32_t i) const noexcept {
+  const auto it = buffers_.find(i);
+  return it == buffers_.end() ? 0 : it->second.contents().size();
+}
+
+}  // namespace dap::protocol

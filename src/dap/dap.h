@@ -1,0 +1,170 @@
+#pragma once
+// DAP — the paper's DoS-Resistant Authentication Protocol (§IV,
+// Algorithms 1 and 2).
+//
+// Broadcasting (Algorithm 1): in interval I_i the sender transmits only
+// (MAC_i, i); one interval later it transmits (M_i, K_i, i).
+//
+// Authentication at receivers (Algorithm 2): on (MAC_i, i) at local
+// interval x, discard if i + d < x (key already public); otherwise store
+// the 24-bit re-MAC μMAC = MAC_{K_recv}(MAC_i) with the 32-bit index —
+// a 56-bit record — in one of m buffers using reservoir selection
+// (k-th copy kept with probability m/k, random slot replaced). On
+// (M_i, K_i, i): weak authentication checks the key against the chain
+// (h(K_i) = K_{i-1} generalized to a multi-step walk); strong
+// authentication recomputes μMAC' = MAC_{K_recv}(MAC_{K_i}(M_i)) and
+// accepts M_i iff some stored record matches.
+//
+// The buffer policy is pluggable (reservoir / naive-drop / always-replace)
+// for ablation E9; the paper's protocol is the reservoir policy.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "crypto/keychain.h"
+#include "crypto/mac.h"
+#include "sim/clock_model.h"
+#include "tesla/chain_auth.h"
+#include "tesla/tesla.h"
+#include "wire/packet.h"
+
+namespace dap::protocol {
+
+enum class BufferPolicy : std::uint8_t {
+  kReservoir,      // the paper's m/k random selection
+  kNaiveDrop,      // keep first m copies, drop the rest
+  kAlwaysReplace,  // every later copy evicts a random slot
+};
+
+struct DapConfig {
+  wire::NodeId sender_id = 1;
+  std::size_t chain_length = 64;
+  std::uint32_t disclosure_delay = 1;  // d: reveal follows one interval later
+  std::size_t key_size = crypto::kChainKeySize;  // 80-bit chain keys
+  std::size_t mac_size = crypto::kMacSize;       // 80-bit broadcast MAC
+  std::size_t micro_mac_size = crypto::kMicroMacSize;  // 24-bit stored μMAC
+  std::size_t buffers = 4;                       // m
+  BufferPolicy policy = BufferPolicy::kReservoir;
+  sim::IntervalSchedule schedule{0, sim::kSecond};
+};
+
+class DapSender {
+ public:
+  DapSender(const DapConfig& config, common::ByteView seed);
+
+  /// Algorithm 1 lines 1-4: (MAC_i, i) for interval i. May be called
+  /// several times per interval with distinct messages (the P_{i,1..m}
+  /// stream of Fig. 1); each message gets its own MAC/record.
+  [[nodiscard]] wire::MacAnnounce announce(std::uint32_t i,
+                                           common::ByteView message);
+
+  /// Algorithm 1 line 6: (M_i, K_i, i), sent in interval i+1. `k` selects
+  /// which of the interval's announced messages to reveal (0-based).
+  /// Throws std::logic_error without a matching prior announce.
+  [[nodiscard]] wire::MessageReveal reveal(std::uint32_t i,
+                                           std::size_t k = 0) const;
+
+  /// Messages announced so far in interval i.
+  [[nodiscard]] std::size_t announced_count(std::uint32_t i) const noexcept;
+
+  [[nodiscard]] const DapConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const crypto::KeyChain& chain() const noexcept {
+    return chain_;
+  }
+
+ private:
+  DapConfig config_;
+  crypto::KeyChain chain_;
+  std::map<std::uint32_t, std::vector<common::Bytes>> announced_;
+};
+
+struct DapStats {
+  std::uint64_t announces_received = 0;
+  std::uint64_t announces_unsafe = 0;   // i + d < x discard
+  std::uint64_t records_offered = 0;
+  std::uint64_t records_stored = 0;
+  std::uint64_t reveals_received = 0;
+  std::uint64_t weak_auth_failures = 0;   // h(K_i) != K_{i-1}
+  std::uint64_t strong_auth_success = 0;  // μMAC matched
+  std::uint64_t strong_auth_failures = 0; // no stored record matched
+};
+
+class DapReceiver {
+ public:
+  /// `commitment` is the authenticated K_0; `local_secret` is this node's
+  /// private K_recv (Algorithm 2). Throws on empty inputs / zero buffers.
+  DapReceiver(const DapConfig& config, common::Bytes commitment,
+              common::Bytes local_secret, sim::LooseClock clock,
+              common::Rng rng);
+
+  /// Algorithm 2 lines 1-14.
+  void receive(const wire::MacAnnounce& packet, sim::SimTime local_now);
+
+  /// Algorithm 2 lines 15-25; returns the message if authenticated.
+  /// A successful match consumes only the matched record, so several
+  /// reveals for the same interval (multi-message streams) each
+  /// authenticate independently against the shared buffer.
+  std::optional<tesla::AuthenticatedMessage> receive(
+      const wire::MessageReveal& packet, sim::SimTime local_now);
+
+  [[nodiscard]] const DapStats& stats() const noexcept { return stats_; }
+
+  /// Re-tunes the buffer count for rounds that have not started yet
+  /// (rounds with an existing buffer keep their capacity). Used by the
+  /// adaptive game-driven controller in src/core. Throws on m == 0.
+  void set_buffers(std::size_t m);
+  [[nodiscard]] std::size_t buffers() const noexcept {
+    return config_.buffers;
+  }
+
+  /// Storage currently used by buffered records, in bits (56 per record
+  /// with default sizes) — the quantity §VI-A's memory accounting uses.
+  [[nodiscard]] std::size_t stored_record_bits() const noexcept;
+
+  /// Buffered record count for interval i (test introspection).
+  [[nodiscard]] std::size_t buffered_records(std::uint32_t i) const noexcept;
+
+ private:
+  struct Record {
+    common::Bytes micro_mac;
+    std::uint32_t interval = 0;
+  };
+
+  /// The per-interval m-slot buffer with the configured policy.
+  class RecordBuffer {
+   public:
+    RecordBuffer(std::size_t capacity, BufferPolicy policy);
+    bool offer(Record record, common::Rng& rng);
+    /// Removes (only) the first record matching `micro_mac`; returns
+    /// whether one was found.
+    bool take_matching(common::ByteView micro_mac);
+    [[nodiscard]] const std::vector<Record>& contents() const noexcept {
+      return slots_;
+    }
+
+   private:
+    std::size_t capacity_;
+    BufferPolicy policy_;
+    std::size_t offers_ = 0;
+    std::vector<Record> slots_;
+  };
+
+  [[nodiscard]] common::Bytes micro_mac_of(common::ByteView mac) const;
+  /// Frees rounds whose key is long public (memory hygiene): everything
+  /// older than `current_interval` minus the disclosure delay.
+  void prune_stale_rounds(std::uint32_t current_interval);
+
+  DapConfig config_;
+  common::Bytes local_secret_;
+  sim::LooseClock clock_;
+  common::Rng rng_;
+  tesla::ChainAuthenticator auth_;
+  std::map<std::uint32_t, RecordBuffer> buffers_;  // by interval
+  DapStats stats_;
+};
+
+}  // namespace dap::protocol

@@ -1,0 +1,95 @@
+#include "dap/multi_sender.h"
+
+#include <stdexcept>
+
+namespace dap::protocol {
+
+MultiSenderReceiver::MultiSenderReceiver(common::Bytes local_secret,
+                                         sim::LooseClock clock,
+                                         common::Rng rng,
+                                         std::size_t buffer_budget)
+    : local_secret_(std::move(local_secret)),
+      clock_(clock),
+      rng_(rng),
+      buffer_budget_(buffer_budget) {
+  if (local_secret_.empty()) {
+    throw std::invalid_argument("MultiSenderReceiver: empty local secret");
+  }
+  if (buffer_budget_ == 0) {
+    throw std::invalid_argument("MultiSenderReceiver: zero buffer budget");
+  }
+}
+
+std::size_t MultiSenderReceiver::buffers_per_sender() const noexcept {
+  if (nodes_.empty()) return buffer_budget_;
+  const std::size_t share = buffer_budget_ / nodes_.size();
+  return share == 0 ? 1 : share;
+}
+
+void MultiSenderReceiver::rebalance() {
+  const std::size_t share = buffers_per_sender();
+  for (auto& [id, receiver] : nodes_) {
+    receiver.set_buffers(share);
+  }
+}
+
+void MultiSenderReceiver::register_sender(wire::NodeId id,
+                                          const DapConfig& config,
+                                          common::Bytes commitment) {
+  DapConfig adjusted = config;
+  adjusted.sender_id = id;
+  // The per-sender receiver derives its own local key so records for
+  // different senders never collide even with identical MAC inputs.
+  common::Bytes per_sender_secret = crypto::prf_bytes(
+      crypto::PrfDomain::kReceiverLocal,
+      common::concat({common::ByteView(local_secret_),
+                      common::ByteView(commitment)}));
+  nodes_.erase(id);
+  nodes_.emplace(id, DapReceiver(adjusted, std::move(commitment),
+                                 std::move(per_sender_secret), clock_,
+                                 rng_.fork(id)));
+  ++stats_.senders_registered;
+  rebalance();
+}
+
+bool MultiSenderReceiver::knows_sender(wire::NodeId id) const noexcept {
+  return nodes_.find(id) != nodes_.end();
+}
+
+void MultiSenderReceiver::receive(const wire::MacAnnounce& packet,
+                                  sim::SimTime local_now) {
+  const auto it = nodes_.find(packet.sender);
+  if (it == nodes_.end()) {
+    ++stats_.unknown_sender_packets;
+    return;
+  }
+  it->second.receive(packet, local_now);
+}
+
+std::optional<SenderMessage> MultiSenderReceiver::receive(
+    const wire::MessageReveal& packet, sim::SimTime local_now) {
+  const auto it = nodes_.find(packet.sender);
+  if (it == nodes_.end()) {
+    ++stats_.unknown_sender_packets;
+    return std::nullopt;
+  }
+  auto result = it->second.receive(packet, local_now);
+  if (!result) return std::nullopt;
+  return SenderMessage{packet.sender, std::move(*result)};
+}
+
+const DapStats* MultiSenderReceiver::sender_stats(
+    wire::NodeId id) const noexcept {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second.stats();
+}
+
+std::size_t MultiSenderReceiver::stored_record_bits() const noexcept {
+  std::size_t bits = 0;
+  for (const auto& [id, receiver] : nodes_) {
+    bits += receiver.stored_record_bits();
+  }
+  return bits;
+}
+
+}  // namespace dap::protocol

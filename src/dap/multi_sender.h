@@ -1,0 +1,75 @@
+#pragma once
+// Multi-sender DAP.
+//
+// The paper's setting is a mobile crowdsensing network where "the sender
+// and receiver can be any mobile node" (Fig. 4), so a receiver tracks
+// several concurrent DAP senders at once. This wrapper routes packets by
+// sender id to per-sender DAP state and divides a node's total buffer
+// budget across the registered senders (re-balanced on registration, and
+// re-tunable as a group by the adaptive layer).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "dap/dap.h"
+#include "sim/clock_model.h"
+
+namespace dap::protocol {
+
+struct MultiSenderStats {
+  std::uint64_t unknown_sender_packets = 0;
+  std::uint64_t senders_registered = 0;
+};
+
+/// An authenticated message tagged with its sender.
+struct SenderMessage {
+  wire::NodeId sender = 0;
+  tesla::AuthenticatedMessage message;
+};
+
+class MultiSenderReceiver {
+ public:
+  /// `buffer_budget` is the total number of 56-bit records this node is
+  /// willing to hold across all senders (>= 1). Throws on empty secret.
+  MultiSenderReceiver(common::Bytes local_secret, sim::LooseClock clock,
+                      common::Rng rng, std::size_t buffer_budget);
+
+  /// Registers (or replaces) a sender with its verified commitment.
+  /// The buffer budget is re-divided evenly across all senders, never
+  /// dropping below 1 buffer each.
+  void register_sender(wire::NodeId id, const DapConfig& config,
+                       common::Bytes commitment);
+
+  [[nodiscard]] bool knows_sender(wire::NodeId id) const noexcept;
+  [[nodiscard]] std::size_t senders() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t buffers_per_sender() const noexcept;
+
+  /// Routed DAP data paths.
+  void receive(const wire::MacAnnounce& packet, sim::SimTime local_now);
+  std::optional<SenderMessage> receive(const wire::MessageReveal& packet,
+                                       sim::SimTime local_now);
+
+  /// Per-sender receiver stats; nullptr for unknown senders.
+  [[nodiscard]] const DapStats* sender_stats(wire::NodeId id) const noexcept;
+  [[nodiscard]] const MultiSenderStats& stats() const noexcept {
+    return stats_;
+  }
+
+  /// Total buffered record bits across all senders (memory accounting).
+  [[nodiscard]] std::size_t stored_record_bits() const noexcept;
+
+ private:
+  void rebalance();
+
+  common::Bytes local_secret_;
+  sim::LooseClock clock_;
+  common::Rng rng_;
+  std::size_t buffer_budget_;
+  std::map<wire::NodeId, DapReceiver> nodes_;
+  MultiSenderStats stats_;
+};
+
+}  // namespace dap::protocol

@@ -1,0 +1,102 @@
+#include "game/ess.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dap::game {
+
+const char* ess_kind_name(EssKind kind) noexcept {
+  switch (kind) {
+    case EssKind::kFullDefenseFullAttack:
+      return "(1,1)";
+    case EssKind::kFullDefensePartialAttack:
+      return "(1,Y')";
+    case EssKind::kInterior:
+      return "(X*,Y*)";
+    case EssKind::kPartialDefenseFullAttack:
+      return "(X',1)";
+    case EssKind::kNoDefenseFullAttack:
+      return "(0,1)";
+  }
+  return "?";
+}
+
+EssCandidates ess_candidates(const GameParams& g) noexcept {
+  const double P = g.attack_success();
+  const double m = static_cast<double>(g.m);
+  const double one_minus_p = 1.0 - P;
+  const double denom =
+      g.k1 * g.k2 * m * g.xa + one_minus_p * one_minus_p * g.Ra * g.Ra;
+  EssCandidates c;
+  c.y_at_x1 = P * g.Ra / (g.k1 * g.xa);
+  c.x_at_y1 = one_minus_p * g.Ra / (g.k2 * m);
+  c.x_interior = one_minus_p * g.Ra * g.Ra / denom;
+  c.y_interior = g.k2 * m * g.Ra / denom;
+  return c;
+}
+
+Ess solve_ess(const GameParams& g) {
+  GameParams::validate(g);
+  const EssCandidates c = ess_candidates(g);
+  Ess out;
+  if (c.y_at_x1 >= 1.0) {
+    // Attacking saturates even against full defence: P*Ra >= k1*xa.
+    // (1,1) is only stable if defending also beats free-riding there,
+    // i.e. k2*m <= (1-P)*Ra, which is exactly X'(Y=1) >= 1; otherwise
+    // defenders retreat to X' and the ESS is (X', 1).
+    if (c.x_at_y1 >= 1.0) {
+      out.kind = EssKind::kFullDefenseFullAttack;
+      out.point = {1.0, 1.0};
+    } else {
+      out.kind = EssKind::kPartialDefenseFullAttack;
+      out.point = {c.x_at_y1, 1.0};
+    }
+  } else if (c.x_interior >= 1.0) {
+    // Defence saturates (the interior X* lands beyond the simplex) but the
+    // attack share settles at Y' < 1.
+    out.kind = EssKind::kFullDefensePartialAttack;
+    out.point = {1.0, c.y_at_x1};
+  } else if (c.y_interior >= 1.0) {
+    // Attack saturates; defence is only worthwhile for an X' < 1 share.
+    out.kind = EssKind::kPartialDefenseFullAttack;
+    out.point = {std::min(c.x_at_y1, 1.0), 1.0};
+  } else {
+    out.kind = EssKind::kInterior;
+    out.point = {c.x_interior, c.y_interior};
+  }
+  return out;
+}
+
+bool verify_ess(const GameParams& g, const Ess& ess, State start,
+                double tol) {
+  IntegrationOptions options;
+  options.method = Integrator::kRk4;
+  // Verification tracks the true ODE: edges must not become artificially
+  // absorbing when a discrete step overshoots (see Boundary docs).
+  options.boundary = Boundary::kInteriorPreserving;
+  options.dt = 0.01;
+  options.max_steps = 2000000;
+  options.convergence_eps = 1e-12;
+  options.record_every = 0;
+
+  const auto close = [&](const State& s) {
+    return std::abs(s.x - ess.point.x) <= tol &&
+           std::abs(s.y - ess.point.y) <= tol;
+  };
+
+  // From the nominal start.
+  if (!close(integrate(g, start, options).final)) return false;
+
+  // From small perturbations around the fixed point (stability).
+  const double eps = 0.02;
+  for (const double dx : {-eps, eps}) {
+    for (const double dy : {-eps, eps}) {
+      State s{std::clamp(ess.point.x + dx, 0.001, 0.999),
+              std::clamp(ess.point.y + dy, 0.001, 0.999)};
+      if (!close(integrate(g, s, options).final)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dap::game

@@ -1,0 +1,67 @@
+#pragma once
+// Closed-form ESS candidates and regime classification (paper §V-E).
+//
+// Setting dX/dt = dY/dt = 0 yields five candidate evolutionary stable
+// strategies; which one attracts the dynamics from an interior start
+// depends on (p, m) through two clamped quantities:
+//
+//   Y'(X=1)  = p^m Ra / (k1 xa)                       -- Eq. under case 3
+//   X'(Y=1)  = (1 - p^m) Ra / (k2 m)                  -- case 4
+//   interior X* = (1-p^m) Ra^2 / D,  Y* = k2 m Ra / D -- case 5
+//     with D = k1 k2 m xa + (1-p^m)^2 Ra^2
+//
+// Classification (derived from the sign structure of the field on the
+// unit square, and validated against simulation in tests):
+//   1. Y'(X=1) >= 1                    -> ESS (1, 1)
+//   2. else if X* >= 1                 -> ESS (1, Y')
+//   3. else if Y* >= 1                 -> ESS (X', 1)
+//   4. else                            -> interior ESS (X*, Y*)
+// ((0,1) is listed by the paper as a candidate but is never the
+// attractor for admissible parameters, since Ra > Ca implies dY/dt > 0
+// whenever defence is absent; the classifier exposes it for completeness.)
+
+#include <cstdint>
+
+#include "game/params.h"
+#include "game/replicator.h"
+
+namespace dap::game {
+
+enum class EssKind : std::uint8_t {
+  kFullDefenseFullAttack,     // (1, 1)
+  kFullDefensePartialAttack,  // (1, Y')
+  kInterior,                  // (X*, Y*) — spiral convergence
+  kPartialDefenseFullAttack,  // (X', 1)
+  kNoDefenseFullAttack,       // (0, 1) — candidate, unreachable here
+};
+
+/// Short display name ("(1,1)", "(1,Y')", ...).
+const char* ess_kind_name(EssKind kind) noexcept;
+
+struct Ess {
+  EssKind kind = EssKind::kInterior;
+  State point{};
+};
+
+/// Unclamped candidate values (may exceed 1; used by the classifier and
+/// exposed for tests).
+struct EssCandidates {
+  double y_at_x1 = 0.0;    // Y' = p^m Ra / (k1 xa)
+  double x_at_y1 = 0.0;    // X' = (1-p^m) Ra / (k2 m)
+  double x_interior = 0.0; // X*
+  double y_interior = 0.0; // Y*
+};
+
+[[nodiscard]] EssCandidates ess_candidates(const GameParams& g) noexcept;
+
+/// Classifies and returns the attracting ESS for interior starting
+/// points (the paper's (0.5, 0.5) scenario).
+[[nodiscard]] Ess solve_ess(const GameParams& g);
+
+/// Numerically confirms `ess` by integrating from `start` and from small
+/// perturbations around the fixed point; returns true if all runs end
+/// within `tol` of the claimed point.
+[[nodiscard]] bool verify_ess(const GameParams& g, const Ess& ess,
+                              State start = {0.5, 0.5}, double tol = 1e-3);
+
+}  // namespace dap::game

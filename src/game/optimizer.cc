@@ -1,0 +1,111 @@
+#include "game/optimizer.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dap::game {
+
+namespace {
+
+double cost_at(const GameParams& g, const Ess& ess) noexcept {
+  const double P = g.attack_success();
+  const double m = static_cast<double>(g.m);
+  const double X = ess.point.x;
+  const double Y = ess.point.y;
+  return g.k2 * m * X * X + (1.0 - (1.0 - P) * X) * g.Ra * Y;
+}
+
+GameParams with_m(GameParams g, std::size_t m) noexcept {
+  g.m = m;
+  return g;
+}
+
+}  // namespace
+
+CostAtEss defense_cost_at_ess(const GameParams& g) {
+  CostAtEss out;
+  out.ess = solve_ess(g);
+  out.cost = cost_at(g, out.ess);
+  return out;
+}
+
+double defense_cost(const GameParams& g) {
+  return defense_cost_at_ess(g).cost;
+}
+
+double naive_cost(const GameParams& base, std::size_t M) {
+  if (M == 0) throw std::invalid_argument("naive_cost: M must be >= 1");
+  const GameParams g = with_m(base, M);
+  const double P = g.attack_success();
+  // With every node defending (X forced to 1), the attacker share settles
+  // at Y' = P*Ra/(k1*xa), clamped into the simplex.
+  const double y_prime = std::min(1.0, P * g.Ra / (g.k1 * g.xa));
+  return g.k2 * static_cast<double>(M) + P * g.Ra * y_prime;
+}
+
+std::vector<CostAtEss> cost_curve(const GameParams& base, std::size_t max_m) {
+  std::vector<CostAtEss> out;
+  out.reserve(max_m);
+  for (std::size_t m = 1; m <= max_m; ++m) {
+    out.push_back(defense_cost_at_ess(with_m(base, m)));
+  }
+  return out;
+}
+
+OptimizeResult optimize_m(const GameParams& base, OptimizeMode mode,
+                          std::size_t max_m) {
+  if (max_m == 0) throw std::invalid_argument("optimize_m: max_m must be >= 1");
+  const std::vector<CostAtEss> curve = cost_curve(base, max_m);
+
+  OptimizeResult result;
+  switch (mode) {
+    case OptimizeMode::kPaperInterior: {
+      for (std::size_t m = 1; m <= max_m; ++m) {
+        if (curve[m - 1].ess.kind == EssKind::kInterior) {
+          result.m = m;
+          result.ess = curve[m - 1].ess;
+          result.cost = curve[m - 1].cost;
+          return result;
+        }
+      }
+      // No interior ESS reachable: give up — max out the buffers, ESS
+      // becomes (X', 1) and the cost saturates at Ra.
+      result.m = max_m;
+      result.ess = curve[max_m - 1].ess;
+      result.cost = curve[max_m - 1].cost;
+      return result;
+    }
+    case OptimizeMode::kMinimizeCost: {
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t m = 1; m <= max_m; ++m) {
+        if (curve[m - 1].cost < best) {
+          best = curve[m - 1].cost;
+          result.m = m;
+          result.ess = curve[m - 1].ess;
+          result.cost = curve[m - 1].cost;
+        }
+      }
+      return result;
+    }
+    case OptimizeMode::kFaithfulAlg3: {
+      // Algorithm 3 verbatim: m_opt takes the last m whose cost improved
+      // on its predecessor (E_0 = infinity, so m = 1 always qualifies).
+      double previous = std::numeric_limits<double>::infinity();
+      std::size_t m_opt = 0;
+      for (std::size_t m = 1; m <= max_m; ++m) {
+        if (curve[m - 1].cost < previous) {
+          m_opt = m;
+        }
+        previous = curve[m - 1].cost;
+      }
+      result.m = m_opt == 0 ? 1 : m_opt;
+      result.ess = curve[result.m - 1].ess;
+      result.cost = curve[result.m - 1].cost;
+      return result;
+    }
+  }
+  throw std::logic_error("optimize_m: unknown mode");
+}
+
+}  // namespace dap::game

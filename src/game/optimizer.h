@@ -1,0 +1,70 @@
+#pragma once
+// Buffer-count optimisation (paper §V-F, Algorithm 3) and the defence
+// cost model behind Figs. 7 and 8.
+//
+// Average defender cost at an ESS (X, Y):
+//   E(m) = k2·m·X^2 + [1 - (1 - p^m)·X]·Ra·Y
+// Naive defence cost (every node defends with the maximum M buffers):
+//   N = k2·M + p^M·Ra·Y'(M)          with Y'(M) clamped to [0, 1]
+//
+// Three optimisation modes:
+//   kPaperInterior — the behaviour behind Fig. 7: pick the smallest m
+//     whose ESS is *interior* (attacker partially deterred, Y* < 1; cost
+//     is increasing in m within the interior regime so smallest is also
+//     cheapest). When no m <= M reaches an interior ESS (p beyond ~0.94
+//     with the paper's constants), "give up": m = M, ESS (X', 1), where
+//     E = Ra exactly.
+//   kMinimizeCost — global arg-min of E(m) over 1..M (the principled
+//     variant; see EXPERIMENTS.md for how it differs).
+//   kFaithfulAlg3 — Algorithm 3 exactly as printed (updates m_opt
+//     whenever E_m < E_{m-1}, i.e. records the *last* local improvement),
+//     kept for fidelity including its quirk.
+
+#include <cstdint>
+#include <vector>
+
+#include "game/ess.h"
+#include "game/params.h"
+
+namespace dap::game {
+
+/// Buffer budget from the paper: at most ~50 buffers per node.
+inline constexpr std::size_t kMaxBuffers = 50;
+
+/// Defender cost E at the classified ESS for (params.xa, m).
+[[nodiscard]] double defense_cost(const GameParams& g);
+
+/// Same but returns the ESS too (avoids recomputation in sweeps).
+struct CostAtEss {
+  Ess ess;
+  double cost = 0.0;
+};
+[[nodiscard]] CostAtEss defense_cost_at_ess(const GameParams& g);
+
+/// Naive cost N with every node defending at m = M.
+[[nodiscard]] double naive_cost(const GameParams& base,
+                                std::size_t M = kMaxBuffers);
+
+enum class OptimizeMode : std::uint8_t {
+  kPaperInterior,
+  kMinimizeCost,
+  kFaithfulAlg3,
+};
+
+struct OptimizeResult {
+  std::size_t m = 0;
+  Ess ess;
+  double cost = 0.0;
+};
+
+/// Chooses the buffer count for attack level `base.xa` (the `m` field of
+/// `base` is ignored). See mode docs above.
+[[nodiscard]] OptimizeResult optimize_m(const GameParams& base,
+                                        OptimizeMode mode,
+                                        std::size_t max_m = kMaxBuffers);
+
+/// Full E(m) curve for diagnostics/benches: index i holds cost at m=i+1.
+[[nodiscard]] std::vector<CostAtEss> cost_curve(const GameParams& base,
+                                                std::size_t max_m);
+
+}  // namespace dap::game

@@ -1,0 +1,90 @@
+#pragma once
+// Parameters of the attack-defence evolutionary game (paper §V, Tables
+// I-III).
+//
+// Populations: defenders play {buffer-selection, no-buffers} with mixing
+// proportion X; attackers play {DoS, no-attack} with proportion Y.
+// The paper's payoff specialisation:
+//   P  = p^m                  (attack success against m buffers)
+//   Ld = Ra                   (damage equals the data's value)
+//   Ca = k1 * xa * Y          (attack cost grows with attacking share)
+//   Cd = k2 * m  * X          (defence cost grows with defending share)
+// with p = xa (the attacker's bandwidth fraction IS the forged fraction).
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+namespace dap::game {
+
+struct GameParams {
+  double Ra = 200.0;  // reward of a successful attack (= defender damage Ld)
+  double k1 = 20.0;   // attacker cost coefficient
+  double k2 = 4.0;    // defender cost coefficient
+  double xa = 0.8;    // attacker bandwidth fraction; equals forged fraction p
+  std::size_t m = 4;  // defender buffer count
+
+  /// The paper's evaluation constants (§VI-B): Ra=200, k1=20, k2=4.
+  [[nodiscard]] static GameParams paper_defaults(double xa, std::size_t m) {
+    GameParams g;
+    g.xa = xa;
+    g.m = m;
+    validate(g);
+    return g;
+  }
+
+  /// Forged-data fraction p (= xa in the paper's model).
+  [[nodiscard]] double p() const noexcept { return xa; }
+
+  /// Attack success probability P = p^m.
+  [[nodiscard]] double attack_success() const noexcept {
+    return std::pow(xa, static_cast<double>(m));
+  }
+
+  static void validate(const GameParams& g) {
+    if (g.Ra <= 0 || g.k1 <= 0 || g.k2 <= 0) {
+      throw std::invalid_argument("GameParams: Ra, k1, k2 must be > 0");
+    }
+    if (g.xa <= 0.0 || g.xa >= 1.0) {
+      throw std::invalid_argument("GameParams: xa must be in (0, 1)");
+    }
+    if (g.m == 0) {
+      throw std::invalid_argument("GameParams: m must be >= 1");
+    }
+    if (g.Ra <= g.k1) {
+      // The paper assumes Ra > k1 >= Ca so that attacking is worthwhile.
+      throw std::invalid_argument("GameParams: requires Ra > k1");
+    }
+  }
+};
+
+/// Table II instantiated at population state (X, Y). Entries are
+/// (defender payoff, attacker payoff).
+struct PayoffMatrix {
+  // rows: defender {buffer-selection, no-buffers};
+  // columns: attacker {DoS, no-attack}.
+  double defend_attack_d = 0, defend_attack_a = 0;      // (-Cd - P*Ld, P*Ra - Ca)
+  double defend_noattack_d = 0, defend_noattack_a = 0;  // (-Cd, 0)
+  double nodefend_attack_d = 0, nodefend_attack_a = 0;  // (-Ld, Ra - Ca)
+  double nodefend_noattack_d = 0, nodefend_noattack_a = 0;  // (0, 0)
+};
+
+[[nodiscard]] inline PayoffMatrix payoff_matrix(const GameParams& g, double X,
+                                                double Y) noexcept {
+  const double P = g.attack_success();
+  const double Ld = g.Ra;
+  const double Ca = g.k1 * g.xa * Y;
+  const double Cd = g.k2 * static_cast<double>(g.m) * X;
+  PayoffMatrix out;
+  out.defend_attack_d = -Cd - P * Ld;
+  out.defend_attack_a = P * g.Ra - Ca;
+  out.defend_noattack_d = -Cd;
+  out.defend_noattack_a = 0.0;
+  out.nodefend_attack_d = -Ld;
+  out.nodefend_attack_a = g.Ra - Ca;
+  out.nodefend_noattack_d = 0.0;
+  out.nodefend_noattack_a = 0.0;
+  return out;
+}
+
+}  // namespace dap::game

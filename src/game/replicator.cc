@@ -1,0 +1,108 @@
+#include "game/replicator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dap::game {
+
+Derivative replicator_field(const GameParams& g, double X, double Y) noexcept {
+  const double P = g.attack_success();
+  const double m = static_cast<double>(g.m);
+  Derivative d;
+  d.dx = X * (1.0 - X) * (g.Ra * Y * (1.0 - P) - g.k2 * m * X);
+  d.dy = Y * (1.0 - Y) * ((P - 1.0) * X * g.Ra + g.Ra - g.k1 * g.xa * Y);
+  return d;
+}
+
+Jacobian jacobian_at(const GameParams& g, double X, double Y,
+                     double h) noexcept {
+  const auto fx_p = replicator_field(g, X + h, Y);
+  const auto fx_m = replicator_field(g, X - h, Y);
+  const auto fy_p = replicator_field(g, X, Y + h);
+  const auto fy_m = replicator_field(g, X, Y - h);
+  Jacobian j;
+  j.a11 = (fx_p.dx - fx_m.dx) / (2.0 * h);
+  j.a21 = (fx_p.dy - fx_m.dy) / (2.0 * h);
+  j.a12 = (fy_p.dx - fy_m.dx) / (2.0 * h);
+  j.a22 = (fy_p.dy - fy_m.dy) / (2.0 * h);
+  return j;
+}
+
+namespace {
+
+State clamp_simplex(State s, Boundary boundary) noexcept {
+  // The continuous replicator never crosses 0 from the interior; the
+  // floor keeps a discrete overshoot from making 0 absorbing. The
+  // ceiling depends on the mode: the paper's clamp makes the 1-edges
+  // absorbing (matching its published regime boundaries); the
+  // interior-preserving mode keeps them repelling when unstable.
+  constexpr double kFloor = 1e-12;
+  const double ceiling =
+      boundary == Boundary::kPaperClamp ? 1.0 : 1.0 - kFloor;
+  s.x = std::clamp(s.x, kFloor, ceiling);
+  s.y = std::clamp(s.y, kFloor, ceiling);
+  return s;
+}
+
+State euler_step(const GameParams& g, State s, double dt,
+                 Boundary boundary) noexcept {
+  const Derivative d = replicator_field(g, s.x, s.y);
+  return clamp_simplex({s.x + dt * d.dx, s.y + dt * d.dy}, boundary);
+}
+
+State rk4_step(const GameParams& g, State s, double dt,
+               Boundary boundary) noexcept {
+  const Derivative k1 = replicator_field(g, s.x, s.y);
+  const Derivative k2 =
+      replicator_field(g, s.x + 0.5 * dt * k1.dx, s.y + 0.5 * dt * k1.dy);
+  const Derivative k3 =
+      replicator_field(g, s.x + 0.5 * dt * k2.dx, s.y + 0.5 * dt * k2.dy);
+  const Derivative k4 =
+      replicator_field(g, s.x + dt * k3.dx, s.y + dt * k3.dy);
+  return clamp_simplex(
+      {s.x + dt / 6.0 * (k1.dx + 2 * k2.dx + 2 * k3.dx + k4.dx),
+       s.y + dt / 6.0 * (k1.dy + 2 * k2.dy + 2 * k3.dy + k4.dy)},
+      boundary);
+}
+
+}  // namespace
+
+Trajectory integrate(const GameParams& g, State start,
+                     const IntegrationOptions& options) {
+  GameParams::validate(g);
+  if (start.x < 0.0 || start.x > 1.0 || start.y < 0.0 || start.y > 1.0) {
+    throw std::invalid_argument("integrate: start outside [0,1]^2");
+  }
+  if (options.dt <= 0.0 || options.max_steps == 0) {
+    throw std::invalid_argument("integrate: dt and max_steps must be > 0");
+  }
+
+  Trajectory out;
+  State s = start;
+  out.points.push_back(s);
+  for (std::size_t step = 1; step <= options.max_steps; ++step) {
+    const State next =
+        options.method == Integrator::kEuler
+            ? euler_step(g, s, options.dt, options.boundary)
+            : rk4_step(g, s, options.dt, options.boundary);
+    const double moved =
+        std::max(std::abs(next.x - s.x), std::abs(next.y - s.y));
+    s = next;
+    out.steps = step;
+    if (options.record_every != 0 && step % options.record_every == 0) {
+      out.points.push_back(s);
+    }
+    if (moved < options.convergence_eps) {
+      out.converged = true;
+      break;
+    }
+  }
+  if (out.points.back().x != s.x || out.points.back().y != s.y) {
+    out.points.push_back(s);
+  }
+  out.final = s;
+  return out;
+}
+
+}  // namespace dap::game

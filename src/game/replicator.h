@@ -1,0 +1,94 @@
+#pragma once
+// Replicator dynamics of the attack-defence game (paper §V-D):
+//
+//   dX/dt = X (1-X) [ Ra·Y·(1 - p^m) - k2·m·X ]
+//   dY/dt = Y (1-Y) [ (p^m - 1)·X·Ra + Ra - k1·xa·Y ]
+//
+// Integrators: the paper's forward Euler with dt = 0.01 (used to
+// reproduce Fig. 6 exactly) and a classic RK4 for the numerical
+// ablation E10. State is clamped to [0, 1]^2 after each step, mirroring
+// the paper's "keep 0 < X <= 1" adjustment.
+
+#include <cstddef>
+#include <vector>
+
+#include "game/params.h"
+
+namespace dap::game {
+
+struct State {
+  double x = 0.0;  // defender buffer-selection share
+  double y = 0.0;  // attacker DoS share
+};
+
+struct Derivative {
+  double dx = 0.0;
+  double dy = 0.0;
+};
+
+/// The vector field at (X, Y).
+[[nodiscard]] Derivative replicator_field(const GameParams& g, double X,
+                                          double Y) noexcept;
+
+/// Numerical Jacobian of the field at (X, Y) (central differences),
+/// row-major [dFx/dX, dFx/dY; dFy/dX, dFy/dY].
+struct Jacobian {
+  double a11 = 0, a12 = 0, a21 = 0, a22 = 0;
+
+  [[nodiscard]] double trace() const noexcept { return a11 + a22; }
+  [[nodiscard]] double det() const noexcept { return a11 * a22 - a12 * a21; }
+  /// Discriminant of the eigenvalue equation; < 0 means complex
+  /// eigenvalues (spiral dynamics, as Fig. 6(c) shows).
+  [[nodiscard]] double discriminant() const noexcept {
+    return trace() * trace() - 4.0 * det();
+  }
+  /// Both eigenvalue real parts negative -> locally asymptotically stable.
+  [[nodiscard]] bool stable() const noexcept {
+    return trace() < 0.0 && det() > 0.0;
+  }
+};
+
+[[nodiscard]] Jacobian jacobian_at(const GameParams& g, double X, double Y,
+                                   double h = 1e-6) noexcept;
+
+enum class Integrator { kEuler, kRk4 };
+
+/// How discrete steps that overshoot the simplex edge are handled.
+///
+/// The exact replicator flow never *reaches* X = 1 or Y = 1 from the
+/// interior, but a discrete step with |F|·dt > 1 can overshoot past the
+/// edge. Clamping onto the edge makes it absorbing (the off-edge
+/// coordinate then slides along it) — this is what the paper's own
+/// simulation does ("insure 0 < X <= 1"), and it is what produces the
+/// paper's (1,Y') regime up to m = 17 at p = 0.8. kInteriorPreserving
+/// instead clamps a hair inside the edge, so trajectories can leave
+/// again and the integrator tracks the true ODE attractor.
+enum class Boundary : std::uint8_t {
+  kPaperClamp,          // clamp to (0, 1]: edges absorbing (paper-faithful)
+  kInteriorPreserving,  // clamp to (0, 1): edges repelling when unstable
+};
+
+struct IntegrationOptions {
+  Integrator method = Integrator::kEuler;
+  Boundary boundary = Boundary::kPaperClamp;
+  double dt = 0.01;             // the paper's step
+  std::size_t max_steps = 200000;
+  double convergence_eps = 1e-10;  // |dX| and |dY| per step below this
+  /// Record every `record_every`-th point (1 = full trajectory; 0 = only
+  /// first and last).
+  std::size_t record_every = 1;
+};
+
+struct Trajectory {
+  std::vector<State> points;   // subsampled per record_every
+  State final{};
+  bool converged = false;
+  std::size_t steps = 0;       // steps actually taken
+};
+
+/// Integrates from (x0, y0); throws std::invalid_argument if the start is
+/// outside [0,1]^2 or options are degenerate.
+Trajectory integrate(const GameParams& g, State start,
+                     const IntegrationOptions& options);
+
+}  // namespace dap::game

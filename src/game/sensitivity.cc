@@ -1,0 +1,78 @@
+#include "game/sensitivity.h"
+
+#include <cmath>
+
+namespace dap::game {
+
+std::vector<RegimeSpan> regime_spans(const GameParams& base, double p,
+                                     std::size_t max_m) {
+  std::vector<RegimeSpan> spans;
+  for (std::size_t m = 1; m <= max_m; ++m) {
+    GameParams g = base;
+    g.xa = p;
+    g.m = m;
+    const EssKind kind = solve_ess(g).kind;
+    if (spans.empty() || spans.back().kind != kind) {
+      spans.push_back(RegimeSpan{kind, m, m});
+    } else {
+      spans.back().m_last = m;
+    }
+  }
+  return spans;
+}
+
+namespace {
+
+bool has_interior(const GameParams& base, double p, std::size_t max_m) {
+  for (std::size_t m = 1; m <= max_m; ++m) {
+    GameParams g = base;
+    g.xa = p;
+    g.m = m;
+    if (solve_ess(g).kind == EssKind::kInterior) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<double> critical_attack_level(const GameParams& base,
+                                            std::size_t max_m, double lo,
+                                            double hi, double tolerance) {
+  if (has_interior(base, hi, max_m)) return std::nullopt;  // never flips
+  if (!has_interior(base, lo, max_m)) return lo;           // already flipped
+  // Bisection: interior exists at lo, not at hi.
+  while (hi - lo > tolerance) {
+    const double mid = (lo + hi) / 2;
+    if (has_interior(base, mid, max_m)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+bool canonical_regime_order(const std::vector<RegimeSpan>& spans) {
+  // Canonical rank along increasing m.
+  const auto rank = [](EssKind kind) {
+    switch (kind) {
+      case EssKind::kFullDefenseFullAttack:
+        return 0;
+      case EssKind::kFullDefensePartialAttack:
+        return 1;
+      case EssKind::kInterior:
+        return 2;
+      case EssKind::kPartialDefenseFullAttack:
+        return 3;
+      case EssKind::kNoDefenseFullAttack:
+        return 4;
+    }
+    return 5;
+  };
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    if (rank(spans[i].kind) <= rank(spans[i - 1].kind)) return false;
+  }
+  return true;
+}
+
+}  // namespace dap::game

@@ -1,0 +1,47 @@
+#pragma once
+// Sensitivity of the game's qualitative structure to the evaluation
+// constants (paper §VI-B fixes Ra=200, k1=20, k2=4 without derivation).
+//
+// For a constants triple this module locates the two structural
+// thresholds that define Figs. 6-8:
+//   * the regime boundaries in m at a reference attack level, and
+//   * the critical attack level p_crit beyond which no m <= M reaches an
+//     interior ESS (the Fig. 7 "give-up" flip, ~0.94 for the paper's
+//     constants).
+// The ablation bench sweeps the constants and shows the *ordering* of
+// regimes and the existence of a give-up threshold are invariant; only
+// the numeric positions move.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "game/ess.h"
+#include "game/optimizer.h"
+
+namespace dap::game {
+
+/// Contiguous run of buffer counts sharing an ESS regime at fixed p.
+struct RegimeSpan {
+  EssKind kind = EssKind::kInterior;
+  std::size_t m_first = 0;
+  std::size_t m_last = 0;
+};
+
+/// Partition of m = 1..max_m into ESS regimes at attack level p.
+std::vector<RegimeSpan> regime_spans(const GameParams& base, double p,
+                                     std::size_t max_m);
+
+/// Smallest p (within [lo, hi], to `tolerance`) for which NO m <= max_m
+/// yields an interior ESS — the give-up threshold of Fig. 7. Returns
+/// nullopt if interior ESSs exist everywhere in the range.
+std::optional<double> critical_attack_level(const GameParams& base,
+                                            std::size_t max_m = kMaxBuffers,
+                                            double lo = 0.5, double hi = 0.999,
+                                            double tolerance = 1e-4);
+
+/// True iff the regimes at p appear in the paper's canonical order
+/// ((1,1) -> (1,Y') -> interior -> (X',1)), allowing absent spans.
+bool canonical_regime_order(const std::vector<RegimeSpan>& spans);
+
+}  // namespace dap::game

@@ -1,0 +1,44 @@
+#include "sim/clock_model.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace dap::sim {
+
+LooseClock::LooseClock(std::int64_t offset, SimTime max_offset)
+    : offset_(offset), max_offset_(max_offset) {
+  const std::int64_t bound = static_cast<std::int64_t>(max_offset);
+  if (offset > bound || offset < -bound) {
+    throw std::invalid_argument("LooseClock: |offset| exceeds max_offset");
+  }
+}
+
+LooseClock LooseClock::random(common::Rng& rng, SimTime max_offset) {
+  if (max_offset == 0) return LooseClock(0, 0);
+  const auto span = static_cast<std::uint64_t>(2 * max_offset);
+  const auto draw = rng.uniform(0, span);
+  return LooseClock(static_cast<std::int64_t>(draw) -
+                        static_cast<std::int64_t>(max_offset),
+                    max_offset);
+}
+
+SimTime LooseClock::local_time(SimTime true_time) const noexcept {
+  const std::int64_t shifted =
+      static_cast<std::int64_t>(true_time) + offset_;
+  return shifted < 0 ? 0 : static_cast<SimTime>(shifted);
+}
+
+SimTime LooseClock::latest_sender_time(SimTime local_now) const noexcept {
+  return local_now + 2 * max_offset_;
+}
+
+bool LooseClock::packet_safe(std::uint32_t i, std::uint32_t d,
+                             SimTime local_now,
+                             const IntervalSchedule& sched) const noexcept {
+  // K_i is disclosed when the sender enters interval i + d; the packet is
+  // safe iff even the fastest-possible sender clock has not reached that.
+  const SimTime disclosure_time = sched.interval_start(i + d);
+  return latest_sender_time(local_now) < disclosure_time;
+}
+
+}  // namespace dap::sim

@@ -1,0 +1,49 @@
+#pragma once
+// Loose time synchronization (TESLA's only timing requirement).
+//
+// Each receiver's clock differs from the sender's by a bounded, fixed
+// offset. The receiver never needs the exact offset — only the bound
+// `max_offset`. The TESLA "safety check" is: a packet claiming interval
+// `i` is safe to buffer iff, at receive time, the *latest possible* sender
+// clock still lies before the disclosure time of K_i (interval i + d).
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "sim/time.h"
+
+namespace dap::sim {
+
+class LooseClock {
+ public:
+  /// `offset` is this node's clock minus true time; |offset| must be
+  /// <= max_offset (throws otherwise). Offsets may be negative.
+  LooseClock(std::int64_t offset, SimTime max_offset);
+
+  /// Samples a uniformly distributed offset in [-max_offset, max_offset].
+  static LooseClock random(common::Rng& rng, SimTime max_offset);
+
+  [[nodiscard]] std::int64_t offset() const noexcept { return offset_; }
+  [[nodiscard]] SimTime max_offset() const noexcept { return max_offset_; }
+
+  /// This node's local reading at true time `t` (clamped at 0).
+  [[nodiscard]] SimTime local_time(SimTime true_time) const noexcept;
+
+  /// Upper bound on the *sender's* local time given this node's local
+  /// reading: local + 2*max_offset covers both clocks being maximally
+  /// skewed in opposite directions.
+  [[nodiscard]] SimTime latest_sender_time(SimTime local_now) const noexcept;
+
+  /// TESLA safety check: with schedule `sched` and disclosure delay `d`
+  /// intervals, may a packet for interval `i` still be trusted at local
+  /// time `local_now`? True iff the sender cannot yet have disclosed K_i.
+  [[nodiscard]] bool packet_safe(std::uint32_t i, std::uint32_t d,
+                                 SimTime local_now,
+                                 const IntervalSchedule& sched) const noexcept;
+
+ private:
+  std::int64_t offset_;
+  SimTime max_offset_;
+};
+
+}  // namespace dap::sim

@@ -1,0 +1,45 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dap::sim {
+
+void EventQueue::schedule_at(SimTime at, Action action) {
+  if (at < now_) {
+    throw std::invalid_argument("EventQueue::schedule_at: time in the past");
+  }
+  if (!action) {
+    throw std::invalid_argument("EventQueue::schedule_at: empty action");
+  }
+  heap_.push(Entry{at, next_seq_++, std::move(action)});
+}
+
+void EventQueue::schedule_in(SimTime delay, Action action) {
+  schedule_at(now_ + delay, std::move(action));
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the small fields and swap the action out after pop.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now_ = entry.at;
+  entry.action();
+  return true;
+}
+
+void EventQueue::run_until(SimTime until) {
+  while (!heap_.empty() && heap_.top().at <= until) {
+    step();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void EventQueue::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace dap::sim

@@ -1,0 +1,60 @@
+#pragma once
+// Deterministic discrete-event scheduler.
+//
+// Events at the same timestamp fire in scheduling order (a monotonically
+// increasing sequence number breaks ties), which keeps every run
+// bit-reproducible for a fixed seed.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace dap::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `at`; `at` may equal now() but
+  /// must not be in the past (throws std::invalid_argument).
+  void schedule_at(SimTime at, Action action);
+
+  /// Schedules `action` `delay` after now().
+  void schedule_in(SimTime delay, Action action);
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Runs the next event; returns false if none remain.
+  bool step();
+
+  /// Runs all events with time <= `until` (events scheduled during the run
+  /// are included if they also fall within the horizon).
+  void run_until(SimTime until);
+
+  /// Drains the queue completely.
+  void run();
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace dap::sim

@@ -1,0 +1,77 @@
+#include "sim/medium.h"
+
+#include <stdexcept>
+
+namespace dap::sim {
+
+Medium::Medium(EventQueue& queue, common::Rng& rng)
+    : queue_(queue), rng_(rng.fork(0x6d656469756dULL /* "medium" */)) {}
+
+std::size_t Medium::attach(ReceiveFn receive, std::unique_ptr<Channel> channel,
+                           SimTime latency) {
+  if (!receive) throw std::invalid_argument("Medium::attach: null receiver");
+  if (!channel) throw std::invalid_argument("Medium::attach: null channel");
+  Link link{std::move(receive), std::move(channel), latency,
+            rng_.fork(links_.size() + 1)};
+  links_.push_back(std::move(link));
+  return links_.size() - 1;
+}
+
+void Medium::set_rate_limit(wire::NodeId sender, double bits_per_second,
+                            double burst_bits) {
+  rate_limits_.insert_or_assign(sender,
+                                TokenBucket(bits_per_second, burst_bits));
+}
+
+std::uint64_t Medium::rate_limited_drops(wire::NodeId sender) const noexcept {
+  const auto it = rate_limited_.find(sender);
+  return it == rate_limited_.end() ? 0 : it->second;
+}
+
+bool Medium::broadcast(const wire::Packet& packet) {
+  const wire::NodeId sender = wire::sender_of(packet);
+  const common::Bytes framed = wire::frame(packet);
+  const std::size_t bits = wire::wire_bits(packet);
+  const auto bucket = rate_limits_.find(sender);
+  if (bucket != rate_limits_.end() &&
+      !bucket->second.try_consume(bits, queue_.now())) {
+    ++rate_limited_[sender];
+    metrics_.incr("medium.rate_limited");
+    return false;
+  }
+  if (bits_by_sender_.size() <= sender) {
+    bits_by_sender_.resize(static_cast<std::size_t>(sender) + 1, 0);
+  }
+  bits_by_sender_[sender] += bits;
+  total_bits_ += bits;
+  metrics_.incr("medium.broadcasts");
+
+  for (std::size_t li = 0; li < links_.size(); ++li) {
+    auto& link = links_[li];
+    if (!link.channel->deliver(link.rng)) {
+      metrics_.incr("medium.frames_lost");
+      continue;
+    }
+    common::Bytes copy = framed;
+    link.channel->corrupt(copy, link.rng);
+    // Deframing happens at delivery time so CRC failures of corrupted
+    // frames count as losses at the receiver edge. The link is addressed
+    // by index: links_ may grow (never shrink) while events are pending.
+    queue_.schedule_in(link.latency, [this, li, copy = std::move(copy)]() {
+      auto packet_opt = wire::deframe(copy);
+      if (!packet_opt) {
+        metrics_.incr("medium.frames_corrupted");
+        return;
+      }
+      links_[li].receive(*packet_opt, queue_.now());
+    });
+  }
+  return true;
+}
+
+std::uint64_t Medium::bits_sent_by(wire::NodeId sender) const noexcept {
+  if (sender >= bits_by_sender_.size()) return 0;
+  return bits_by_sender_[sender];
+}
+
+}  // namespace dap::sim

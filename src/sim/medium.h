@@ -1,0 +1,81 @@
+#pragma once
+// Shared broadcast medium.
+//
+// Models a single-hop broadcast domain (the setting of μTESLA-style
+// protocols: one base-station/sender population, many receiver nodes,
+// plus attackers injecting into the same medium). Every broadcast is
+// framed (CRC), then independently pushed through each attached link's
+// channel model and latency; receivers get only intact frames.
+// Per-sender bandwidth accounting feeds the bandwidth-fraction
+// experiments.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/channel.h"
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+#include "sim/shaper.h"
+#include "wire/frame.h"
+#include "wire/packet.h"
+
+namespace dap::sim {
+
+class Medium {
+ public:
+  using ReceiveFn = std::function<void(const wire::Packet&, SimTime)>;
+
+  Medium(EventQueue& queue, common::Rng& rng);
+
+  /// Attaches a receiver with its own channel instance and fixed one-way
+  /// latency. Returns the link index.
+  std::size_t attach(ReceiveFn receive, std::unique_ptr<Channel> channel,
+                     SimTime latency = kMillisecond);
+
+  /// Broadcasts `packet` to every attached link (including any owned by
+  /// the sender itself — receivers filter by sender id if they care).
+  /// Returns false if the sender's rate limit dropped the frame.
+  bool broadcast(const wire::Packet& packet);
+
+  /// Caps `sender`'s transmit rate with a token bucket. Enforces the
+  /// bandwidth fractions the game model reasons about: a flooding
+  /// attacker limited to xa * capacity genuinely cannot exceed it.
+  void set_rate_limit(wire::NodeId sender, double bits_per_second,
+                      double burst_bits);
+
+  /// Frames dropped by rate limiting for `sender`.
+  [[nodiscard]] std::uint64_t rate_limited_drops(
+      wire::NodeId sender) const noexcept;
+
+  [[nodiscard]] std::uint64_t bits_sent_by(wire::NodeId sender) const noexcept;
+  [[nodiscard]] std::uint64_t total_bits() const noexcept {
+    return total_bits_;
+  }
+  [[nodiscard]] std::size_t links() const noexcept { return links_.size(); }
+
+  [[nodiscard]] Metrics& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+
+ private:
+  struct Link {
+    ReceiveFn receive;
+    std::unique_ptr<Channel> channel;
+    SimTime latency;
+    common::Rng rng;
+  };
+
+  EventQueue& queue_;
+  common::Rng rng_;
+  std::vector<Link> links_;
+  std::vector<std::uint64_t> bits_by_sender_;
+  std::uint64_t total_bits_ = 0;
+  std::map<wire::NodeId, TokenBucket> rate_limits_;
+  std::map<wire::NodeId, std::uint64_t> rate_limited_;
+  Metrics metrics_;
+};
+
+}  // namespace dap::sim

@@ -1,0 +1,57 @@
+#include "sim/metrics.h"
+
+#include <sstream>
+
+#include "common/csv.h"
+
+namespace dap::sim {
+
+void Metrics::incr(const std::string& name, std::uint64_t by) {
+  counters_[name] += by;
+}
+
+std::uint64_t Metrics::count(const std::string& name) const noexcept {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void Metrics::observe(const std::string& name, double value) {
+  stats_[name].add(value);
+}
+
+const common::RunningStats* Metrics::stats(
+    const std::string& name) const noexcept {
+  const auto it = stats_.find(name);
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+void Metrics::mark(const std::string& name, bool success) {
+  rates_[name].add(success);
+}
+
+const common::RateEstimator* Metrics::rate(
+    const std::string& name) const noexcept {
+  const auto it = rates_.find(name);
+  return it == rates_.end() ? nullptr : &it->second;
+}
+
+std::string Metrics::report() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters_) {
+    out << "  " << name << " = " << value << '\n';
+  }
+  for (const auto& [name, est] : rates_) {
+    const auto [lo, hi] = est.wilson95();
+    out << "  " << name << " = " << common::format_number(est.rate()) << " ["
+        << common::format_number(lo) << ", " << common::format_number(hi)
+        << "] over " << est.trials() << " trials\n";
+  }
+  for (const auto& [name, st] : stats_) {
+    out << "  " << name << " mean=" << common::format_number(st.mean())
+        << " sd=" << common::format_number(st.stddev()) << " n=" << st.count()
+        << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace dap::sim

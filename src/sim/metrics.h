@@ -1,0 +1,40 @@
+#pragma once
+// Named counters + rate estimators collected during simulation runs.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stats.h"
+
+namespace dap::sim {
+
+class Metrics {
+ public:
+  void incr(const std::string& name, std::uint64_t by = 1);
+  [[nodiscard]] std::uint64_t count(const std::string& name) const noexcept;
+
+  void observe(const std::string& name, double value);
+  [[nodiscard]] const common::RunningStats* stats(
+      const std::string& name) const noexcept;
+
+  void mark(const std::string& name, bool success);
+  [[nodiscard]] const common::RateEstimator* rate(
+      const std::string& name) const noexcept;
+
+  /// All counters, for report printing.
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters()
+      const noexcept {
+    return counters_;
+  }
+
+  /// Renders counters/rates/stats as an aligned text block.
+  [[nodiscard]] std::string report() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, common::RunningStats> stats_;
+  std::map<std::string, common::RateEstimator> rates_;
+};
+
+}  // namespace dap::sim

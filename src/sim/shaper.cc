@@ -1,0 +1,42 @@
+#include "sim/shaper.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dap::sim {
+
+TokenBucket::TokenBucket(double rate_bits_per_second, double burst_bits)
+    : rate_(rate_bits_per_second), burst_(burst_bits), tokens_(burst_bits) {
+  if (rate_ <= 0.0) {
+    throw std::invalid_argument("TokenBucket: rate must be > 0");
+  }
+  if (burst_ < 1.0) {
+    throw std::invalid_argument("TokenBucket: burst must be >= 1 bit");
+  }
+}
+
+void TokenBucket::refill(SimTime now) noexcept {
+  const double elapsed_seconds =
+      static_cast<double>(now - last_) / static_cast<double>(kSecond);
+  tokens_ = std::min(burst_, tokens_ + rate_ * elapsed_seconds);
+  last_ = now;
+}
+
+double TokenBucket::available(SimTime now) noexcept {
+  if (now < last_) return tokens_;
+  refill(now);
+  return tokens_;
+}
+
+bool TokenBucket::try_consume(std::size_t bits, SimTime now) {
+  if (now < last_) {
+    throw std::invalid_argument("TokenBucket: time went backwards");
+  }
+  refill(now);
+  const double need = static_cast<double>(bits);
+  if (tokens_ < need) return false;
+  tokens_ -= need;
+  return true;
+}
+
+}  // namespace dap::sim

@@ -1,0 +1,44 @@
+#pragma once
+// Token-bucket bandwidth shaping.
+//
+// The game model's central parameter xa is "the fraction of bandwidth
+// used by attackers". The shaper makes that physical: each source gets a
+// token bucket (rate in bits/second, bounded burst); the Medium drops
+// frames from sources whose bucket is empty, so a flooding attacker is
+// genuinely limited to its share of the channel instead of being limited
+// by convention in the workload generator.
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace dap::sim {
+
+class TokenBucket {
+ public:
+  /// `rate_bits_per_second` tokens accrue continuously; the bucket holds
+  /// at most `burst_bits` (>= 1). Starts full. Throws on non-positive
+  /// rate/burst.
+  TokenBucket(double rate_bits_per_second, double burst_bits);
+
+  /// Consumes `bits` at time `now` if available; returns false (and
+  /// consumes nothing) otherwise. `now` must be monotonically
+  /// non-decreasing across calls (throws std::invalid_argument if not).
+  bool try_consume(std::size_t bits, SimTime now);
+
+  /// Tokens currently available after refilling up to `now`.
+  [[nodiscard]] double available(SimTime now) noexcept;
+
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+  [[nodiscard]] double burst() const noexcept { return burst_; }
+
+ private:
+  void refill(SimTime now) noexcept;
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  SimTime last_ = 0;
+};
+
+}  // namespace dap::sim

@@ -1,0 +1,57 @@
+#pragma once
+// Simulation time base.
+//
+// Simulated time is a 64-bit microsecond counter. TESLA-family protocols
+// divide time into numbered intervals; `IntervalSchedule` is the shared
+// mapping between the two (interval index -> [start, end) in sim time).
+
+#include <cstdint>
+
+namespace dap::sim {
+
+/// Microseconds since simulation start.
+using SimTime = std::uint64_t;
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Maps interval indices to simulated time. Interval `i` (1-based, as in
+/// the paper's I_1, I_2, ...) covers [start + (i-1)*duration, start + i*duration).
+class IntervalSchedule {
+ public:
+  IntervalSchedule(SimTime start, SimTime duration);
+
+  [[nodiscard]] SimTime start() const noexcept { return start_; }
+  [[nodiscard]] SimTime duration() const noexcept { return duration_; }
+
+  /// Interval index containing time `t`; 0 means "before the schedule".
+  [[nodiscard]] std::uint32_t interval_at(SimTime t) const noexcept;
+
+  /// Start time of interval `i` (i >= 1).
+  [[nodiscard]] SimTime interval_start(std::uint32_t i) const noexcept;
+  [[nodiscard]] SimTime interval_end(std::uint32_t i) const noexcept;
+
+ private:
+  SimTime start_;
+  SimTime duration_;
+};
+
+inline IntervalSchedule::IntervalSchedule(SimTime start, SimTime duration)
+    : start_(start), duration_(duration == 0 ? 1 : duration) {}
+
+inline std::uint32_t IntervalSchedule::interval_at(SimTime t) const noexcept {
+  if (t < start_) return 0;
+  return static_cast<std::uint32_t>((t - start_) / duration_ + 1);
+}
+
+inline SimTime IntervalSchedule::interval_start(
+    std::uint32_t i) const noexcept {
+  return start_ + static_cast<SimTime>(i - 1) * duration_;
+}
+
+inline SimTime IntervalSchedule::interval_end(std::uint32_t i) const noexcept {
+  return interval_start(i) + duration_;
+}
+
+}  // namespace dap::sim

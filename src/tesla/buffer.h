@@ -1,0 +1,146 @@
+#pragma once
+// Multi-buffer random selection (the DoS-mitigation core shared by
+// multi-level μTESLA and DAP).
+//
+// A receiver keeps `m` slots per authentication round. Copies of a packet
+// (authentic or forged — indistinguishable before key disclosure) are
+// *offered* one at a time. The k-th offer is kept with probability m/k;
+// if kept, it replaces a uniformly random slot. This is reservoir
+// sampling: after n offers every copy resides in the buffer set with
+// probability exactly m/n, so a flooding attacker gains nothing from
+// sending its forgeries early or late — only the volume fraction p
+// matters, and all-m-slots-forged happens with probability ~ p^m.
+//
+// `NaiveDropBuffer` (keep first m, drop rest) and `AlwaysReplaceBuffer`
+// (k-th offer always evicts a random slot) exist for the buffer-policy
+// ablation: naive-drop lets an attacker who bursts *early* in the
+// interval capture all slots deterministically.
+
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dap::tesla {
+
+template <typename T>
+class ReservoirBuffer {
+ public:
+  explicit ReservoirBuffer(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("ReservoirBuffer: capacity must be >= 1");
+    }
+    slots_.reserve(capacity);
+  }
+
+  /// Offers one copy; returns true if it was stored.
+  bool offer(T value, common::Rng& rng) {
+    ++offers_;
+    if (slots_.size() < capacity_) {
+      slots_.push_back(std::move(value));
+      return true;
+    }
+    // Keep with probability m/k, replacing a uniformly random slot.
+    const double keep_probability =
+        static_cast<double>(capacity_) / static_cast<double>(offers_);
+    if (!rng.bernoulli(keep_probability)) return false;
+    const std::size_t victim =
+        static_cast<std::size_t>(rng.uniform(0, capacity_ - 1));
+    slots_[victim] = std::move(value);
+    return true;
+  }
+
+  [[nodiscard]] const std::vector<T>& contents() const noexcept {
+    return slots_;
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t offers() const noexcept { return offers_; }
+  [[nodiscard]] bool empty() const noexcept { return slots_.empty(); }
+
+  /// Clears contents and the offer counter (start of a new round).
+  void reset() noexcept {
+    slots_.clear();
+    offers_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t offers_ = 0;
+  std::vector<T> slots_;
+};
+
+/// Ablation policy: first-come-first-kept.
+template <typename T>
+class NaiveDropBuffer {
+ public:
+  explicit NaiveDropBuffer(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("NaiveDropBuffer: capacity must be >= 1");
+    }
+  }
+
+  bool offer(T value, common::Rng&) {
+    ++offers_;
+    if (slots_.size() >= capacity_) return false;
+    slots_.push_back(std::move(value));
+    return true;
+  }
+
+  [[nodiscard]] const std::vector<T>& contents() const noexcept {
+    return slots_;
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t offers() const noexcept { return offers_; }
+  void reset() noexcept {
+    slots_.clear();
+    offers_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t offers_ = 0;
+  std::vector<T> slots_;
+};
+
+/// Ablation policy: every offer beyond capacity evicts a random slot
+/// (over-weights *late* arrivals; an attacker flooding at interval end wins).
+template <typename T>
+class AlwaysReplaceBuffer {
+ public:
+  explicit AlwaysReplaceBuffer(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("AlwaysReplaceBuffer: capacity must be >= 1");
+    }
+  }
+
+  bool offer(T value, common::Rng& rng) {
+    ++offers_;
+    if (slots_.size() < capacity_) {
+      slots_.push_back(std::move(value));
+      return true;
+    }
+    const std::size_t victim =
+        static_cast<std::size_t>(rng.uniform(0, capacity_ - 1));
+    slots_[victim] = std::move(value);
+    return true;
+  }
+
+  [[nodiscard]] const std::vector<T>& contents() const noexcept {
+    return slots_;
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t offers() const noexcept { return offers_; }
+  void reset() noexcept {
+    slots_.clear();
+    offers_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t offers_ = 0;
+  std::vector<T> slots_;
+};
+
+}  // namespace dap::tesla

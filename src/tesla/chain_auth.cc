@@ -1,0 +1,68 @@
+#include "tesla/chain_auth.h"
+
+#include <stdexcept>
+
+namespace dap::tesla {
+
+ChainAuthenticator::ChainAuthenticator(crypto::PrfDomain domain,
+                                       std::size_t key_size,
+                                       common::Bytes commitment,
+                                       std::uint32_t anchor_index)
+    : domain_(domain),
+      key_size_(key_size),
+      anchor_index_(anchor_index),
+      anchor_key_(std::move(commitment)) {
+  if (anchor_key_.empty()) {
+    throw std::invalid_argument("ChainAuthenticator: empty commitment");
+  }
+  if (key_size_ == 0) {
+    throw std::invalid_argument("ChainAuthenticator: key_size must be >= 1");
+  }
+  known_[anchor_index_] = anchor_key_;
+}
+
+bool ChainAuthenticator::accept(std::uint32_t i, common::ByteView key) {
+  if (key.empty()) return false;
+  if (i <= anchor_index_) {
+    const auto it = known_.find(i);
+    return it != known_.end() && common::equal(it->second, key);
+  }
+  const common::Bytes walked =
+      crypto::chain_walk(domain_, key, i - anchor_index_, key_size_);
+  if (!common::constant_time_equal(walked, anchor_key_)) {
+    ++rejected_;
+    return false;
+  }
+  common::Bytes current(key.begin(), key.end());
+  for (std::uint32_t j = i; j > anchor_index_; --j) {
+    known_[j] = current;
+    current = crypto::chain_walk(domain_, current, 1, key_size_);
+  }
+  anchor_index_ = i;
+  anchor_key_ = known_[i];
+  ++accepted_;
+  return true;
+}
+
+std::optional<common::Bytes> ChainAuthenticator::key(std::uint32_t i) const {
+  const auto it = known_.find(i);
+  if (it == known_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<common::Bytes> ChainAuthenticator::mac_key(
+    std::uint32_t i) const {
+  const auto k = key(i);
+  if (!k) return std::nullopt;
+  return crypto::prf_bytes(crypto::PrfDomain::kMacKey, *k);
+}
+
+void ChainAuthenticator::prune_below(std::uint32_t floor) {
+  auto it = known_.begin();
+  while (it != known_.end() && it->first < floor) {
+    if (it->first == anchor_index_) break;
+    it = known_.erase(it);
+  }
+}
+
+}  // namespace dap::tesla

@@ -1,0 +1,60 @@
+#pragma once
+// Receiver-side one-way-chain authentication state, shared by every
+// protocol receiver in the family (TESLA, μTESLA, multi-level μTESLA's
+// two levels, TESLA++, DAP).
+//
+// Holds the newest authentic (index, key) anchor and accepts a candidate
+// K_i by walking the one-way function i - anchor steps ("weak
+// authentication" in the paper's terms). Accepted intermediate keys are
+// cached so the MAC key of any past interval is an O(1) lookup.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/bytes.h"
+#include "crypto/keychain.h"
+
+namespace dap::tesla {
+
+class ChainAuthenticator {
+ public:
+  /// `commitment` is the authenticated K_0 (or K_anchor with
+  /// `anchor_index` > 0 when bootstrapping mid-stream).
+  ChainAuthenticator(crypto::PrfDomain domain, std::size_t key_size,
+                     common::Bytes commitment, std::uint32_t anchor_index = 0);
+
+  /// Tries to accept `key` as K_i. Returns true if `key` is authentic
+  /// (consistent with the anchor). Idempotent for already-known keys.
+  bool accept(std::uint32_t i, common::ByteView key);
+
+  /// Authentic key K_i if known.
+  [[nodiscard]] std::optional<common::Bytes> key(std::uint32_t i) const;
+
+  /// Derived MAC key F'(K_i) if K_i is known.
+  [[nodiscard]] std::optional<common::Bytes> mac_key(std::uint32_t i) const;
+
+  [[nodiscard]] std::uint32_t anchor_index() const noexcept {
+    return anchor_index_;
+  }
+  [[nodiscard]] const common::Bytes& anchor_key() const noexcept {
+    return anchor_key_;
+  }
+  [[nodiscard]] std::uint64_t accepted() const noexcept { return accepted_; }
+  [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
+
+  /// Drops cached keys with index < `floor` (memory hygiene for
+  /// long-running receivers); the anchor itself is always kept.
+  void prune_below(std::uint32_t floor);
+
+ private:
+  crypto::PrfDomain domain_;
+  std::size_t key_size_;
+  std::uint32_t anchor_index_;
+  common::Bytes anchor_key_;
+  std::map<std::uint32_t, common::Bytes> known_;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace dap::tesla

@@ -1,0 +1,164 @@
+#include "tesla/teslapp.h"
+
+#include <stdexcept>
+
+#include "common/codec.h"
+#include "crypto/mac.h"
+
+namespace dap::tesla {
+
+namespace {
+constexpr unsigned kAnchorMerkleHeight = 4;  // 16 anchors per sender
+
+common::Bytes anchor_signing_seed(common::ByteView seed) {
+  return crypto::prf_bytes(
+      crypto::PrfDomain::kReceiverLocal,
+      common::concat({seed, common::bytes_of("/anchor-sign")}));
+}
+}  // namespace
+
+common::Bytes anchor_payload(const SignedAnchor& anchor) {
+  common::Writer w;
+  w.u32(anchor.interval);
+  w.blob(anchor.key);
+  return std::move(w).take();
+}
+
+TeslaPpSender::TeslaPpSender(const TeslaPpConfig& config,
+                             common::ByteView seed)
+    : config_(config),
+      chain_(seed, config.chain_length, crypto::PrfDomain::kChainStep,
+             config.key_size),
+      signer_(anchor_signing_seed(seed), kAnchorMerkleHeight) {}
+
+SignedAnchor TeslaPpSender::make_anchor(std::uint32_t i) {
+  SignedAnchor anchor;
+  anchor.interval = i;
+  anchor.key = chain_.key(i);  // throws for out-of-range i
+  anchor.signature = signer_.sign(anchor_payload(anchor));
+  return anchor;
+}
+
+bool verify_anchor(const SignedAnchor& anchor, common::ByteView root,
+                   unsigned merkle_height) {
+  return crypto::merkle_verify(root, anchor_payload(anchor),
+                               anchor.signature, merkle_height);
+}
+
+wire::MacAnnounce TeslaPpSender::announce(std::uint32_t i,
+                                          common::ByteView message) {
+  if (i == 0 || i > chain_.length()) {
+    throw std::out_of_range("TeslaPpSender::announce: interval");
+  }
+  announced_[i] = common::Bytes(message.begin(), message.end());
+  wire::MacAnnounce p;
+  p.sender = config_.sender_id;
+  p.interval = i;
+  p.mac = crypto::compute_mac(chain_.mac_key(i), message, config_.mac_size);
+  return p;
+}
+
+wire::MessageReveal TeslaPpSender::reveal(std::uint32_t i) const {
+  const auto it = announced_.find(i);
+  if (it == announced_.end()) {
+    throw std::logic_error("TeslaPpSender::reveal: interval never announced");
+  }
+  wire::MessageReveal p;
+  p.sender = config_.sender_id;
+  p.interval = i;
+  p.message = it->second;
+  p.key = chain_.key(i);
+  return p;
+}
+
+TeslaPpReceiver::TeslaPpReceiver(const TeslaPpConfig& config,
+                                 common::Bytes commitment,
+                                 common::Bytes local_secret,
+                                 sim::LooseClock clock)
+    : TeslaPpReceiver(config, std::move(commitment), 0,
+                      std::move(local_secret), clock) {}
+
+TeslaPpReceiver::TeslaPpReceiver(const TeslaPpConfig& config,
+                                 common::Bytes anchor_key,
+                                 std::uint32_t anchor_index,
+                                 common::Bytes local_secret,
+                                 sim::LooseClock clock)
+    : config_(config),
+      local_secret_(std::move(local_secret)),
+      clock_(clock),
+      auth_(crypto::PrfDomain::kChainStep, config.key_size,
+            std::move(anchor_key), anchor_index) {
+  if (local_secret_.empty()) {
+    throw std::invalid_argument("TeslaPpReceiver: empty local secret");
+  }
+}
+
+TeslaPpReceiver TeslaPpReceiver::from_anchor(const TeslaPpConfig& config,
+                                             const SignedAnchor& anchor,
+                                             common::Bytes local_secret,
+                                             sim::LooseClock clock) {
+  return TeslaPpReceiver(config, anchor.key, anchor.interval,
+                         std::move(local_secret), clock);
+}
+
+common::Bytes TeslaPpReceiver::self_mac(std::uint32_t interval,
+                                        common::ByteView mac) const {
+  common::Writer w;
+  w.u32(interval);
+  w.raw(mac);
+  return crypto::compute_mac(local_secret_, w.data(), config_.self_mac_size);
+}
+
+void TeslaPpReceiver::receive(const wire::MacAnnounce& packet,
+                              sim::SimTime local_now) {
+  ++stats_.announces_received;
+  // TESLA++ reveals the key one interval after the announcement (d = 1).
+  if (!clock_.packet_safe(packet.interval, 1, local_now, config_.schedule)) {
+    ++stats_.announces_unsafe;
+    return;
+  }
+  auto& bucket = records_[packet.interval];
+  if (config_.max_records_per_interval != 0 &&
+      bucket.size() >= config_.max_records_per_interval) {
+    ++stats_.records_dropped;
+    return;
+  }
+  if (bucket.insert(self_mac(packet.interval, packet.mac)).second) {
+    ++stats_.records_stored;
+  }
+}
+
+std::vector<AuthenticatedMessage> TeslaPpReceiver::receive(
+    const wire::MessageReveal& packet, sim::SimTime local_now) {
+  ++stats_.reveals_received;
+  if (!auth_.accept(packet.interval, packet.key)) {
+    ++stats_.keys_rejected;
+    return {};
+  }
+  const auto mac_key = auth_.mac_key(packet.interval);
+  const common::Bytes expected_mac =
+      crypto::compute_mac(*mac_key, packet.message, config_.mac_size);
+  const common::Bytes expected_record =
+      self_mac(packet.interval, expected_mac);
+
+  const auto bucket_it = records_.find(packet.interval);
+  if (bucket_it == records_.end() ||
+      bucket_it->second.find(expected_record) == bucket_it->second.end()) {
+    ++stats_.unmatched;
+    return {};
+  }
+  // One record authenticates one reveal; drop the interval's bucket.
+  records_.erase(bucket_it);
+  ++stats_.authenticated;
+  return {AuthenticatedMessage{packet.interval, packet.message, local_now}};
+}
+
+std::size_t TeslaPpReceiver::stored_record_bits() const noexcept {
+  std::size_t bits = 0;
+  for (const auto& [interval, bucket] : records_) {
+    bits += bucket.size() * (config_.self_mac_size * 8 + 32);
+  }
+  return bits;
+}
+
+}  // namespace dap::tesla

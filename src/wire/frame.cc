@@ -1,0 +1,50 @@
+#include "wire/frame.h"
+
+#include "common/codec.h"
+#include "wire/crc32.h"
+
+namespace dap::wire {
+
+common::Bytes frame(const Packet& packet) {
+  common::Bytes payload = encode(packet);
+  const std::uint32_t crc = crc32(payload);
+  common::Writer w;
+  w.raw(payload);
+  w.u32(crc);
+  return std::move(w).take();
+}
+
+std::optional<Packet> deframe(common::ByteView bytes) {
+  if (bytes.size() < 4) return std::nullopt;
+  const common::ByteView payload = bytes.first(bytes.size() - 4);
+  common::Reader trailer(bytes.subspan(bytes.size() - 4));
+  const auto crc = trailer.u32();
+  if (!crc || *crc != crc32(payload)) return std::nullopt;
+  return decode(payload);
+}
+
+common::Bytes encode_wots_signature(
+    const std::vector<common::Bytes>& chains) {
+  common::Writer w;
+  w.u16(static_cast<std::uint16_t>(chains.size()));
+  for (const auto& c : chains) w.blob(c);
+  return std::move(w).take();
+}
+
+std::optional<std::vector<common::Bytes>> decode_wots_signature(
+    common::ByteView data) {
+  common::Reader r(data);
+  const auto count = r.u16();
+  if (!count) return std::nullopt;
+  std::vector<common::Bytes> chains;
+  chains.reserve(*count);
+  for (std::uint16_t i = 0; i < *count; ++i) {
+    auto c = r.blob();
+    if (!c) return std::nullopt;
+    chains.push_back(std::move(*c));
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return chains;
+}
+
+}  // namespace dap::wire

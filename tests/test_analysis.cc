@@ -1,0 +1,426 @@
+// Tests for the experiment drivers: each reproduced figure's series must
+// have the paper's qualitative shape, and the Monte-Carlo / recovery
+// experiments must match their analytic predictions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/figures.h"
+#include "analysis/montecarlo.h"
+#include "analysis/recovery.h"
+
+namespace dap::analysis {
+namespace {
+
+// ----------------------------------------------------------------- Fig. 5
+
+TEST(Fig5, BufferCountsFromMemoryBudgets) {
+  const auto b = fig5_buffers({});
+  EXPECT_EQ(b.teslapp_large, 3u);
+  EXPECT_EQ(b.teslapp_small, 1u);
+  EXPECT_EQ(b.dap_large, 18u);
+  EXPECT_EQ(b.dap_small, 9u);
+}
+
+TEST(Fig5, DapDominatesTeslaPp) {
+  // For every attack-success target the attacker must spend strictly
+  // more bandwidth against DAP than against TESLA++ (same budget), and
+  // more against the larger budget than the smaller.
+  for (const auto& row : fig5_series({})) {
+    EXPECT_GT(row.xm_dap_large, row.xm_teslapp_large);
+    EXPECT_GT(row.xm_dap_small, row.xm_teslapp_small);
+    EXPECT_GT(row.xm_dap_large, row.xm_dap_small);
+    EXPECT_GT(row.xm_teslapp_large, row.xm_teslapp_small);
+  }
+}
+
+TEST(Fig5, SeriesMonotoneInTarget) {
+  const auto rows = fig5_series({});
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GT(rows[i].attack_success_target,
+              rows[i - 1].attack_success_target);
+    EXPECT_GT(rows[i].xm_dap_large, rows[i - 1].xm_dap_large);
+    EXPECT_GT(rows[i].xm_teslapp_small, rows[i - 1].xm_teslapp_small);
+  }
+  // All fractions bounded by the non-data share 1 - x_d = 0.8.
+  for (const auto& row : rows) {
+    EXPECT_LE(row.xm_dap_large, 0.8);
+    EXPECT_GT(row.xm_teslapp_small, 0.0);
+  }
+}
+
+// ----------------------------------------------------------------- Fig. 6
+
+TEST(Fig6, RegimeBoundariesMatchPaper) {
+  const auto rows = fig6_regime_scan(0.8, 60);
+  ASSERT_EQ(rows.size(), 60u);
+  // Paper: (1,1) for 1..11, (1,Y') for ~12..17, interior ~18..54,
+  // (X',1) for 55+. The closed form puts the second boundary at 16|17;
+  // both are within one of the paper's report.
+  EXPECT_EQ(rows[0].ess.kind, game::EssKind::kFullDefenseFullAttack);
+  EXPECT_EQ(rows[10].ess.kind, game::EssKind::kFullDefenseFullAttack);
+  EXPECT_EQ(rows[11].ess.kind, game::EssKind::kFullDefensePartialAttack);
+  EXPECT_EQ(rows[15].ess.kind, game::EssKind::kFullDefensePartialAttack);
+  EXPECT_EQ(rows[19].ess.kind, game::EssKind::kInterior);
+  EXPECT_EQ(rows[53].ess.kind, game::EssKind::kInterior);
+  EXPECT_EQ(rows[54].ess.kind, game::EssKind::kPartialDefenseFullAttack);
+  EXPECT_EQ(rows[59].ess.kind, game::EssKind::kPartialDefenseFullAttack);
+}
+
+TEST(Fig6, EulerSimulationAgreesOutsideBoundaryBand) {
+  // m = 17, 18 sit on the interior/boundary edge where the paper's own
+  // Euler run sticks to X = 1 (see EXPERIMENTS.md); everywhere else the
+  // simulated attractor matches the closed-form ESS.
+  for (const auto& row : fig6_regime_scan(0.8, 60)) {
+    if (row.m == 17 || row.m == 18) continue;
+    EXPECT_TRUE(row.agrees) << "m=" << row.m;
+  }
+}
+
+TEST(Fig6, TrajectoryPanelsConvergeCorrectly) {
+  // One representative m per panel of Fig. 6.
+  struct Panel {
+    std::size_t m;
+    game::EssKind kind;
+  };
+  for (const auto& panel :
+       {Panel{6, game::EssKind::kFullDefenseFullAttack},
+        Panel{15, game::EssKind::kFullDefensePartialAttack},
+        Panel{30, game::EssKind::kInterior},
+        Panel{70, game::EssKind::kPartialDefenseFullAttack}}) {
+    const auto traj = fig6_trajectory(0.8, panel.m);
+    const auto ess = game::solve_ess(game::GameParams::paper_defaults(
+        0.8, panel.m));
+    ASSERT_EQ(ess.kind, panel.kind);
+    EXPECT_NEAR(traj.final.x, ess.point.x, 5e-3) << "m=" << panel.m;
+    EXPECT_NEAR(traj.final.y, ess.point.y, 5e-3) << "m=" << panel.m;
+    EXPECT_GE(traj.points.size(), 2u);
+  }
+}
+
+TEST(Fig6, FastRegimesConvergeFasterThanSpiral) {
+  // The paper: (1,1) converges in a handful of steps; the interior
+  // spiral takes much longer.
+  const auto fast = fig6_trajectory(0.8, 6, 0);
+  const auto spiral = fig6_trajectory(0.8, 30, 0);
+  EXPECT_LT(fast.steps, spiral.steps);
+}
+
+// ----------------------------------------------------------------- Fig. 7
+
+TEST(Fig7, OptimalBuffersGrowThenSaturate) {
+  const auto rows = fig7_series(default_p_sweep());
+  ASSERT_FALSE(rows.empty());
+  std::size_t previous = 0;
+  bool saw_cap = false;
+  for (const auto& row : rows) {
+    EXPECT_GE(row.m_opt, previous);
+    previous = row.m_opt;
+    if (row.m_opt == game::kMaxBuffers) saw_cap = true;
+  }
+  EXPECT_TRUE(saw_cap);
+  // Low attack -> small m; heavy attack -> the cap.
+  EXPECT_LT(rows.front().m_opt, 15u);
+  EXPECT_EQ(rows.back().m_opt, game::kMaxBuffers);
+}
+
+TEST(Fig7, RegimeFlipNearPaperThreshold) {
+  // The paper reports the give-up flip at p ~ 0.94; our closed-form
+  // reproduction puts it within a couple of points of that.
+  const auto rows = fig7_series(default_p_sweep());
+  double flip_p = 1.0;
+  for (const auto& row : rows) {
+    if (row.kind == game::EssKind::kPartialDefenseFullAttack) {
+      flip_p = row.p;
+      break;
+    }
+  }
+  EXPECT_GT(flip_p, 0.90);
+  EXPECT_LT(flip_p, 0.97);
+}
+
+// ----------------------------------------------------------------- Fig. 8
+
+TEST(Fig8, GameCostNeverExceedsNaive) {
+  for (const auto& row : fig8_series(default_p_sweep())) {
+    EXPECT_LE(row.cost_game, row.cost_naive + 1e-9) << "p=" << row.p;
+  }
+}
+
+TEST(Fig8, GapWidensPastRegimeFlip) {
+  const auto rows = fig8_series(default_p_sweep());
+  const auto gap_at = [&rows](double p) {
+    double best = 0.0;
+    double distance = 1.0;
+    for (const auto& row : rows) {
+      if (std::abs(row.p - p) < distance) {
+        distance = std::abs(row.p - p);
+        best = row.cost_naive - row.cost_game;
+      }
+    }
+    return best;
+  };
+  EXPECT_GT(gap_at(0.99), gap_at(0.90));
+  EXPECT_GT(gap_at(0.99), 50.0);
+}
+
+TEST(Fig8, NaiveCostRisesSharplyAtHighP) {
+  const auto rows = fig8_series(default_p_sweep());
+  EXPECT_NEAR(rows.front().cost_naive, 200.0, 1.0);  // k2*M dominates
+  EXPECT_GT(rows.back().cost_naive, 250.0);          // p^M no longer tiny
+}
+
+// ---------------------------------------------------------------- memory
+
+TEST(MemoryTable, DapSavesEightyPercent) {
+  const auto rows = memory_table();
+  ASSERT_EQ(rows.size(), 3u);
+  const auto& dap_row = rows[2];
+  EXPECT_EQ(dap_row.record_bits, 56u);
+  EXPECT_NEAR(dap_row.saving_vs_full, 0.8, 1e-12);
+  EXPECT_EQ(dap_row.buffers_at_1024, 18u);
+  EXPECT_EQ(dap_row.buffers_at_512, 9u);
+  // 5x the buffers of the 280-bit scheme, as §IV-D states.
+  EXPECT_GE(dap_row.buffers_at_1024, 5 * rows[1].buffers_at_1024);
+}
+
+// ------------------------------------------------------------ Monte-Carlo
+
+TEST(MonteCarlo, MeasuredMatchesAnalytic) {
+  MonteCarloConfig config;
+  config.p = 0.8;
+  config.m = 3;
+  config.trials = 4000;
+  const auto result = measure_attack_success(config);
+  EXPECT_NEAR(result.measured_attack_success, result.analytic, 0.03);
+  EXPECT_EQ(result.trials, 4000u);
+  EXPECT_LE(result.wilson_lo, result.measured_attack_success);
+  EXPECT_GE(result.wilson_hi, result.measured_attack_success);
+}
+
+TEST(MonteCarlo, ReservoirInsensitiveToFloodTiming) {
+  // The reservoir's whole point: burst position must not matter.
+  MonteCarloConfig config;
+  config.p = 0.85;
+  config.m = 4;
+  config.trials = 3000;
+  config.timing = FloodTiming::kBeforeAuthentic;
+  const double before = measure_attack_success(config).measured_attack_success;
+  config.timing = FloodTiming::kAfterAuthentic;
+  config.seed += 1;
+  const double after = measure_attack_success(config).measured_attack_success;
+  config.timing = FloodTiming::kInterleaved;
+  config.seed += 1;
+  const double mixed = measure_attack_success(config).measured_attack_success;
+  EXPECT_NEAR(before, after, 0.04);
+  EXPECT_NEAR(before, mixed, 0.04);
+}
+
+TEST(MonteCarlo, NaiveDropCollapsesUnderEarlyFlood) {
+  MonteCarloConfig config;
+  config.p = 0.85;
+  config.m = 4;
+  config.trials = 1500;
+  config.policy = protocol::BufferPolicy::kNaiveDrop;
+  config.timing = FloodTiming::kBeforeAuthentic;
+  // The early burst fills all slots: the attack nearly always succeeds,
+  // far above the analytic p^m.
+  const auto result = measure_attack_success(config);
+  EXPECT_GT(result.measured_attack_success, 0.95);
+  EXPECT_GT(result.measured_attack_success, result.analytic + 0.3);
+}
+
+TEST(MonteCarlo, AlwaysReplaceCollapsesUnderLateFlood) {
+  MonteCarloConfig config;
+  config.p = 0.85;
+  config.m = 4;
+  config.trials = 1500;
+  config.policy = protocol::BufferPolicy::kAlwaysReplace;
+  config.timing = FloodTiming::kAfterAuthentic;
+  const auto result = measure_attack_success(config);
+  EXPECT_GT(result.measured_attack_success, result.analytic + 0.2);
+}
+
+TEST(MonteCarlo, SweepCoversGrid) {
+  const auto sweep =
+      attack_success_sweep({0.5, 0.8}, {1, 4}, 500, 42);
+  ASSERT_EQ(sweep.size(), 4u);
+  for (const auto& point : sweep) {
+    EXPECT_NEAR(point.result.measured_attack_success, point.result.analytic,
+                0.08);
+  }
+}
+
+// --------------------------------------------------------------- recovery
+
+TEST(Recovery, EftpRecoversOneIntervalSoonerThanOriginal) {
+  RecoverySetup original;
+  original.link = crypto::LevelLink::kOriginal;
+  RecoverySetup eftp = original;
+  eftp.link = crypto::LevelLink::kEftp;
+  const auto report_original = run_recovery_experiment(original);
+  const auto report_eftp = run_recovery_experiment(eftp);
+  ASSERT_TRUE(report_original.recovered_via_high_key);
+  ASSERT_TRUE(report_eftp.recovered_via_high_key);
+  // §III-A: EFTP shortens recovery by exactly one high-level interval.
+  EXPECT_EQ(report_original.data_recovered_at_interval,
+            original.measured_interval + 2);
+  EXPECT_EQ(report_eftp.data_recovered_at_interval,
+            eftp.measured_interval + 1);
+}
+
+TEST(Recovery, EdrpAuthenticatesCdmsInstantly) {
+  RecoverySetup classic;
+  RecoverySetup edrp = classic;
+  edrp.edrp = true;
+  const auto report_classic = run_recovery_experiment(classic);
+  const auto report_edrp = run_recovery_experiment(edrp);
+  // Classic: every CDM waits one interval. EDRP: only the first does.
+  EXPECT_NEAR(report_classic.mean_cdm_auth_latency, 1.0, 0.05);
+  EXPECT_LT(report_edrp.mean_cdm_auth_latency, 0.3);
+  EXPECT_GT(report_edrp.cdm_hash_path, 0u);
+}
+
+TEST(Recovery, EdrpDropsForgedCdmsOnArrival) {
+  RecoverySetup setup;
+  setup.edrp = true;
+  setup.forged_cdms_per_interval = 5;
+  const auto report = run_recovery_experiment(setup);
+  EXPECT_GT(report.forged_cdms_dropped, 0u);
+  // The flood must not stop authentic CDM authentication.
+  EXPECT_GE(report.cdms_authenticated, setup.high_length - 1);
+}
+
+TEST(Recovery, FloodedClassicStillAuthenticatesWithBuffers) {
+  RecoverySetup setup;
+  setup.forged_cdms_per_interval = 4;  // p ~ 0.57 against 4 buffers
+  const auto report = run_recovery_experiment(setup);
+  // With reservoir buffers most intervals survive the flood.
+  EXPECT_GE(report.cdms_authenticated, setup.high_length / 2);
+  EXPECT_GT(report.forged_cdms_dropped, 0u);
+}
+
+TEST(Recovery, AllDataEventuallyAuthenticatesWithoutLoss) {
+  RecoverySetup setup;
+  setup.disclosure_loss_from = 99;  // no loss at all
+  const auto report = run_recovery_experiment(setup);
+  // Tail keys of each interval recover via the high-key link. Under the
+  // original link the anchors of the last two intervals are disclosed by
+  // CDMs beyond the horizon, so up to 2*d tail packets stay pending.
+  EXPECT_GE(report.data_authenticated,
+            report.data_sent - 2 * setup.low_disclosure_delay);
+}
+
+}  // namespace
+}  // namespace dap::analysis
+
+// -------------------------------------------------------- empirical Fig 8
+
+#include "analysis/empirical.h"
+
+namespace dap::analysis {
+namespace {
+
+TEST(EmpiricalCost, MatchesAnalyticAtModerateAttack) {
+  EmpiricalCostConfig config;
+  config.p = 0.8;
+  config.nodes = 80;
+  config.intervals = 30;
+  config.seed = 99;
+  const auto r = empirical_defense_cost(config);
+  // Measured population cost tracks the closed-form E (loose tolerance:
+  // 2400 node-intervals of Bernoulli + protocol noise).
+  EXPECT_NEAR(r.empirical_E, r.analytic_E, 0.15 * r.analytic_E);
+  EXPECT_NEAR(r.empirical_N, r.analytic_N, 0.15 * r.analytic_N);
+  EXPECT_LT(r.empirical_E, r.empirical_N);
+}
+
+TEST(EmpiricalCost, GameArmBeatsNaiveAtHighAttack) {
+  EmpiricalCostConfig config;
+  config.p = 0.96;  // give-up regime: E saturates at Ra
+  config.nodes = 40;
+  config.intervals = 15;
+  config.seed = 100;
+  const auto r = empirical_defense_cost(config);
+  EXPECT_EQ(r.ess.kind, game::EssKind::kPartialDefenseFullAttack);
+  EXPECT_LT(r.empirical_E, r.empirical_N);
+  EXPECT_NEAR(r.analytic_E, 200.0, 1e-9);
+}
+
+TEST(EmpiricalCost, DefendedLossesMatchPm) {
+  EmpiricalCostConfig config;
+  config.p = 0.8;
+  config.nodes = 120;
+  config.intervals = 40;
+  config.seed = 101;
+  const auto r = empirical_defense_cost(config);
+  // Defended rounds are lost at ~ Y * p^m.
+  const double loss_rate =
+      static_cast<double>(r.rounds_lost_defended) /
+      static_cast<double>(r.rounds_defended);
+  const double expected =
+      r.ess.point.y *
+      std::pow(config.p, static_cast<double>(r.m_opt));
+  EXPECT_NEAR(loss_rate, expected, 0.05);
+}
+
+}  // namespace
+}  // namespace dap::analysis
+
+// --------------------------------------------------- extreme conditions
+
+#include "analysis/extreme.h"
+
+namespace dap::analysis {
+namespace {
+
+TEST(ExtremeConditions, GridDegradesGracefullyAlongBothAxes) {
+  ExtremeGridConfig config;
+  config.losses = {0.0, 0.3};
+  config.ps = {0.5, 0.9};
+  config.trials = 500;
+  const auto grid = extreme_conditions_grid(config);
+  ASSERT_EQ(grid.size(), 4u);
+  // (0,0): clean channel, moderate attack, 18 buffers -> near certainty.
+  EXPECT_GT(grid[0].measured_success, 0.95);
+  // More attack hurts; more loss hurts.
+  EXPECT_GE(grid[0].measured_success + 0.02, grid[1].measured_success);
+  EXPECT_GE(grid[0].measured_success + 0.02, grid[2].measured_success);
+}
+
+TEST(ExtremeConditions, WorksInTheExtremeCell) {
+  // The abstract's claim: severe DoS AND a terrible channel.
+  ExtremeGridConfig config;
+  config.losses = {0.5};
+  config.ps = {0.95};
+  config.trials = 800;
+  const auto grid = extreme_conditions_grid(config);
+  ASSERT_EQ(grid.size(), 1u);
+  EXPECT_GT(grid[0].measured_success, 0.25);
+  EXPECT_GE(grid[0].measured_success, grid[0].analytic - 0.08);
+}
+
+TEST(ExtremeConditions, NoLossMatchesFloodOnlyModel) {
+  ExtremeGridConfig config;
+  config.losses = {0.0};
+  config.ps = {0.9};
+  config.m = 6;
+  config.trials = 1500;
+  const auto grid = extreme_conditions_grid(config);
+  // With a lossless channel the analytic reference reduces to 1 - p^m;
+  // small delivered floods make the measured value at least that.
+  EXPECT_GE(grid[0].measured_success, grid[0].analytic - 0.05);
+}
+
+TEST(ExtremeConditions, TotalLossMeansNoAuthentication) {
+  ExtremeGridConfig config;
+  config.losses = {1.0};
+  config.ps = {0.5};
+  config.trials = 100;
+  const auto grid = extreme_conditions_grid(config);
+  EXPECT_DOUBLE_EQ(grid[0].measured_success, 0.0);
+}
+
+}  // namespace
+}  // namespace dap::analysis

@@ -1,0 +1,340 @@
+// Unit tests for the adaptive layer: attack estimation, game-driven
+// buffer re-tuning, and the agent-based population dynamics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/adaptive_defender.h"
+#include "core/attack_estimator.h"
+#include "core/population.h"
+#include "sim/adversary.h"
+
+namespace dap::core {
+namespace {
+
+using common::Bytes;
+using common::bytes_of;
+using common::Rng;
+
+// -------------------------------------------------------- AttackEstimator
+
+TEST(AttackEstimator, NoTrafficMeansNoAttack) {
+  AttackEstimator est(2);
+  est.observe_interval(2);
+  EXPECT_DOUBLE_EQ(est.estimate(), 0.0);
+  est.observe_interval(1);  // fewer than expected (loss) still not attack
+  EXPECT_DOUBLE_EQ(est.estimate(), 0.0);
+}
+
+TEST(AttackEstimator, RawEstimateMatchesForgedFraction) {
+  AttackEstimator est(2, 1.0);  // no smoothing
+  est.observe_interval(10);     // 8 forged of 10
+  EXPECT_NEAR(est.estimate(), 0.8, 1e-12);
+  EXPECT_NEAR(est.last_raw(), 0.8, 1e-12);
+}
+
+TEST(AttackEstimator, EwmaSmoothsTowardNewValue) {
+  AttackEstimator est(1, 0.5);
+  est.observe_interval(5);  // raw 0.8; first observation adopts raw
+  EXPECT_NEAR(est.estimate(), 0.8, 1e-12);
+  est.observe_interval(1);  // raw 0
+  EXPECT_NEAR(est.estimate(), 0.4, 1e-12);
+  EXPECT_EQ(est.intervals_observed(), 2u);
+}
+
+TEST(AttackEstimator, EstimateStaysBelowOne) {
+  AttackEstimator est(1, 1.0);
+  est.observe_interval(100000);
+  EXPECT_LT(est.estimate(), 1.0);
+}
+
+TEST(AttackEstimator, RejectsBadConstruction) {
+  EXPECT_THROW(AttackEstimator(0), std::invalid_argument);
+  EXPECT_THROW(AttackEstimator(1, 0.0), std::invalid_argument);
+  EXPECT_THROW(AttackEstimator(1, 1.5), std::invalid_argument);
+}
+
+// ------------------------------------------------------- AdaptiveDefender
+
+AdaptiveConfig adaptive_config() {
+  AdaptiveConfig config;
+  config.dap.chain_length = 200;
+  config.dap.buffers = 1;
+  config.dap.schedule = sim::IntervalSchedule(0, sim::kSecond);
+  config.expected_copies = 1;
+  config.retune_period = 4;
+  config.estimator_smoothing = 1.0;  // react immediately (test clarity)
+  return config;
+}
+
+sim::SimTime mid(std::uint32_t interval) {
+  return (interval - 1) * sim::kSecond + sim::kSecond / 2;
+}
+
+TEST(AdaptiveDefender, RetunesBuffersUnderAttack) {
+  const auto config = adaptive_config();
+  protocol::DapSender sender(config.dap, bytes_of("seed"));
+  AdaptiveDefender defender(config, sender.chain().commitment(),
+                            bytes_of("local"), sim::LooseClock(0, 0), Rng(1));
+  sim::FloodingForger forger(config.dap.sender_id, config.dap.mac_size,
+                             Rng(2));
+  EXPECT_EQ(defender.current_buffers(), 1u);
+  // 8 intervals of p = 0.8 flooding (1 authentic + 4 forged copies).
+  for (std::uint32_t i = 1; i <= 8; ++i) {
+    defender.receive(sender.announce(i, bytes_of("m")), mid(i));
+    for (int f = 0; f < 4; ++f) defender.receive(forger.forge(i), mid(i));
+    (void)defender.receive(sender.reveal(i), mid(i + 1));
+    defender.close_interval(5);
+  }
+  // p̂ = 0.8 -> the paper-mode optimiser picks the first interior m (17).
+  EXPECT_NEAR(defender.estimated_p(), 0.8, 0.01);
+  EXPECT_EQ(defender.current_buffers(), 17u);
+  EXPECT_EQ(defender.stats().retunes, 2u);
+  EXPECT_GT(defender.stats().defense_share_x, 0.9);
+}
+
+TEST(AdaptiveDefender, RelaxesWhenAttackStops) {
+  const auto config = adaptive_config();
+  protocol::DapSender sender(config.dap, bytes_of("seed"));
+  AdaptiveDefender defender(config, sender.chain().commitment(),
+                            bytes_of("local"), sim::LooseClock(0, 0), Rng(3));
+  sim::FloodingForger forger(config.dap.sender_id, config.dap.mac_size,
+                             Rng(4));
+  for (std::uint32_t i = 1; i <= 4; ++i) {
+    defender.receive(sender.announce(i, bytes_of("m")), mid(i));
+    for (int f = 0; f < 9; ++f) defender.receive(forger.forge(i), mid(i));
+    (void)defender.receive(sender.reveal(i), mid(i + 1));
+    defender.close_interval(10);
+  }
+  EXPECT_GT(defender.current_buffers(), 10u);
+  // Attack stops; estimator (smoothing 1.0) sees clean intervals.
+  for (std::uint32_t i = 5; i <= 8; ++i) {
+    defender.receive(sender.announce(i, bytes_of("m")), mid(i));
+    (void)defender.receive(sender.reveal(i), mid(i + 1));
+    defender.close_interval(1);
+  }
+  EXPECT_EQ(defender.current_buffers(), 1u);
+  EXPECT_DOUBLE_EQ(defender.stats().defense_share_x, 0.0);
+}
+
+TEST(AdaptiveDefender, CostLedgerChargesDefenseAndLosses) {
+  auto config = adaptive_config();
+  config.retune_period = 1000;  // no retuning; fixed m = 1
+  protocol::DapSender sender(config.dap, bytes_of("seed"));
+  AdaptiveDefender defender(config, sender.chain().commitment(),
+                            bytes_of("local"), sim::LooseClock(0, 0), Rng(5));
+  // Interval 1: clean success. Interval 2: reveal for a never-announced
+  // interval (attack succeeded).
+  defender.receive(sender.announce(1, bytes_of("m")), mid(1));
+  (void)defender.receive(sender.reveal(1), mid(2));
+  defender.close_interval(1);
+  (void)sender.announce(2, bytes_of("m"));
+  (void)defender.receive(sender.reveal(2), mid(3));
+  defender.close_interval(1);
+  EXPECT_EQ(defender.stats().attacks_defeated, 1u);
+  EXPECT_EQ(defender.stats().attacks_succeeded, 1u);
+  // Cost: 2 intervals * k2 * m(=1) + 1 loss * Ra.
+  EXPECT_NEAR(defender.stats().realized_cost, 2 * 4.0 + 200.0, 1e-9);
+  EXPECT_NEAR(defender.average_cost(), (8.0 + 200.0) / 2, 1e-9);
+}
+
+TEST(AdaptiveDefender, AdaptiveBeatsFixedSmallBufferUnderHeavyAttack) {
+  // End-to-end comparison: adaptive m vs a fixed m=1 defender under a
+  // p = 0.9 flood; the adaptive one should defeat far more attacks.
+  auto config = adaptive_config();
+  config.retune_period = 2;
+  protocol::DapSender sender_a(config.dap, bytes_of("seed-a"));
+  protocol::DapSender sender_b(config.dap, bytes_of("seed-a"));
+  AdaptiveDefender adaptive(config, sender_a.chain().commitment(),
+                            bytes_of("local"), sim::LooseClock(0, 0), Rng(6));
+  protocol::DapReceiver fixed(config.dap, sender_b.chain().commitment(),
+                              bytes_of("local"), sim::LooseClock(0, 0),
+                              Rng(7));
+  sim::FloodingForger forger(config.dap.sender_id, config.dap.mac_size,
+                             Rng(8));
+  std::size_t adaptive_ok = 0, fixed_ok = 0;
+  for (std::uint32_t i = 1; i <= 60; ++i) {
+    const auto announce_a = sender_a.announce(i, bytes_of("m"));
+    const auto announce_b = sender_b.announce(i, bytes_of("m"));
+    adaptive.receive(announce_a, mid(i));
+    fixed.receive(announce_b, mid(i));
+    for (int f = 0; f < 9; ++f) {
+      const auto forged = forger.forge(i);
+      adaptive.receive(forged, mid(i));
+      fixed.receive(forged, mid(i));
+    }
+    if (adaptive.receive(sender_a.reveal(i), mid(i + 1))) ++adaptive_ok;
+    if (fixed.receive(sender_b.reveal(i), mid(i + 1))) ++fixed_ok;
+    adaptive.close_interval(10);
+  }
+  EXPECT_GT(adaptive_ok, 2 * fixed_ok);
+}
+
+// ----------------------------------------------------------- PopulationSim
+
+TEST(PopulationSim, InitialSharesRespected) {
+  PopulationConfig config;
+  config.initial_x = 0.3;
+  config.initial_y = 0.7;
+  PopulationSim sim(config, game::GameParams::paper_defaults(0.8, 20),
+                    Rng(9));
+  EXPECT_NEAR(sim.defender_share(), 0.3, 1e-3);
+  EXPECT_NEAR(sim.attacker_share(), 0.7, 1e-3);
+}
+
+TEST(PopulationSim, SharesStayInUnitInterval) {
+  PopulationConfig config;
+  PopulationSim sim(config, game::GameParams::paper_defaults(0.8, 4),
+                    Rng(10));
+  for (const auto& s : sim.run(2000)) {
+    EXPECT_GE(s.x, 0.0);
+    EXPECT_LE(s.x, 1.0);
+    EXPECT_GE(s.y, 0.0);
+    EXPECT_LE(s.y, 1.0);
+  }
+}
+
+TEST(PopulationSim, ConvergesToOdeAttractorFullDefense) {
+  // m = 6, p = 0.8 -> ESS (1,1); the finite population should end near it.
+  PopulationConfig config;
+  config.defenders = 4000;
+  config.attackers = 4000;
+  const auto g = game::GameParams::paper_defaults(0.8, 6);
+  PopulationSim sim(config, g, Rng(11));
+  (void)sim.run(4000);
+  EXPECT_GT(sim.defender_share(), 0.97);
+  EXPECT_GT(sim.attacker_share(), 0.97);
+}
+
+TEST(PopulationSim, ConvergesNearInteriorEss) {
+  // m = 30, p = 0.8 -> interior ESS; agent dynamics orbit near it.
+  PopulationConfig config;
+  config.defenders = 8000;
+  config.attackers = 8000;
+  const auto g = game::GameParams::paper_defaults(0.8, 30);
+  const auto ess = game::solve_ess(g);
+  PopulationSim sim(config, g, Rng(12));
+  (void)sim.run(20000);
+  // Average over a window to smooth the stochastic orbit.
+  game::State mean{0, 0};
+  const int window = 2000;
+  for (int i = 0; i < window; ++i) {
+    sim.step();
+    mean.x += sim.defender_share();
+    mean.y += sim.attacker_share();
+  }
+  mean.x /= window;
+  mean.y /= window;
+  EXPECT_NEAR(mean.x, ess.point.x, 0.08);
+  EXPECT_NEAR(mean.y, ess.point.y, 0.08);
+}
+
+TEST(PopulationSim, RejectsBadConfig) {
+  PopulationConfig config;
+  config.defenders = 0;
+  EXPECT_THROW(
+      PopulationSim(config, game::GameParams::paper_defaults(0.8, 4), Rng(13)),
+      std::invalid_argument);
+  config.defenders = 10;
+  config.initial_x = 1.5;
+  EXPECT_THROW(
+      PopulationSim(config, game::GameParams::paper_defaults(0.8, 4), Rng(13)),
+      std::invalid_argument);
+  config.initial_x = 0.5;
+  config.imitation_rate = 0.0;
+  EXPECT_THROW(
+      PopulationSim(config, game::GameParams::paper_defaults(0.8, 4), Rng(13)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dap::core
+
+// ----------------------------------------------------------- CoevolutionSim
+
+#include "core/coevolution.h"
+
+namespace dap::core {
+namespace {
+
+TEST(CoevolutionSim, FindsFullConflictEssFromSampledPayoffs) {
+  // m = 6, p = 0.8: ESS (1,1). No agent knows the game; imitation on
+  // realized payoffs must still drive both populations to the corner.
+  const auto g = game::GameParams::paper_defaults(0.8, 6);
+  CoevolutionConfig config;
+  CoevolutionSim sim(config, g, Rng(501));
+  const auto w = sim.run_and_average(12000, 4000);
+  EXPECT_GT(w.mean.x, 0.98);
+  EXPECT_GT(w.mean.y, 0.97);
+}
+
+TEST(CoevolutionSim, FindsInteriorEssFromSampledPayoffs) {
+  const auto g = game::GameParams::paper_defaults(0.8, 30);
+  const auto ess = game::solve_ess(g);
+  CoevolutionConfig config;
+  CoevolutionSim sim(config, g, Rng(502));
+  const auto w = sim.run_and_average(16000, 6000);
+  EXPECT_NEAR(w.mean.x, ess.point.x, 0.05);
+  // The attacker mix is hypersensitive to the defender mix near X = 1
+  // (dY/dX ~ -Ra(1-P)/(k1 xa) ~ -12), so Y carries a visible
+  // mutation-induced offset; the regime is still unmistakable.
+  EXPECT_NEAR(w.mean.y, ess.point.y, 0.12);
+}
+
+TEST(CoevolutionSim, FindsGiveUpRegimeFromSampledPayoffs) {
+  const auto g = game::GameParams::paper_defaults(0.8, 70);
+  const auto ess = game::solve_ess(g);
+  ASSERT_EQ(ess.kind, game::EssKind::kPartialDefenseFullAttack);
+  CoevolutionConfig config;
+  CoevolutionSim sim(config, g, Rng(503));
+  const auto w = sim.run_and_average(12000, 4000);
+  EXPECT_NEAR(w.mean.x, ess.point.x, 0.05);
+  EXPECT_GT(w.mean.y, 0.95);
+}
+
+TEST(CoevolutionSim, CustomOutcomeModelShiftsEquilibrium) {
+  // If attacks against buffers *always* fail (P = 0 instead of p^m), the
+  // attacker population should attack much less than under p^m.
+  const auto g = game::GameParams::paper_defaults(0.8, 4);  // p^m = 0.41
+  CoevolutionConfig config;
+  CoevolutionSim baseline(config, g, Rng(504));
+  const auto with_pm = baseline.run_and_average(8000, 3000);
+  CoevolutionSim hardened(config, g, Rng(504));
+  hardened.set_attack_outcome([](common::Rng&) { return false; });
+  const auto with_zero = hardened.run_and_average(8000, 3000);
+  EXPECT_GT(with_pm.mean.y, with_zero.mean.y + 0.1);
+}
+
+TEST(CoevolutionSim, SharesStayInUnitInterval) {
+  const auto g = game::GameParams::paper_defaults(0.8, 20);
+  CoevolutionConfig config;
+  config.defenders = 300;
+  config.attackers = 300;
+  CoevolutionSim sim(config, g, Rng(505));
+  for (const auto& s : sim.run(2000)) {
+    EXPECT_GE(s.x, 0.0);
+    EXPECT_LE(s.x, 1.0);
+    EXPECT_GE(s.y, 0.0);
+    EXPECT_LE(s.y, 1.0);
+  }
+}
+
+TEST(CoevolutionSim, RejectsBadConfig) {
+  const auto g = game::GameParams::paper_defaults(0.8, 10);
+  CoevolutionConfig config;
+  config.defenders = 0;
+  EXPECT_THROW(CoevolutionSim(config, g, Rng(1)), std::invalid_argument);
+  config.defenders = 10;
+  config.observation_rounds = 0;
+  EXPECT_THROW(CoevolutionSim(config, g, Rng(1)), std::invalid_argument);
+  config.observation_rounds = 4;
+  config.imitation_rate = 0.0;
+  EXPECT_THROW(CoevolutionSim(config, g, Rng(1)), std::invalid_argument);
+  config.imitation_rate = 0.001;
+  CoevolutionSim ok(config, g, Rng(1));
+  EXPECT_THROW(ok.set_attack_outcome(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dap::core

@@ -1,0 +1,277 @@
+// Unit tests for src/wire: CRC-32, packet encode/decode round-trips,
+// framing, corruption detection, and wire-size accounting.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "wire/crc32.h"
+#include "wire/frame.h"
+#include "wire/packet.h"
+
+namespace dap::wire {
+namespace {
+
+using common::Bytes;
+using common::bytes_of;
+
+// ----------------------------------------------------------------- CRC32
+
+TEST(Crc32, KnownVectors) {
+  // Standard check value for "123456789".
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xcbf43926u);
+  EXPECT_EQ(crc32({}), 0x00000000u);
+  EXPECT_EQ(crc32(bytes_of("a")), 0xe8b7be43u);
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  Bytes data = bytes_of("some payload data");
+  const std::uint32_t original = crc32(data);
+  data[3] ^= 0x10;
+  EXPECT_NE(crc32(data), original);
+}
+
+// --------------------------------------------------------------- packets
+
+TeslaPacket sample_tesla() {
+  TeslaPacket p;
+  p.sender = 7;
+  p.interval = 42;
+  p.message = bytes_of("hello sensors");
+  p.mac = Bytes(10, 0xab);
+  p.disclosed_interval = 40;
+  p.disclosed_key = Bytes(10, 0xcd);
+  return p;
+}
+
+TEST(Packet, TeslaRoundTrip) {
+  const Packet original{sample_tesla()};
+  const auto decoded = decode(encode(original));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<TeslaPacket>(*decoded), sample_tesla());
+}
+
+TEST(Packet, MacAnnounceRoundTrip) {
+  MacAnnounce p;
+  p.sender = 3;
+  p.interval = 9;
+  p.mac = Bytes(10, 0x55);
+  const auto decoded = decode(encode(Packet{p}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<MacAnnounce>(*decoded), p);
+}
+
+TEST(Packet, MessageRevealRoundTrip) {
+  MessageReveal p;
+  p.sender = 3;
+  p.interval = 9;
+  p.message = bytes_of("reading=42");
+  p.key = Bytes(10, 0x66);
+  const auto decoded = decode(encode(Packet{p}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<MessageReveal>(*decoded), p);
+}
+
+TEST(Packet, KeyDisclosureRoundTrip) {
+  KeyDisclosure p;
+  p.sender = 1;
+  p.interval = 5;
+  p.key = Bytes(10, 0x77);
+  const auto decoded = decode(encode(Packet{p}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<KeyDisclosure>(*decoded), p);
+}
+
+TEST(Packet, CdmRoundTrip) {
+  CdmPacket p;
+  p.sender = 2;
+  p.high_interval = 6;
+  p.low_commitment = Bytes(10, 0x88);
+  p.next_cdm_image = Bytes(32, 0x99);
+  p.mac = Bytes(10, 0xaa);
+  p.disclosed_high_key = Bytes(10, 0xbb);
+  const auto decoded = decode(encode(Packet{p}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<CdmPacket>(*decoded), p);
+}
+
+TEST(Packet, BootstrapRoundTrip) {
+  BootstrapPacket p;
+  p.sender = 1;
+  p.start_interval = 1;
+  p.interval_duration_us = 1000000;
+  p.commitment = Bytes(10, 0x11);
+  p.signature = Bytes(80, 0x22);
+  p.signer_public_key = Bytes(32, 0x33);
+  const auto decoded = decode(encode(Packet{p}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<BootstrapPacket>(*decoded), p);
+}
+
+TEST(Packet, EmptyFieldsRoundTrip) {
+  TeslaPacket p;
+  p.sender = 1;
+  p.interval = 1;
+  // message, mac, disclosed_key all empty
+  const auto decoded = decode(encode(Packet{p}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<TeslaPacket>(*decoded), p);
+}
+
+TEST(Packet, DecodeRejectsEmptyAndUnknownTag) {
+  EXPECT_FALSE(decode({}).has_value());
+  const Bytes unknown = {0xee, 1, 0, 0, 0};
+  EXPECT_FALSE(decode(unknown).has_value());
+}
+
+TEST(Packet, DecodeRejectsTruncation) {
+  const Bytes full = encode(Packet{sample_tesla()});
+  for (std::size_t cut = 1; cut < full.size(); ++cut) {
+    const common::ByteView prefix(full.data(), full.size() - cut);
+    EXPECT_FALSE(decode(prefix).has_value()) << "cut " << cut;
+  }
+}
+
+TEST(Packet, DecodeRejectsTrailingGarbage) {
+  Bytes data = encode(Packet{sample_tesla()});
+  data.push_back(0x00);
+  EXPECT_FALSE(decode(data).has_value());
+}
+
+TEST(Packet, SenderOfAllKinds) {
+  EXPECT_EQ(sender_of(Packet{sample_tesla()}), 7u);
+  MacAnnounce a;
+  a.sender = 9;
+  EXPECT_EQ(sender_of(Packet{a}), 9u);
+}
+
+TEST(Packet, WireBitsAccounting) {
+  // MacAnnounce: header (8+32) + interval 32 + mac blob (16 + 80) = 168.
+  MacAnnounce a;
+  a.mac = Bytes(10, 0);
+  EXPECT_EQ(a.wire_bits(), 8u + 32 + 32 + 16 + 80);
+  // A MAC-only announce must be much smaller than a full TESLA packet.
+  EXPECT_LT(Packet{a}.index(), 6u);
+  EXPECT_LT(wire_bits(Packet{a}), wire_bits(Packet{sample_tesla()}));
+}
+
+TEST(Packet, WireBitsMatchesEncodedSizeOrder) {
+  // encode() length in bits should track wire_bits (same fields).
+  const Packet p{sample_tesla()};
+  EXPECT_EQ(encode(p).size() * 8, wire_bits(p));
+}
+
+// ----------------------------------------------------------------- frame
+
+TEST(Frame, RoundTrip) {
+  const Packet p{sample_tesla()};
+  const auto decoded = deframe(frame(p));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<TeslaPacket>(*decoded), sample_tesla());
+}
+
+TEST(Frame, DetectsCorruptionAnywhere) {
+  const Bytes framed = frame(Packet{sample_tesla()});
+  common::Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    Bytes copy = framed;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform(0, copy.size() - 1));
+    const auto bit = static_cast<int>(rng.uniform(0, 7));
+    copy[pos] = static_cast<std::uint8_t>(copy[pos] ^ (1u << bit));
+    EXPECT_FALSE(deframe(copy).has_value());
+  }
+}
+
+TEST(Frame, RejectsTooShort) {
+  EXPECT_FALSE(deframe(Bytes{1, 2, 3}).has_value());
+  EXPECT_FALSE(deframe({}).has_value());
+}
+
+TEST(Frame, WotsSignatureTransportRoundTrip) {
+  std::vector<Bytes> chains = {Bytes(32, 1), Bytes(32, 2), Bytes(32, 3)};
+  const Bytes encoded = encode_wots_signature(chains);
+  const auto decoded = decode_wots_signature(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, chains);
+}
+
+TEST(Frame, WotsSignatureRejectsTruncation) {
+  std::vector<Bytes> chains = {Bytes(32, 1), Bytes(32, 2)};
+  Bytes encoded = encode_wots_signature(chains);
+  encoded.resize(encoded.size() - 5);
+  EXPECT_FALSE(decode_wots_signature(encoded).has_value());
+  encoded.clear();
+  EXPECT_FALSE(decode_wots_signature(encoded).has_value());
+}
+
+TEST(Frame, WotsSignatureRejectsTrailingBytes) {
+  Bytes encoded = encode_wots_signature({Bytes(4, 9)});
+  encoded.push_back(0);
+  EXPECT_FALSE(decode_wots_signature(encoded).has_value());
+}
+
+}  // namespace
+}  // namespace dap::wire
+
+// --------------------------------------------------- CDM MAC payload scope
+
+namespace dap::wire {
+namespace {
+
+TEST(Packet, CdmMacPayloadCoversCommitmentAndImage) {
+  CdmPacket p;
+  p.sender = 1;
+  p.high_interval = 7;
+  p.low_commitment = Bytes(10, 0x01);
+  p.next_cdm_image = Bytes(32, 0x02);
+  p.mac = Bytes(10, 0x03);
+  p.disclosed_high_key = Bytes(10, 0x04);
+  const Bytes payload = p.mac_payload();
+  // Changing any covered field changes the payload...
+  CdmPacket q = p;
+  q.low_commitment[0] ^= 1;
+  EXPECT_NE(q.mac_payload(), payload);
+  q = p;
+  q.next_cdm_image[0] ^= 1;
+  EXPECT_NE(q.mac_payload(), payload);
+  q = p;
+  q.high_interval = 8;
+  EXPECT_NE(q.mac_payload(), payload);
+  // ...while the MAC itself and the disclosed key are excluded (the key
+  // authenticates via the chain; the MAC cannot cover itself).
+  q = p;
+  q.mac[0] ^= 1;
+  q.disclosed_high_key[0] ^= 1;
+  EXPECT_EQ(q.mac_payload(), payload);
+}
+
+TEST(Packet, WireBitsMatchesEncodedSizeForAllKinds) {
+  common::Rng rng(77);
+  MacAnnounce a;
+  a.sender = 1;
+  a.mac = rng.bytes(10);
+  MessageReveal r;
+  r.sender = 1;
+  r.message = rng.bytes(25);
+  r.key = rng.bytes(10);
+  KeyDisclosure d;
+  d.sender = 1;
+  d.key = rng.bytes(10);
+  CdmPacket c;
+  c.sender = 1;
+  c.low_commitment = rng.bytes(10);
+  c.mac = rng.bytes(10);
+  c.disclosed_high_key = rng.bytes(10);
+  BootstrapPacket b;
+  b.sender = 1;
+  b.commitment = rng.bytes(10);
+  b.signature = rng.bytes(100);
+  b.signer_public_key = rng.bytes(32);
+  for (const Packet& packet :
+       {Packet{a}, Packet{r}, Packet{d}, Packet{c}, Packet{b}}) {
+    EXPECT_EQ(encode(packet).size() * 8, wire_bits(packet));
+  }
+}
+
+}  // namespace
+}  // namespace dap::wire
