@@ -26,17 +26,19 @@ set(DAP_BENCH_PLAIN
 foreach(name ${DAP_BENCH_PLAIN})
   add_executable(bench_${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
   target_link_libraries(bench_${name}
-    PRIVATE dap_common dap_crypto dap_wire dap_sim dap_tesla dap_dap
+    PRIVATE dap_common dap_obs dap_crypto dap_wire dap_sim dap_tesla dap_dap
             dap_game dap_core dap_analysis dap_warnings)
   set_target_properties(bench_${name} PROPERTIES
     OUTPUT_NAME ${name}
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endforeach()
 
+# micro_crypto supplies its own main: google-benchmark runner plus the
+# obs-registry run summary export.
 add_executable(bench_micro_crypto ${CMAKE_SOURCE_DIR}/bench/micro_crypto.cc)
 target_link_libraries(bench_micro_crypto
-  PRIVATE dap_common dap_crypto dap_wire dap_sim dap_tesla dap_dap
-          benchmark::benchmark benchmark::benchmark_main dap_warnings)
+  PRIVATE dap_common dap_obs dap_crypto dap_wire dap_sim dap_tesla dap_dap
+          benchmark::benchmark dap_warnings)
 set_target_properties(bench_micro_crypto PROPERTIES
   OUTPUT_NAME micro_crypto
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -1,8 +1,13 @@
 #pragma once
 // Shared output helpers for the experiment binaries: every bench prints
 // a banner, an aligned table, an ASCII rendering of the figure's shape,
-// and writes the raw series to bench_out/<name>.csv for re-plotting.
+// writes the raw series to bench_out/<name>.csv for re-plotting, and
+// leaves a machine-readable run summary (counters + histogram
+// percentiles + wall time from the obs registry) in
+// bench_out/<name>.metrics.json — the perf-trajectory baseline future
+// PRs diff against.
 
+#include <chrono>
 #include <filesystem>
 #include <iostream>
 #include <string>
@@ -10,16 +15,41 @@
 #include "common/ascii_chart.h"
 #include "common/csv.h"
 #include "common/table.h"
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "obs/scoped_timer.h"
 
 namespace dap::bench {
+
+namespace detail {
+/// Pinned on first use; banner() touches it so wall time covers the run.
+inline std::chrono::steady_clock::time_point run_start() {
+  static const auto start = std::chrono::steady_clock::now();
+  return start;
+}
+}  // namespace detail
 
 inline std::string csv_path(const std::string& name) {
   std::filesystem::create_directories("bench_out");
   return "bench_out/" + name + ".csv";
 }
 
+inline std::string metrics_path(const std::string& name) {
+  std::filesystem::create_directories("bench_out");
+  return "bench_out/" + name + ".metrics.json";
+}
+
+/// Times a named phase of a bench into the global registry (histogram
+/// `bench.<phase>_us`), so figure benches and micro benches report
+/// through the same log-bucketed histogram type.
+[[nodiscard]] inline obs::ScopedTimer scoped_timer(const std::string& phase) {
+  return obs::ScopedTimer(
+      obs::Registry::global().histogram("bench." + phase + "_us"));
+}
+
 inline void banner(const std::string& title, const std::string& paper_ref,
                    const std::string& expectation) {
+  detail::run_start();
   std::cout << "================================================================\n"
             << title << '\n'
             << "Reproduces: " << paper_ref << '\n'
@@ -27,8 +57,23 @@ inline void banner(const std::string& title, const std::string& paper_ref,
             << "================================================================\n";
 }
 
+/// Writes the global-registry snapshot (plus wall time since banner) to
+/// bench_out/<name>.metrics.json.
+inline void write_run_summary(const std::string& name) {
+  auto& reg = obs::Registry::global();
+  reg.add(reg.counter("bench.completed"));
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    detail::run_start())
+          .count();
+  reg.observe(reg.histogram("bench.wall_us"), wall_seconds * 1e6);
+  obs::write_metrics_json(reg, metrics_path(name), wall_seconds);
+}
+
 inline void footer(const std::string& name) {
-  std::cout << "[series written to " << csv_path(name) << "]\n\n";
+  write_run_summary(name);
+  std::cout << "[series written to " << csv_path(name) << "]\n"
+            << "[run summary written to " << metrics_path(name) << "]\n\n";
 }
 
 }  // namespace dap::bench

@@ -28,6 +28,7 @@ int main() {
   common::CsvWriter traj_csv(bench::csv_path("fig6_trajectories"),
                              {"m", "step", "X", "Y"});
   for (const auto& panel : panels) {
+    const auto panel_timer = bench::scoped_timer("fig6_panel");
     const auto traj = analysis::fig6_trajectory(0.8, panel.m);
     common::Series sx{"X (defenders buffering)", {}, {}};
     common::Series sy{"Y (attackers attacking)", {}, {}};
@@ -51,7 +52,10 @@ int main() {
   }
 
   // --- Regime scan m = 1..100.
-  const auto rows = analysis::fig6_regime_scan(0.8, 100);
+  const auto rows = [&] {
+    const auto scan_timer = bench::scoped_timer("fig6_regime_scan");
+    return analysis::fig6_regime_scan(0.8, 100);
+  }();
   common::TextTable table(
       {"m", "ESS (closed form)", "X", "Y", "Euler X", "Euler Y", "agree"});
   common::CsvWriter csv(bench::csv_path("fig6_regimes"),

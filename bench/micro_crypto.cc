@@ -1,9 +1,16 @@
 // Micro-benchmarks (google-benchmark): the primitive costs that bound a
 // node's per-packet work — SHA-256, HMAC, key-chain generation and
 // verification walks, μMAC re-MACing, DAP receiver hot paths.
+//
+// Alongside google-benchmark's own console/JSON output, the run leaves
+// bench_out/micro_crypto.metrics.json behind: the obs-layer scope
+// timers inside hmac/prf/keychain and the DAP receive path populate the
+// same log-bucketed histograms the figure benches report through, so
+// per-primitive p50/p99 latencies ride in the shared perf baseline.
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "crypto/hmac.h"
 #include "crypto/keychain.h"
@@ -137,3 +144,16 @@ void BM_DapFullRound(benchmark::State& state) {
 BENCHMARK(BM_DapFullRound);
 
 }  // namespace
+
+// Custom main (instead of benchmark_main) so the run also exports the
+// obs registry populated by the instrumented primitives.
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  dap::bench::write_run_summary("micro_crypto");
+  std::cout << "[run summary written to "
+            << dap::bench::metrics_path("micro_crypto") << "]\n";
+  return 0;
+}

@@ -18,7 +18,10 @@ int main() {
 
   const std::vector<double> ps = {0.5, 0.7, 0.8, 0.9, 0.95};
   const std::vector<std::size_t> ms = {1, 2, 4, 8, 16};
-  const auto sweep = analysis::attack_success_sweep(ps, ms, 1500, 2024);
+  const auto sweep = [&] {
+    const auto sweep_timer = bench::scoped_timer("montecarlo_sweep");
+    return analysis::attack_success_sweep(ps, ms, 1500, 2024);
+  }();
 
   common::TextTable table(
       {"p", "m", "measured", "95% CI", "analytic p^m", "abs diff"});

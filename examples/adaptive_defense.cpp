@@ -16,6 +16,7 @@
 #include "common/rng.h"
 #include "core/adaptive_defender.h"
 #include "game/optimizer.h"
+#include "obs/registry.h"
 #include "sim/adversary.h"
 
 int main() {
@@ -123,5 +124,10 @@ int main() {
                "E also weighs the\nESS shares (X, Y); shapes match — the "
                "adaptive node spends far less in calm\nphases and survives "
                "the severe phase with near-naive reliability.\n";
+
+  // End-of-run telemetry (both receivers aggregated) from the registry —
+  // DAP counters, solver latencies, crypto primitive histograms.
+  std::cout << "\nend-of-run telemetry:\n"
+            << obs::Registry::global().report();
   return 0;
 }

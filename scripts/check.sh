@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Full local check: tier-1 build + test suite, then the obs telemetry
+# tests again under AddressSanitizer + UBSan.
+#
+#   scripts/check.sh            # everything
+#   scripts/check.sh --fast     # tier-1 only, skip the sanitizer pass
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+GEN=()
+command -v ninja >/dev/null 2>&1 && GEN=(-G Ninja)
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S . "${GEN[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+if [[ "$FAST" == 1 ]]; then
+  echo "== skipping sanitizer pass (--fast) =="
+  exit 0
+fi
+
+echo "== sanitizers: ASan+UBSan build of the test suite =="
+cmake -B build-asan -S . "${GEN[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDAP_SANITIZE=address,undefined \
+  -DDAP_BUILD_BENCHES=OFF -DDAP_BUILD_EXAMPLES=OFF
+cmake --build build-asan --target test_obs test_dap test_game
+for t in test_obs test_dap test_game; do
+  echo "-- $t (asan+ubsan)"
+  ./build-asan/tests/"$t"
+done
+
+echo "== all checks passed =="

@@ -2,13 +2,31 @@
 
 #include <array>
 
+#include "obs/scoped_timer.h"
+
 namespace dap::crypto {
 
 namespace {
 constexpr std::size_t kBlockSize = 64;
+
+// Per-packet verification cost lives here; registered once per process.
+struct HmacTelemetry {
+  obs::CounterHandle calls = obs::Registry::global().counter(
+      "crypto.hmac_calls");
+  obs::HistogramHandle latency = obs::Registry::global().histogram(
+      "crypto.hmac_us");
+};
+
+const HmacTelemetry& hmac_telemetry() noexcept {
+  static const HmacTelemetry t;
+  return t;
 }
+}  // namespace
 
 Digest hmac_sha256(common::ByteView key, common::ByteView message) noexcept {
+  const HmacTelemetry& telemetry = hmac_telemetry();
+  obs::Registry::global().add(telemetry.calls);
+  const obs::ScopedTimer timer(telemetry.latency);
   std::array<std::uint8_t, kBlockSize> key_block{};
   if (key.size() > kBlockSize) {
     const Digest hashed = sha256(key);

@@ -3,12 +3,30 @@
 #include <stdexcept>
 
 #include "common/codec.h"
+#include "obs/scoped_timer.h"
 
 namespace dap::crypto {
+
+namespace {
+struct KeyChainTelemetry {
+  obs::HistogramHandle build_latency = obs::Registry::global().histogram(
+      "crypto.keychain_build_us");
+  obs::HistogramHandle walk_latency = obs::Registry::global().histogram(
+      "crypto.chain_walk_us");
+  obs::CounterHandle walk_steps = obs::Registry::global().counter(
+      "crypto.chain_walk_steps");
+};
+
+const KeyChainTelemetry& keychain_telemetry() noexcept {
+  static const KeyChainTelemetry t;
+  return t;
+}
+}  // namespace
 
 KeyChain::KeyChain(common::ByteView seed, std::size_t length,
                    PrfDomain step_domain, std::size_t key_size)
     : domain_(step_domain), key_size_(key_size) {
+  const obs::ScopedTimer timer(keychain_telemetry().build_latency);
   if (key_size_ == 0 || key_size_ > kSha256DigestSize) {
     throw std::invalid_argument("KeyChain: key_size must be in [1, 32]");
   }
@@ -52,6 +70,9 @@ bool KeyChain::verify_key(std::size_t index, common::ByteView candidate,
 
 common::Bytes chain_walk(PrfDomain domain, common::ByteView key,
                          std::size_t steps, std::size_t key_size) {
+  const KeyChainTelemetry& telemetry = keychain_telemetry();
+  obs::Registry::global().add(telemetry.walk_steps, steps);
+  const obs::ScopedTimer timer(telemetry.walk_latency);
   common::Bytes current(key.begin(), key.end());
   for (std::size_t s = 0; s < steps; ++s) {
     current = prf_bytes(domain, current, key_size);

@@ -3,8 +3,23 @@
 #include <stdexcept>
 
 #include "crypto/hmac.h"
+#include "obs/scoped_timer.h"
 
 namespace dap::crypto {
+
+namespace {
+struct PrfTelemetry {
+  obs::CounterHandle calls = obs::Registry::global().counter(
+      "crypto.prf_calls");
+  obs::HistogramHandle latency = obs::Registry::global().histogram(
+      "crypto.prf_us");
+};
+
+const PrfTelemetry& prf_telemetry() noexcept {
+  static const PrfTelemetry t;
+  return t;
+}
+}  // namespace
 
 std::string_view domain_label(PrfDomain domain) noexcept {
   switch (domain) {
@@ -27,6 +42,9 @@ std::string_view domain_label(PrfDomain domain) noexcept {
 }
 
 Digest prf(PrfDomain domain, common::ByteView input) noexcept {
+  const PrfTelemetry& telemetry = prf_telemetry();
+  obs::Registry::global().add(telemetry.calls);
+  const obs::ScopedTimer timer(telemetry.latency);
   // HMAC keyed by the domain label: distinct labels yield computationally
   // independent functions of the same input.
   const std::string_view label = domain_label(domain);

@@ -2,7 +2,27 @@
 
 #include <stdexcept>
 
+#include "obs/scoped_timer.h"
+#include "obs/tracer.h"
+
 namespace dap::protocol {
+
+DapReceiver::Telemetry DapReceiver::make_telemetry() {
+  auto& reg = obs::Registry::global();
+  return {
+      reg.counter("dap.announces_received"),
+      reg.counter("dap.announces_unsafe"),
+      reg.counter("dap.records_offered"),
+      reg.counter("dap.records_stored"),
+      reg.counter("dap.buffer_evictions"),
+      reg.counter("dap.reveals_received"),
+      reg.counter("dap.weak_auth_failures"),
+      reg.counter("dap.strong_auth_success"),
+      reg.counter("dap.strong_auth_failures"),
+      reg.histogram("dap.rx_announce_us"),
+      reg.histogram("dap.rx_reveal_us"),
+  };
+}
 
 DapSender::DapSender(const DapConfig& config, common::ByteView seed)
     : config_(config),
@@ -86,6 +106,7 @@ DapReceiver::DapReceiver(const DapConfig& config, common::Bytes commitment,
                          common::Bytes local_secret, sim::LooseClock clock,
                          common::Rng rng)
     : config_(config),
+      telemetry_(make_telemetry()),
       local_secret_(std::move(local_secret)),
       clock_(clock),
       rng_(rng),
@@ -126,29 +147,52 @@ void DapReceiver::prune_stale_rounds(std::uint32_t current_interval) {
 
 void DapReceiver::receive(const wire::MacAnnounce& packet,
                           sim::SimTime local_now) {
+  auto& reg = obs::Registry::global();
+  const obs::ScopedTimer timer(reg, telemetry_.rx_announce_latency);
   ++stats_.announces_received;
+  reg.add(telemetry_.announces_received);
+  obs::Tracer::global().record(obs::TraceKind::kAnnounce, local_now,
+                               packet.interval);
   prune_stale_rounds(packet.interval);
   // Algorithm 2 line 2: discard when the key may already be public.
   if (!clock_.packet_safe(packet.interval, config_.disclosure_delay,
                           local_now, config_.schedule)) {
     ++stats_.announces_unsafe;
+    reg.add(telemetry_.announces_unsafe);
     return;
   }
   auto [it, created] = buffers_.try_emplace(packet.interval, config_.buffers,
                                             config_.policy);
   ++stats_.records_offered;
+  reg.add(telemetry_.records_offered);
+  const bool was_full = it->second.full();
   if (it->second.offer(Record{micro_mac_of(packet.mac), packet.interval},
                        rng_)) {
     ++stats_.records_stored;
+    reg.add(telemetry_.records_stored);
+    if (was_full) {
+      // A stored record on a full buffer displaced an earlier one.
+      reg.add(telemetry_.buffer_evictions);
+      obs::Tracer::global().record(obs::TraceKind::kBufferEvict, local_now,
+                                   packet.interval);
+    }
   }
 }
 
 std::optional<tesla::AuthenticatedMessage> DapReceiver::receive(
     const wire::MessageReveal& packet, sim::SimTime local_now) {
+  auto& reg = obs::Registry::global();
+  const obs::ScopedTimer timer(reg, telemetry_.rx_reveal_latency);
   ++stats_.reveals_received;
+  reg.add(telemetry_.reveals_received);
+  obs::Tracer::global().record(obs::TraceKind::kReveal, local_now,
+                               packet.interval);
   // Algorithm 2 line 16: weak authentication of the disclosed key.
   if (!auth_.accept(packet.interval, packet.key)) {
     ++stats_.weak_auth_failures;
+    reg.add(telemetry_.weak_auth_failures);
+    obs::Tracer::global().record(obs::TraceKind::kWeakAuthFail, local_now,
+                                 packet.interval);
     return std::nullopt;
   }
   // Lines 19-24: strong authentication against the stored μMAC records.
@@ -167,9 +211,15 @@ std::optional<tesla::AuthenticatedMessage> DapReceiver::receive(
   }
   if (!matched) {
     ++stats_.strong_auth_failures;
+    reg.add(telemetry_.strong_auth_failures);
+    obs::Tracer::global().record(obs::TraceKind::kAuthFail, local_now,
+                                 packet.interval);
     return std::nullopt;
   }
   ++stats_.strong_auth_success;
+  reg.add(telemetry_.strong_auth_success);
+  obs::Tracer::global().record(obs::TraceKind::kAuthSuccess, local_now,
+                               packet.interval);
   return tesla::AuthenticatedMessage{packet.interval, packet.message,
                                      local_now};
 }

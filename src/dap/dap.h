@@ -27,6 +27,7 @@
 #include "common/rng.h"
 #include "crypto/keychain.h"
 #include "crypto/mac.h"
+#include "obs/registry.h"
 #include "sim/clock_model.h"
 #include "tesla/chain_auth.h"
 #include "tesla/tesla.h"
@@ -145,6 +146,9 @@ class DapReceiver {
     [[nodiscard]] const std::vector<Record>& contents() const noexcept {
       return slots_;
     }
+    [[nodiscard]] bool full() const noexcept {
+      return slots_.size() >= capacity_;
+    }
 
    private:
     std::size_t capacity_;
@@ -158,7 +162,27 @@ class DapReceiver {
   /// older than `current_interval` minus the disclosure delay.
   void prune_stale_rounds(std::uint32_t current_interval);
 
+  /// Global-registry handles mirroring DapStats, resolved once at
+  /// construction so the receive paths never touch instrument names.
+  /// Aggregated across every receiver in the process.
+  struct Telemetry {
+    obs::CounterHandle announces_received;
+    obs::CounterHandle announces_unsafe;
+    obs::CounterHandle records_offered;
+    obs::CounterHandle records_stored;
+    obs::CounterHandle buffer_evictions;
+    obs::CounterHandle reveals_received;
+    obs::CounterHandle weak_auth_failures;
+    obs::CounterHandle strong_auth_success;
+    obs::CounterHandle strong_auth_failures;
+    obs::HistogramHandle rx_announce_latency;
+    obs::HistogramHandle rx_reveal_latency;
+  };
+
+  [[nodiscard]] static Telemetry make_telemetry();
+
   DapConfig config_;
+  Telemetry telemetry_;
   common::Bytes local_secret_;
   sim::LooseClock clock_;
   common::Rng rng_;

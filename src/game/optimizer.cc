@@ -4,9 +4,23 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/scoped_timer.h"
+
 namespace dap::game {
 
 namespace {
+
+struct OptimizerTelemetry {
+  obs::HistogramHandle optimize_latency = obs::Registry::global().histogram(
+      "game.optimize_m_us");
+  obs::CounterHandle ess_solves = obs::Registry::global().counter(
+      "game.ess_solves");
+};
+
+const OptimizerTelemetry& optimizer_telemetry() noexcept {
+  static const OptimizerTelemetry t;
+  return t;
+}
 
 double cost_at(const GameParams& g, const Ess& ess) noexcept {
   const double P = g.attack_success();
@@ -24,6 +38,7 @@ GameParams with_m(GameParams g, std::size_t m) noexcept {
 }  // namespace
 
 CostAtEss defense_cost_at_ess(const GameParams& g) {
+  obs::Registry::global().add(optimizer_telemetry().ess_solves);
   CostAtEss out;
   out.ess = solve_ess(g);
   out.cost = cost_at(g, out.ess);
@@ -55,6 +70,7 @@ std::vector<CostAtEss> cost_curve(const GameParams& base, std::size_t max_m) {
 
 OptimizeResult optimize_m(const GameParams& base, OptimizeMode mode,
                           std::size_t max_m) {
+  const obs::ScopedTimer timer(optimizer_telemetry().optimize_latency);
   if (max_m == 0) throw std::invalid_argument("optimize_m: max_m must be >= 1");
   const std::vector<CostAtEss> curve = cost_curve(base, max_m);
 

@@ -4,7 +4,26 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/scoped_timer.h"
+#include "obs/tracer.h"
+
 namespace dap::game {
+
+namespace {
+struct IntegrateTelemetry {
+  obs::HistogramHandle latency = obs::Registry::global().histogram(
+      "game.integrate_us");
+  obs::CounterHandle runs = obs::Registry::global().counter(
+      "game.integrate_runs");
+  obs::CounterHandle steps = obs::Registry::global().counter(
+      "game.integrate_steps");
+};
+
+const IntegrateTelemetry& integrate_telemetry() noexcept {
+  static const IntegrateTelemetry t;
+  return t;
+}
+}  // namespace
 
 Derivative replicator_field(const GameParams& g, double X, double Y) noexcept {
   const double P = g.attack_success();
@@ -70,6 +89,10 @@ State rk4_step(const GameParams& g, State s, double dt,
 
 Trajectory integrate(const GameParams& g, State start,
                      const IntegrationOptions& options) {
+  const IntegrateTelemetry& telemetry = integrate_telemetry();
+  auto& reg = obs::Registry::global();
+  reg.add(telemetry.runs);
+  const obs::ScopedTimer timer(reg, telemetry.latency);
   GameParams::validate(g);
   if (start.x < 0.0 || start.x > 1.0 || start.y < 0.0 || start.y > 1.0) {
     throw std::invalid_argument("integrate: start outside [0,1]^2");
@@ -92,6 +115,9 @@ Trajectory integrate(const GameParams& g, State start,
     out.steps = step;
     if (options.record_every != 0 && step % options.record_every == 0) {
       out.points.push_back(s);
+      obs::Tracer::global().record(obs::TraceKind::kEssStep, step,
+                                   static_cast<std::uint32_t>(step), s.x,
+                                   s.y);
     }
     if (moved < options.convergence_eps) {
       out.converged = true;
@@ -102,6 +128,7 @@ Trajectory integrate(const GameParams& g, State start,
     out.points.push_back(s);
   }
   out.final = s;
+  reg.add(telemetry.steps, out.steps);
   return out;
 }
 

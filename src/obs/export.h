@@ -1,0 +1,35 @@
+#pragma once
+// Machine-readable telemetry exports.
+//
+// `metrics_json` renders a Registry snapshot as a stable JSON document
+// (schema "dap.metrics.v1"): counters, gauges, rate estimators with
+// Wilson intervals, and histograms with exact moments plus p50/p90/p99.
+// `write_metrics_json` writes it next to a bench's CSV output so every
+// run leaves a perf-trajectory data point behind. Trace file helpers
+// wrap the Tracer's stream exporters.
+
+#include <string>
+
+#include "obs/registry.h"
+#include "obs/tracer.h"
+
+namespace dap::obs {
+
+/// JSON snapshot of every instrument in `registry`. `wall_seconds` < 0
+/// omits the wall-time field.
+[[nodiscard]] std::string metrics_json(const Registry& registry,
+                                       double wall_seconds = -1.0);
+
+/// Writes `metrics_json` to `path`, creating parent directories.
+/// Throws std::runtime_error when the file cannot be opened.
+void write_metrics_json(const Registry& registry, const std::string& path,
+                        double wall_seconds = -1.0);
+
+/// Writes the tracer's retained events as JSONL to `path`.
+void write_trace_jsonl(const Tracer& tracer, const std::string& path);
+
+/// Writes the tracer's retained events as Chrome trace_event JSON to
+/// `path` (open with chrome://tracing or https://ui.perfetto.dev).
+void write_chrome_trace(const Tracer& tracer, const std::string& path);
+
+}  // namespace dap::obs

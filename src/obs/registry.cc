@@ -1,0 +1,206 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/csv.h"
+
+namespace dap::obs {
+
+// ------------------------------------------------------ LatencyHistogram
+
+LatencyHistogram::LatencyHistogram() : counts_(kBuckets, 0) {}
+
+std::size_t LatencyHistogram::bucket_index(double value) noexcept {
+  if (!(value > 0.0)) return 0;  // <= 0 and NaN land in the underflow bucket
+  const int e = std::ilogb(value);
+  if (e < kMinExponent) return 0;
+  if (e > kMaxExponent) return kBuckets - 1;
+  // value = mantissa * 2^e with mantissa in [1, 2): linear split of the
+  // octave into kSubBuckets equal slices.
+  const double mantissa = std::scalbn(value, -e);
+  auto sub = static_cast<std::size_t>((mantissa - 1.0) *
+                                      static_cast<double>(kSubBuckets));
+  sub = std::min(sub, kSubBuckets - 1);
+  return 1 + static_cast<std::size_t>(e - kMinExponent) * kSubBuckets + sub;
+}
+
+double LatencyHistogram::bucket_lower(std::size_t i) noexcept {
+  if (i == 0) return 0.0;
+  if (i >= kBuckets - 1) return std::scalbn(1.0, kMaxExponent + 1);
+  const std::size_t slot = i - 1;
+  const int e = kMinExponent + static_cast<int>(slot / kSubBuckets);
+  const double sub = static_cast<double>(slot % kSubBuckets);
+  return std::scalbn(1.0 + sub / static_cast<double>(kSubBuckets), e);
+}
+
+double LatencyHistogram::bucket_upper(std::size_t i) noexcept {
+  if (i == 0) return std::scalbn(1.0, kMinExponent);
+  if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+  return bucket_lower(i + 1);
+}
+
+void LatencyHistogram::add(double value) noexcept {
+  ++counts_[bucket_index(value)];
+  moments_.add(value);
+  sum_ += value;
+}
+
+double LatencyHistogram::quantile(double q) const noexcept {
+  const std::size_t n = moments_.count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q == 0.0) return moments_.min();
+  if (q == 1.0) return moments_.max();
+  // Nearest-rank on the 0-based sample index.
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(n - 1) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen > rank) {
+      double estimate;
+      if (i == 0) {
+        estimate = moments_.min();
+      } else if (i == kBuckets - 1) {
+        estimate = moments_.max();
+      } else {
+        estimate = 0.5 * (bucket_lower(i) + bucket_upper(i));
+      }
+      return std::clamp(estimate, moments_.min(), moments_.max());
+    }
+  }
+  return moments_.max();  // unreachable: buckets cover every double
+}
+
+// -------------------------------------------------------------- Registry
+
+std::uint32_t Registry::NameTable::intern(std::string_view name,
+                                          std::size_t next_slot) {
+  const auto it = index.find(name);
+  if (it != index.end()) return it->second;
+  const auto slot = static_cast<std::uint32_t>(next_slot);
+  index.emplace(std::string(name), slot);
+  names.emplace_back(name);
+  return slot;
+}
+
+CounterHandle Registry::counter(std::string_view name) {
+  const auto slot = counter_names_.intern(name, counters_.size());
+  if (slot == counters_.size()) counters_.push_back(0);
+  return CounterHandle{slot};
+}
+
+GaugeHandle Registry::gauge(std::string_view name) {
+  const auto slot = gauge_names_.intern(name, gauges_.size());
+  if (slot == gauges_.size()) gauges_.push_back(0.0);
+  return GaugeHandle{slot};
+}
+
+HistogramHandle Registry::histogram(std::string_view name) {
+  const auto slot = histogram_names_.intern(name, histograms_.size());
+  if (slot == histograms_.size()) histograms_.emplace_back();
+  return HistogramHandle{slot};
+}
+
+RateHandle Registry::rate(std::string_view name) {
+  const auto slot = rate_names_.intern(name, rates_.size());
+  if (slot == rates_.size()) rates_.emplace_back();
+  return RateHandle{slot};
+}
+
+namespace {
+
+std::vector<std::pair<std::string_view, std::uint32_t>> sorted_names(
+    const std::vector<std::string>& names) {
+  std::vector<std::pair<std::string_view, std::uint32_t>> out;
+  out.reserve(names.size());
+  for (std::uint32_t i = 0; i < names.size(); ++i) {
+    out.emplace_back(names[i], i);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+const std::uint64_t* Registry::find_counter(std::string_view name) const {
+  const std::uint32_t* slot = counter_names_.find(name);
+  return slot == nullptr ? nullptr : &counters_[*slot];
+}
+
+const double* Registry::find_gauge(std::string_view name) const {
+  const std::uint32_t* slot = gauge_names_.find(name);
+  return slot == nullptr ? nullptr : &gauges_[*slot];
+}
+
+const LatencyHistogram* Registry::find_histogram(std::string_view name) const {
+  const std::uint32_t* slot = histogram_names_.find(name);
+  return slot == nullptr ? nullptr : &histograms_[*slot];
+}
+
+const common::RateEstimator* Registry::find_rate(std::string_view name) const {
+  const std::uint32_t* slot = rate_names_.find(name);
+  return slot == nullptr ? nullptr : &rates_[*slot];
+}
+
+std::vector<std::pair<std::string_view, std::uint32_t>>
+Registry::sorted_counters() const {
+  return sorted_names(counter_names_.names);
+}
+std::vector<std::pair<std::string_view, std::uint32_t>>
+Registry::sorted_gauges() const {
+  return sorted_names(gauge_names_.names);
+}
+std::vector<std::pair<std::string_view, std::uint32_t>>
+Registry::sorted_histograms() const {
+  return sorted_names(histogram_names_.names);
+}
+std::vector<std::pair<std::string_view, std::uint32_t>>
+Registry::sorted_rates() const {
+  return sorted_names(rate_names_.names);
+}
+
+std::string Registry::report(bool skip_zero_counters) const {
+  // Byte-compatible with the historical sim::Metrics::report(): counters,
+  // then rates, then observation moments, each alphabetical.
+  std::ostringstream out;
+  for (const auto& [name, slot] : sorted_counters()) {
+    if (skip_zero_counters && counters_[slot] == 0) continue;
+    out << "  " << name << " = " << counters_[slot] << '\n';
+  }
+  for (const auto& [name, slot] : sorted_rates()) {
+    const auto& est = rates_[slot];
+    const auto [lo, hi] = est.wilson95();
+    out << "  " << name << " = " << common::format_number(est.rate()) << " ["
+        << common::format_number(lo) << ", " << common::format_number(hi)
+        << "] over " << est.trials() << " trials\n";
+  }
+  for (const auto& [name, slot] : sorted_histograms()) {
+    const auto& st = histograms_[slot].moments();
+    out << "  " << name << " mean=" << common::format_number(st.mean())
+        << " sd=" << common::format_number(st.stddev()) << " n=" << st.count()
+        << '\n';
+  }
+  return out.str();
+}
+
+void Registry::clear() noexcept {
+  counter_names_ = NameTable{};
+  gauge_names_ = NameTable{};
+  histogram_names_ = NameTable{};
+  rate_names_ = NameTable{};
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  rates_.clear();
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace dap::obs

@@ -1,0 +1,207 @@
+#pragma once
+// Handle-based telemetry registry.
+//
+// Instruments (counters, gauges, log-bucketed latency histograms,
+// success-rate estimators) are registered once by name and updated
+// through small integer handles, so hot paths never hash or compare
+// strings and never allocate. Names are only touched at registration
+// time and when rendering reports / JSON exports.
+//
+// A process-wide `Registry::global()` aggregates protocol and solver
+// telemetry; simulation components that need isolated counters (one
+// `sim::Medium` per run, say) own a private Registry instead.
+//
+// Not thread-safe: the simulator and every bench are single-threaded,
+// and the cost of making the Welford moments atomic would land on the
+// per-packet path this layer exists to keep cheap.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace dap::obs {
+
+/// Typed wrappers around an instrument's slot index. Distinct types keep
+/// a CounterHandle from being passed where a HistogramHandle is expected.
+struct CounterHandle {
+  std::uint32_t index = 0;
+};
+struct GaugeHandle {
+  std::uint32_t index = 0;
+};
+struct HistogramHandle {
+  std::uint32_t index = 0;
+};
+struct RateHandle {
+  std::uint32_t index = 0;
+};
+
+/// Log-bucketed histogram for latency-like positive values.
+///
+/// Buckets are base-2 octaves split into `kSubBuckets` linear
+/// sub-buckets, so every recorded value lands in a bucket whose width is
+/// at most 1/kSubBuckets of its magnitude (<= 12.5% relative error on
+/// percentile estimates). Exact moments (mean/stddev/min/max via
+/// Welford) ride alongside the buckets. Updates are allocation-free.
+class LatencyHistogram {
+ public:
+  static constexpr int kMinExponent = -20;  // ~1e-6: sub-ns when in us
+  static constexpr int kMaxExponent = 43;   // ~8.8e12: ~102 days in us
+  static constexpr std::size_t kSubBuckets = 8;
+  static constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(kMaxExponent - kMinExponent + 1) * kSubBuckets +
+      2;  // + underflow and overflow buckets
+
+  LatencyHistogram();
+
+  void add(double value) noexcept;
+
+  /// Quantile estimate in [0, 1]; returns the midpoint of the covering
+  /// bucket clamped into [min, max]. 0 with no samples.
+  [[nodiscard]] double quantile(double q) const noexcept;
+  [[nodiscard]] double p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] double p90() const noexcept { return quantile(0.90); }
+  [[nodiscard]] double p99() const noexcept { return quantile(0.99); }
+
+  [[nodiscard]] std::size_t count() const noexcept {
+    return moments_.count();
+  }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double min() const noexcept { return moments_.min(); }
+  [[nodiscard]] double max() const noexcept { return moments_.max(); }
+  /// Exact streaming moments (Welford), shared with sim::Metrics so its
+  /// report() output is unchanged.
+  [[nodiscard]] const common::RunningStats& moments() const noexcept {
+    return moments_;
+  }
+
+  // Bucket introspection, used by the boundary tests.
+  [[nodiscard]] static std::size_t bucket_index(double value) noexcept;
+  /// Inclusive lower edge of bucket `i` (-inf-side buckets report 0).
+  [[nodiscard]] static double bucket_lower(std::size_t i) noexcept;
+  /// Exclusive upper edge of bucket `i`.
+  [[nodiscard]] static double bucket_upper(std::size_t i) noexcept;
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return i < kBuckets ? counts_[i] : 0;
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;  // sized kBuckets at construction
+  common::RunningStats moments_;
+  double sum_ = 0.0;
+};
+
+class Registry {
+ public:
+  // ---- Registration (idempotent: re-registering a name returns the
+  // existing handle). The slow path: one hash lookup + possible insert.
+  CounterHandle counter(std::string_view name);
+  GaugeHandle gauge(std::string_view name);
+  HistogramHandle histogram(std::string_view name);
+  RateHandle rate(std::string_view name);
+
+  // ---- Hot-path updates: index into stable storage, no strings, no
+  // allocation.
+  void add(CounterHandle h, std::uint64_t by = 1) noexcept {
+    counters_[h.index] += by;
+  }
+  void set(GaugeHandle h, double value) noexcept { gauges_[h.index] = value; }
+  void observe(HistogramHandle h, double value) noexcept {
+    histograms_[h.index].add(value);
+  }
+  void mark(RateHandle h, bool success) noexcept {
+    rates_[h.index].add(success);
+  }
+
+  // ---- Reads through handles.
+  [[nodiscard]] std::uint64_t value(CounterHandle h) const noexcept {
+    return counters_[h.index];
+  }
+  [[nodiscard]] double value(GaugeHandle h) const noexcept {
+    return gauges_[h.index];
+  }
+  [[nodiscard]] const LatencyHistogram& value(HistogramHandle h) const noexcept {
+    return histograms_[h.index];
+  }
+  [[nodiscard]] const common::RateEstimator& value(RateHandle h) const noexcept {
+    return rates_[h.index];
+  }
+
+  // ---- Lookups by name (report/test paths; nullptr when absent).
+  [[nodiscard]] const std::uint64_t* find_counter(std::string_view name) const;
+  [[nodiscard]] const double* find_gauge(std::string_view name) const;
+  [[nodiscard]] const LatencyHistogram* find_histogram(
+      std::string_view name) const;
+  [[nodiscard]] const common::RateEstimator* find_rate(
+      std::string_view name) const;
+
+  /// (name, slot) pairs per instrument type, sorted by name — the
+  /// iteration order of reports and exports.
+  [[nodiscard]] std::vector<std::pair<std::string_view, std::uint32_t>>
+  sorted_counters() const;
+  [[nodiscard]] std::vector<std::pair<std::string_view, std::uint32_t>>
+  sorted_gauges() const;
+  [[nodiscard]] std::vector<std::pair<std::string_view, std::uint32_t>>
+  sorted_histograms() const;
+  [[nodiscard]] std::vector<std::pair<std::string_view, std::uint32_t>>
+  sorted_rates() const;
+
+  [[nodiscard]] std::size_t instruments() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size() +
+           rates_.size();
+  }
+
+  /// Renders counters/rates/histogram-moments as the aligned text block
+  /// sim::Metrics::report() has always produced (byte-compatible).
+  /// `skip_zero_counters` drops counters that were never incremented —
+  /// components that pre-register handles at construction would otherwise
+  /// print "= 0" lines the lazily-registering legacy Metrics never had.
+  [[nodiscard]] std::string report(bool skip_zero_counters = false) const;
+
+  /// Drops every instrument and name. Handles become invalid; intended
+  /// for tests and multi-phase benches that snapshot between phases.
+  void clear() noexcept;
+
+  /// The process-wide registry protocol instrumentation feeds.
+  static Registry& global();
+
+ private:
+  // Transparent hashing so string_view lookups never build a std::string.
+  struct NameHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  struct NameTable {
+    std::unordered_map<std::string, std::uint32_t, NameHash, std::equal_to<>>
+        index;
+    std::vector<std::string> names;  // slot -> name
+    // Returns the slot for `name`, inserting a new one (== size) if new.
+    std::uint32_t intern(std::string_view name, std::size_t next_slot);
+    [[nodiscard]] const std::uint32_t* find(std::string_view name) const {
+      const auto it = index.find(name);
+      return it == index.end() ? nullptr : &it->second;
+    }
+  };
+
+  NameTable counter_names_;
+  NameTable gauge_names_;
+  NameTable histogram_names_;
+  NameTable rate_names_;
+  // Deques: O(1) indexed access with stable addresses, so pointers
+  // handed out by find_* survive later registrations.
+  std::deque<std::uint64_t> counters_;
+  std::deque<double> gauges_;
+  std::deque<LatencyHistogram> histograms_;
+  std::deque<common::RateEstimator> rates_;
+};
+
+}  // namespace dap::obs

@@ -1,0 +1,61 @@
+#pragma once
+// RAII latency probes feeding obs::Registry histograms.
+//
+// A ScopedTimer reads the steady clock on construction and records the
+// elapsed wall time in microseconds into a pre-registered histogram on
+// destruction — two clock reads plus one allocation-free histogram
+// update per timed scope. Instrumentation on crypto-grade hot paths can
+// be switched off globally (`set_timing_enabled(false)`), which reduces
+// a timer to one relaxed atomic load.
+
+#include <atomic>
+#include <chrono>
+
+#include "obs/registry.h"
+
+namespace dap::obs {
+
+namespace detail {
+inline std::atomic<bool>& timing_flag() noexcept {
+  static std::atomic<bool> enabled{true};
+  return enabled;
+}
+}  // namespace detail
+
+/// Globally enables/disables ScopedTimer clock reads (default: enabled).
+inline void set_timing_enabled(bool enabled) noexcept {
+  detail::timing_flag().store(enabled, std::memory_order_relaxed);
+}
+[[nodiscard]] inline bool timing_enabled() noexcept {
+  return detail::timing_flag().load(std::memory_order_relaxed);
+}
+
+class ScopedTimer {
+ public:
+  ScopedTimer(Registry& registry, HistogramHandle handle) noexcept
+      : registry_(timing_enabled() ? &registry : nullptr), handle_(handle) {
+    if (registry_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  /// Times into the global registry under `handle`.
+  explicit ScopedTimer(HistogramHandle handle) noexcept
+      : ScopedTimer(Registry::global(), handle) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (registry_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    registry_->observe(
+        handle_,
+        std::chrono::duration<double, std::micro>(elapsed).count());
+  }
+
+ private:
+  Registry* registry_;
+  HistogramHandle handle_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dap::obs

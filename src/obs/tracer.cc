@@ -1,0 +1,91 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/csv.h"
+
+namespace dap::obs {
+
+std::string_view trace_kind_name(TraceKind kind) noexcept {
+  switch (kind) {
+    case TraceKind::kAnnounce:
+      return "announce";
+    case TraceKind::kReveal:
+      return "reveal";
+    case TraceKind::kAuthSuccess:
+      return "auth_success";
+    case TraceKind::kAuthFail:
+      return "auth_fail";
+    case TraceKind::kWeakAuthFail:
+      return "weak_auth_fail";
+    case TraceKind::kBufferEvict:
+      return "buffer_evict";
+    case TraceKind::kEssStep:
+      return "ess_step";
+    case TraceKind::kRetune:
+      return "retune";
+  }
+  return "unknown";
+}
+
+Tracer::Tracer(std::size_t capacity) : ring_(capacity == 0 ? 1 : capacity) {}
+
+void Tracer::record(TraceKind kind, std::uint64_t t, std::uint32_t id,
+                    double a, double b) noexcept {
+  if (!enabled_) return;
+  ring_[total_ % ring_.size()] = TraceEvent{kind, id, t, a, b};
+  ++total_;
+}
+
+std::size_t Tracer::size() const noexcept {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(total_, ring_.size()));
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  const std::uint64_t first = total_ - n;
+  for (std::uint64_t i = first; i < total_; ++i) {
+    out.push_back(ring_[i % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::export_jsonl(std::ostream& out) const {
+  for (const TraceEvent& e : snapshot()) {
+    out << "{\"kind\":\"" << trace_kind_name(e.kind) << "\",\"id\":" << e.id
+        << ",\"t\":" << e.t << ",\"a\":" << common::format_number(e.a)
+        << ",\"b\":" << common::format_number(e.b) << "}\n";
+  }
+}
+
+void Tracer::export_chrome_trace(std::ostream& out) const {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : snapshot()) {
+    if (!first) out << ',';
+    first = false;
+    // Instant events on one process/thread lane; sim time is already in
+    // microseconds, which is exactly trace_event's "ts" unit.
+    out << "\n{\"name\":\"" << trace_kind_name(e.kind)
+        << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":1,\"ts\":" << e.t
+        << ",\"args\":{\"id\":" << e.id << ",\"a\":"
+        << common::format_number(e.a) << ",\"b\":" << common::format_number(e.b)
+        << "}}";
+  }
+  out << "\n]}\n";
+}
+
+void Tracer::clear() noexcept {
+  total_ = 0;
+}
+
+Tracer& Tracer::global() {
+  static Tracer instance;
+  return instance;
+}
+
+}  // namespace dap::obs

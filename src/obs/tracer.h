@@ -1,0 +1,87 @@
+#pragma once
+// Structured event tracing over a fixed-capacity ring buffer.
+//
+// Protocol and solver code records typed events (announce, reveal,
+// auth outcomes, buffer evictions, replicator steps) stamped with sim
+// time. Recording is a no-op branch while disabled (the default) and an
+// allocation-free ring write while enabled; when the ring is full the
+// oldest events are overwritten, so a trace always holds the tail of
+// the run. Traces export as JSONL (one event per line) or as Chrome
+// `trace_event` JSON loadable in chrome://tracing / Perfetto.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+namespace dap::obs {
+
+enum class TraceKind : std::uint8_t {
+  kAnnounce,      // MAC announcement processed (id = interval)
+  kReveal,        // message+key reveal processed (id = interval)
+  kAuthSuccess,   // strong authentication accepted a message
+  kAuthFail,      // no stored record matched the recomputed uMAC
+  kWeakAuthFail,  // disclosed key failed the chain walk
+  kBufferEvict,   // a stored record was displaced by a later copy
+  kEssStep,       // replicator-dynamics step (a = X, b = Y)
+  kRetune,        // adaptive controller changed m (a = new m, b = p-hat)
+};
+
+[[nodiscard]] std::string_view trace_kind_name(TraceKind kind) noexcept;
+
+struct TraceEvent {
+  TraceKind kind = TraceKind::kAnnounce;
+  std::uint32_t id = 0;   // interval / step index, event-kind specific
+  std::uint64_t t = 0;    // sim-time stamp (us) or step counter
+  double a = 0.0;         // payload, event-kind specific
+  double b = 0.0;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 16384);
+
+  void enable(bool on) noexcept { enabled_ = on; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Records one event while enabled; overwrites the oldest event once
+  /// `capacity` is exceeded. Never allocates.
+  void record(TraceKind kind, std::uint64_t t, std::uint32_t id = 0,
+              double a = 0.0, double b = 0.0) noexcept;
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return ring_.size();
+  }
+  /// Events currently held (<= capacity).
+  [[nodiscard]] std::size_t size() const noexcept;
+  /// Events recorded since construction/clear, including overwritten ones.
+  [[nodiscard]] std::uint64_t total_recorded() const noexcept {
+    return total_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return total_ - size();
+  }
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// One JSON object per line:
+  /// {"kind":"auth_success","id":3,"t":1500000,"a":0,"b":0}
+  void export_jsonl(std::ostream& out) const;
+  /// Chrome trace_event JSON ({"traceEvents":[...]}) with events as
+  /// instants on the sim-time axis.
+  void export_chrome_trace(std::ostream& out) const;
+
+  void clear() noexcept;
+
+  /// Process-wide tracer (disabled until a caller enables it).
+  static Tracer& global();
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::uint64_t total_ = 0;  // next write goes to ring_[total_ % capacity]
+  bool enabled_ = false;
+};
+
+}  // namespace dap::obs

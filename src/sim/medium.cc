@@ -5,7 +5,15 @@
 namespace dap::sim {
 
 Medium::Medium(EventQueue& queue, common::Rng& rng)
-    : queue_(queue), rng_(rng.fork(0x6d656469756dULL /* "medium" */)) {}
+    : queue_(queue), rng_(rng.fork(0x6d656469756dULL /* "medium" */)) {
+  // Handles resolved once here; broadcast() then updates without any
+  // name lookup.
+  auto& reg = metrics_.registry();
+  ctr_rate_limited_ = reg.counter("medium.rate_limited");
+  ctr_broadcasts_ = reg.counter("medium.broadcasts");
+  ctr_frames_lost_ = reg.counter("medium.frames_lost");
+  ctr_frames_corrupted_ = reg.counter("medium.frames_corrupted");
+}
 
 std::size_t Medium::attach(ReceiveFn receive, std::unique_ptr<Channel> channel,
                            SimTime latency) {
@@ -36,7 +44,7 @@ bool Medium::broadcast(const wire::Packet& packet) {
   if (bucket != rate_limits_.end() &&
       !bucket->second.try_consume(bits, queue_.now())) {
     ++rate_limited_[sender];
-    metrics_.incr("medium.rate_limited");
+    metrics_.registry().add(ctr_rate_limited_);
     return false;
   }
   if (bits_by_sender_.size() <= sender) {
@@ -44,12 +52,12 @@ bool Medium::broadcast(const wire::Packet& packet) {
   }
   bits_by_sender_[sender] += bits;
   total_bits_ += bits;
-  metrics_.incr("medium.broadcasts");
+  metrics_.registry().add(ctr_broadcasts_);
 
   for (std::size_t li = 0; li < links_.size(); ++li) {
     auto& link = links_[li];
     if (!link.channel->deliver(link.rng)) {
-      metrics_.incr("medium.frames_lost");
+      metrics_.registry().add(ctr_frames_lost_);
       continue;
     }
     common::Bytes copy = framed;
@@ -60,7 +68,7 @@ bool Medium::broadcast(const wire::Packet& packet) {
     queue_.schedule_in(link.latency, [this, li, copy = std::move(copy)]() {
       auto packet_opt = wire::deframe(copy);
       if (!packet_opt) {
-        metrics_.incr("medium.frames_corrupted");
+        metrics_.registry().add(ctr_frames_corrupted_);
         return;
       }
       links_[li].receive(*packet_opt, queue_.now());

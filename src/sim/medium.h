@@ -76,6 +76,11 @@ class Medium {
   std::map<wire::NodeId, TokenBucket> rate_limits_;
   std::map<wire::NodeId, std::uint64_t> rate_limited_;
   Metrics metrics_;
+  // Registry handles cached at construction (per-frame path).
+  obs::CounterHandle ctr_rate_limited_;
+  obs::CounterHandle ctr_broadcasts_;
+  obs::CounterHandle ctr_frames_lost_;
+  obs::CounterHandle ctr_frames_corrupted_;
 };
 
 }  // namespace dap::sim

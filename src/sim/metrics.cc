@@ -1,57 +1,40 @@
 #include "sim/metrics.h"
 
-#include <sstream>
-
-#include "common/csv.h"
-
 namespace dap::sim {
 
 void Metrics::incr(const std::string& name, std::uint64_t by) {
-  counters_[name] += by;
+  registry_.add(registry_.counter(name), by);
 }
 
 std::uint64_t Metrics::count(const std::string& name) const noexcept {
-  const auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
+  const std::uint64_t* c = registry_.find_counter(name);
+  return c == nullptr ? 0 : *c;
 }
 
 void Metrics::observe(const std::string& name, double value) {
-  stats_[name].add(value);
+  registry_.observe(registry_.histogram(name), value);
 }
 
 const common::RunningStats* Metrics::stats(
     const std::string& name) const noexcept {
-  const auto it = stats_.find(name);
-  return it == stats_.end() ? nullptr : &it->second;
+  const obs::LatencyHistogram* h = registry_.find_histogram(name);
+  return h == nullptr ? nullptr : &h->moments();
 }
 
 void Metrics::mark(const std::string& name, bool success) {
-  rates_[name].add(success);
+  registry_.mark(registry_.rate(name), success);
 }
 
 const common::RateEstimator* Metrics::rate(
     const std::string& name) const noexcept {
-  const auto it = rates_.find(name);
-  return it == rates_.end() ? nullptr : &it->second;
+  return registry_.find_rate(name);
 }
 
 std::string Metrics::report() const {
-  std::ostringstream out;
-  for (const auto& [name, value] : counters_) {
-    out << "  " << name << " = " << value << '\n';
-  }
-  for (const auto& [name, est] : rates_) {
-    const auto [lo, hi] = est.wilson95();
-    out << "  " << name << " = " << common::format_number(est.rate()) << " ["
-        << common::format_number(lo) << ", " << common::format_number(hi)
-        << "] over " << est.trials() << " trials\n";
-  }
-  for (const auto& [name, st] : stats_) {
-    out << "  " << name << " mean=" << common::format_number(st.mean())
-        << " sd=" << common::format_number(st.stddev()) << " n=" << st.count()
-        << '\n';
-  }
-  return out.str();
+  // The legacy Metrics only materialized a counter on first incr(); the
+  // Medium now pre-registers handles up front, so drop untouched counters
+  // to keep the rendered report identical to what it always printed.
+  return registry_.report(/*skip_zero_counters=*/true);
 }
 
 }  // namespace dap::sim

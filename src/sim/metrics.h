@@ -1,11 +1,18 @@
 #pragma once
 // Named counters + rate estimators collected during simulation runs.
+//
+// Since the obs layer landed this is a thin compatibility shim over a
+// private obs::Registry: names resolve to integer handles through the
+// registry's intern table (one hash lookup, no tree walk, no per-update
+// allocation), and components on hot paths can grab handles once via
+// `registry()` and skip the name lookup entirely. `report()` output is
+// byte-compatible with the original string-keyed implementation.
 
 #include <cstdint>
-#include <map>
 #include <string>
 
 #include "common/stats.h"
+#include "obs/registry.h"
 
 namespace dap::sim {
 
@@ -22,19 +29,19 @@ class Metrics {
   [[nodiscard]] const common::RateEstimator* rate(
       const std::string& name) const noexcept;
 
-  /// All counters, for report printing.
-  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters()
-      const noexcept {
-    return counters_;
+  /// The backing registry, for callers that cache handles up front and
+  /// update through them (see sim::Medium) or want histogram quantiles
+  /// beyond the classic mean/sd view.
+  [[nodiscard]] obs::Registry& registry() noexcept { return registry_; }
+  [[nodiscard]] const obs::Registry& registry() const noexcept {
+    return registry_;
   }
 
   /// Renders counters/rates/stats as an aligned text block.
   [[nodiscard]] std::string report() const;
 
  private:
-  std::map<std::string, std::uint64_t> counters_;
-  std::map<std::string, common::RunningStats> stats_;
-  std::map<std::string, common::RateEstimator> rates_;
+  obs::Registry registry_;
 };
 
 }  // namespace dap::sim

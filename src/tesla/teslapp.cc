@@ -4,6 +4,7 @@
 
 #include "common/codec.h"
 #include "crypto/mac.h"
+#include "obs/scoped_timer.h"
 
 namespace dap::tesla {
 
@@ -78,12 +79,29 @@ TeslaPpReceiver::TeslaPpReceiver(const TeslaPpConfig& config,
     : TeslaPpReceiver(config, std::move(commitment), 0,
                       std::move(local_secret), clock) {}
 
+TeslaPpReceiver::Telemetry TeslaPpReceiver::make_telemetry() {
+  auto& reg = obs::Registry::global();
+  return {
+      reg.counter("teslapp.announces_received"),
+      reg.counter("teslapp.announces_unsafe"),
+      reg.counter("teslapp.records_stored"),
+      reg.counter("teslapp.records_dropped"),
+      reg.counter("teslapp.reveals_received"),
+      reg.counter("teslapp.keys_rejected"),
+      reg.counter("teslapp.authenticated"),
+      reg.counter("teslapp.unmatched"),
+      reg.histogram("teslapp.rx_announce_us"),
+      reg.histogram("teslapp.rx_reveal_us"),
+  };
+}
+
 TeslaPpReceiver::TeslaPpReceiver(const TeslaPpConfig& config,
                                  common::Bytes anchor_key,
                                  std::uint32_t anchor_index,
                                  common::Bytes local_secret,
                                  sim::LooseClock clock)
     : config_(config),
+      telemetry_(make_telemetry()),
       local_secret_(std::move(local_secret)),
       clock_(clock),
       auth_(crypto::PrfDomain::kChainStep, config.key_size,
@@ -111,28 +129,38 @@ common::Bytes TeslaPpReceiver::self_mac(std::uint32_t interval,
 
 void TeslaPpReceiver::receive(const wire::MacAnnounce& packet,
                               sim::SimTime local_now) {
+  auto& reg = obs::Registry::global();
+  const obs::ScopedTimer timer(reg, telemetry_.rx_announce_latency);
   ++stats_.announces_received;
+  reg.add(telemetry_.announces_received);
   // TESLA++ reveals the key one interval after the announcement (d = 1).
   if (!clock_.packet_safe(packet.interval, 1, local_now, config_.schedule)) {
     ++stats_.announces_unsafe;
+    reg.add(telemetry_.announces_unsafe);
     return;
   }
   auto& bucket = records_[packet.interval];
   if (config_.max_records_per_interval != 0 &&
       bucket.size() >= config_.max_records_per_interval) {
     ++stats_.records_dropped;
+    reg.add(telemetry_.records_dropped);
     return;
   }
   if (bucket.insert(self_mac(packet.interval, packet.mac)).second) {
     ++stats_.records_stored;
+    reg.add(telemetry_.records_stored);
   }
 }
 
 std::vector<AuthenticatedMessage> TeslaPpReceiver::receive(
     const wire::MessageReveal& packet, sim::SimTime local_now) {
+  auto& reg = obs::Registry::global();
+  const obs::ScopedTimer timer(reg, telemetry_.rx_reveal_latency);
   ++stats_.reveals_received;
+  reg.add(telemetry_.reveals_received);
   if (!auth_.accept(packet.interval, packet.key)) {
     ++stats_.keys_rejected;
+    reg.add(telemetry_.keys_rejected);
     return {};
   }
   const auto mac_key = auth_.mac_key(packet.interval);
@@ -145,11 +173,13 @@ std::vector<AuthenticatedMessage> TeslaPpReceiver::receive(
   if (bucket_it == records_.end() ||
       bucket_it->second.find(expected_record) == bucket_it->second.end()) {
     ++stats_.unmatched;
+    reg.add(telemetry_.unmatched);
     return {};
   }
   // One record authenticates one reveal; drop the interval's bucket.
   records_.erase(bucket_it);
   ++stats_.authenticated;
+  reg.add(telemetry_.authenticated);
   return {AuthenticatedMessage{packet.interval, packet.message, local_now}};
 }
 

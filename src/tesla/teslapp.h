@@ -22,6 +22,7 @@
 #include "common/bytes.h"
 #include "crypto/keychain.h"
 #include "crypto/merkle.h"
+#include "obs/registry.h"
 #include "sim/clock_model.h"
 #include "tesla/chain_auth.h"
 #include "tesla/tesla.h"
@@ -146,7 +147,25 @@ class TeslaPpReceiver {
   [[nodiscard]] common::Bytes self_mac(std::uint32_t interval,
                                        common::ByteView mac) const;
 
+  /// Global-registry handles mirroring TeslaPpStats; resolved once so
+  /// the receive paths update by index only.
+  struct Telemetry {
+    obs::CounterHandle announces_received;
+    obs::CounterHandle announces_unsafe;
+    obs::CounterHandle records_stored;
+    obs::CounterHandle records_dropped;
+    obs::CounterHandle reveals_received;
+    obs::CounterHandle keys_rejected;
+    obs::CounterHandle authenticated;
+    obs::CounterHandle unmatched;
+    obs::HistogramHandle rx_announce_latency;
+    obs::HistogramHandle rx_reveal_latency;
+  };
+
+  [[nodiscard]] static Telemetry make_telemetry();
+
   TeslaPpConfig config_;
+  Telemetry telemetry_;
   common::Bytes local_secret_;
   sim::LooseClock clock_;
   ChainAuthenticator auth_;

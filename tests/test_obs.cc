@@ -1,0 +1,386 @@
+// Unit tests for the obs telemetry layer: registry handles, log-bucket
+// histogram boundaries and percentile extraction, trace ring-buffer
+// wraparound, JSONL/Chrome export round-trips, and the allocation-free
+// hot-path guarantee.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "obs/scoped_timer.h"
+#include "obs/tracer.h"
+
+// ------------------------------------------------------------------
+// Global allocation counter: every operator new in this binary bumps
+// it, which lets the regression tests below prove that registry and
+// tracer updates are allocation-free after registration.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+// GCC can't see that the replacement operator delete below pairs with the
+// malloc inside the replacement operator new, and warns on every new[].
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop
+
+namespace dap::obs {
+namespace {
+
+// ---------------------------------------------------------- Registry
+
+TEST(Registry, RegistrationIsIdempotent) {
+  Registry reg;
+  const CounterHandle a = reg.counter("x");
+  const CounterHandle b = reg.counter("x");
+  EXPECT_EQ(a.index, b.index);
+  reg.add(a, 2);
+  reg.add(b, 3);
+  EXPECT_EQ(reg.value(a), 5u);
+  ASSERT_NE(reg.find_counter("x"), nullptr);
+  EXPECT_EQ(*reg.find_counter("x"), 5u);
+  EXPECT_EQ(reg.find_counter("y"), nullptr);
+}
+
+TEST(Registry, InstrumentTypesHaveSeparateNamespaces) {
+  Registry reg;
+  const CounterHandle c = reg.counter("same");
+  const HistogramHandle h = reg.histogram("same");
+  const GaugeHandle g = reg.gauge("same");
+  const RateHandle r = reg.rate("same");
+  reg.add(c, 7);
+  reg.observe(h, 1.5);
+  reg.set(g, 2.5);
+  reg.mark(r, true);
+  EXPECT_EQ(reg.value(c), 7u);
+  EXPECT_EQ(reg.value(h).count(), 1u);
+  EXPECT_DOUBLE_EQ(reg.value(g), 2.5);
+  EXPECT_EQ(reg.value(r).trials(), 1u);
+}
+
+TEST(Registry, FindPointersSurviveLaterRegistrations) {
+  Registry reg;
+  const CounterHandle a = reg.counter("first");
+  reg.add(a);
+  const std::uint64_t* p = reg.find_counter("first");
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("other." + std::to_string(i));
+    reg.histogram("hist." + std::to_string(i));
+  }
+  EXPECT_EQ(p, reg.find_counter("first"));  // deque storage: stable
+  EXPECT_EQ(*p, 1u);
+}
+
+TEST(Registry, ReportMatchesLegacyMetricsFormat) {
+  Registry reg;
+  reg.add(reg.counter("counter.a"), 3);
+  reg.mark(reg.rate("rate.b"), true);
+  reg.observe(reg.histogram("stat.c"), 1.0);
+  const std::string report = reg.report();
+  EXPECT_NE(report.find("counter.a = 3"), std::string::npos);
+  EXPECT_NE(report.find("rate.b"), std::string::npos);
+  EXPECT_NE(report.find("stat.c mean="), std::string::npos);
+  // Counters come first, then rates, then observation moments.
+  EXPECT_LT(report.find("counter.a"), report.find("rate.b"));
+  EXPECT_LT(report.find("rate.b"), report.find("stat.c"));
+}
+
+TEST(Registry, UpdatesAreAllocationFreeAfterRegistration) {
+  Registry reg;
+  const CounterHandle c = reg.counter("dap.announces_received");
+  const HistogramHandle h = reg.histogram("dap.rx_announce_us");
+  const GaugeHandle g = reg.gauge("dap.buffers");
+  const RateHandle r = reg.rate("dap.auth");
+  // Warm up any lazy internals before measuring.
+  reg.add(c);
+  reg.observe(h, 1.0);
+  reg.set(g, 1.0);
+  reg.mark(r, true);
+
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 10000; ++i) {
+    reg.add(c);
+    reg.observe(h, static_cast<double>(i));
+    reg.set(g, static_cast<double>(i));
+    reg.mark(r, (i & 1) != 0);
+  }
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(before, after) << "registry hot-path updates allocated";
+  EXPECT_EQ(reg.value(c), 10001u);
+  EXPECT_EQ(reg.value(h).count(), 10001u);
+}
+
+TEST(Registry, NameLookupsAreAllocationFree) {
+  Registry reg;
+  reg.add(reg.counter("medium.broadcasts"), 4);
+  const std::uint64_t before = g_allocations.load();
+  const std::uint64_t* c = reg.find_counter("medium.broadcasts");
+  const std::uint64_t after = g_allocations.load();
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(*c, 4u);
+  EXPECT_EQ(before, after) << "transparent lookup should not build strings";
+}
+
+// -------------------------------------------------- LatencyHistogram
+
+TEST(LatencyHistogram, BucketBoundariesCoverOctavesLinearly) {
+  // Bucket 0 is the underflow bucket for v <= 0 and denormal-small v.
+  EXPECT_EQ(LatencyHistogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(-5.0), 0u);
+
+  // 1.0 = 2^0: first sub-bucket of the exponent-0 octave.
+  const std::size_t at_one = LatencyHistogram::bucket_index(1.0);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::bucket_lower(at_one), 1.0);
+  // The octave [1, 2) splits into 8 linear sub-buckets of width 0.125.
+  EXPECT_EQ(LatencyHistogram::bucket_index(1.124), at_one);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1.125), at_one + 1);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1.999), at_one + 7);
+  EXPECT_EQ(LatencyHistogram::bucket_index(2.0), at_one + 8);
+
+  // Every in-range bucket's edges bracket its members.
+  for (const double v : {0.001, 0.5, 1.0, 3.7, 1024.0, 1e9}) {
+    const std::size_t i = LatencyHistogram::bucket_index(v);
+    EXPECT_GE(v, LatencyHistogram::bucket_lower(i)) << v;
+    EXPECT_LT(v, LatencyHistogram::bucket_upper(i)) << v;
+  }
+
+  // Bucket widths are at most 1/8 of the value's magnitude.
+  for (const double v : {2.5, 77.0, 4096.0}) {
+    const std::size_t i = LatencyHistogram::bucket_index(v);
+    const double width =
+        LatencyHistogram::bucket_upper(i) - LatencyHistogram::bucket_lower(i);
+    EXPECT_LE(width, v / 8.0 + 1e-12) << v;
+  }
+}
+
+TEST(LatencyHistogram, PercentilesOfUniformDistribution) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  // Log-bucket estimates carry <= 12.5% relative error by construction;
+  // allow a slightly wider margin for the rank convention.
+  EXPECT_NEAR(h.p50(), 500.0, 500.0 * 0.14);
+  EXPECT_NEAR(h.p90(), 900.0, 900.0 * 0.14);
+  EXPECT_NEAR(h.p99(), 990.0, 990.0 * 0.14);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+}
+
+TEST(LatencyHistogram, PercentilesOfBimodalDistribution) {
+  // 90% fast path at ~10us, 10% slow path at ~1000us: p50 must sit in
+  // the fast mode and p99 in the slow mode — the shape that motivates
+  // histograms over means for DoS work.
+  LatencyHistogram h;
+  for (int i = 0; i < 900; ++i) h.add(10.0);
+  for (int i = 0; i < 100; ++i) h.add(1000.0);
+  EXPECT_NEAR(h.p50(), 10.0, 10.0 * 0.14);
+  EXPECT_NEAR(h.p99(), 1000.0, 1000.0 * 0.14);
+  EXPECT_NEAR(h.moments().mean(), 109.0, 1e-9);
+}
+
+TEST(LatencyHistogram, MomentsMatchWelford) {
+  LatencyHistogram h;
+  common::RunningStats reference;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    h.add(v);
+    reference.add(v);
+  }
+  EXPECT_DOUBLE_EQ(h.moments().mean(), reference.mean());
+  EXPECT_DOUBLE_EQ(h.moments().stddev(), reference.stddev());
+  EXPECT_DOUBLE_EQ(h.sum(), 40.0);
+}
+
+TEST(LatencyHistogram, EmptyHistogramIsSane) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+}
+
+// ------------------------------------------------------- ScopedTimer
+
+TEST(ScopedTimer, RecordsElapsedTime) {
+  Registry reg;
+  const HistogramHandle h = reg.histogram("timed");
+  {
+    const ScopedTimer timer(reg, h);
+    // A few spins so the elapsed time is strictly positive on coarse
+    // clocks too.
+    volatile double sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = sink + static_cast<double>(i);
+  }
+  EXPECT_EQ(reg.value(h).count(), 1u);
+  EXPECT_GE(reg.value(h).max(), 0.0);
+}
+
+TEST(ScopedTimer, DisabledTimingSkipsRecording) {
+  Registry reg;
+  const HistogramHandle h = reg.histogram("timed");
+  set_timing_enabled(false);
+  {
+    const ScopedTimer timer(reg, h);
+  }
+  set_timing_enabled(true);
+  EXPECT_EQ(reg.value(h).count(), 0u);
+}
+
+// ------------------------------------------------------------ Tracer
+
+TEST(Tracer, RingBufferWrapsAround) {
+  Tracer tracer(4);
+  tracer.enable(true);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    tracer.record(TraceKind::kAnnounce, i * 100, i);
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.total_recorded(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first, holding the tail of the run: ids 6, 7, 8, 9.
+  for (std::uint32_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(events[k].id, 6 + k);
+    EXPECT_EQ(events[k].t, (6 + k) * 100u);
+  }
+}
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  Tracer tracer(8);
+  tracer.record(TraceKind::kAnnounce, 1);
+  EXPECT_EQ(tracer.size(), 0u);
+  tracer.enable(true);
+  tracer.record(TraceKind::kAnnounce, 1);
+  EXPECT_EQ(tracer.size(), 1u);
+}
+
+TEST(Tracer, RecordingIsAllocationFree) {
+  Tracer tracer(128);
+  tracer.enable(true);
+  tracer.record(TraceKind::kAnnounce, 0);
+  const std::uint64_t before = g_allocations.load();
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    tracer.record(TraceKind::kAuthSuccess, i, i, 0.5, 0.5);
+  }
+  EXPECT_EQ(before, g_allocations.load());
+}
+
+// Minimal JSON value scanner for the round-trip tests.
+std::string json_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto at = line.find(needle);
+  EXPECT_NE(at, std::string::npos) << key << " missing in " << line;
+  if (at == std::string::npos) return {};
+  auto start = at + needle.size();
+  auto end = line.find_first_of(",}", start);
+  std::string value = line.substr(start, end - start);
+  if (!value.empty() && value.front() == '"') {
+    value = value.substr(1, value.size() - 2);
+  }
+  return value;
+}
+
+TEST(Tracer, JsonlExportRoundTrips) {
+  Tracer tracer(16);
+  tracer.enable(true);
+  tracer.record(TraceKind::kAnnounce, 500000, 1);
+  tracer.record(TraceKind::kAuthSuccess, 1500000, 1, 0.25, 0.75);
+  tracer.record(TraceKind::kEssStep, 42, 42, 0.5, 0.125);
+
+  std::ostringstream out;
+  tracer.export_jsonl(out);
+  std::istringstream in(out.str());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+
+  const auto original = tracer.snapshot();
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(json_field(lines[i], "kind"),
+              trace_kind_name(original[i].kind));
+    EXPECT_EQ(json_field(lines[i], "id"), std::to_string(original[i].id));
+    EXPECT_EQ(json_field(lines[i], "t"), std::to_string(original[i].t));
+    EXPECT_DOUBLE_EQ(std::stod(json_field(lines[i], "a")), original[i].a);
+    EXPECT_DOUBLE_EQ(std::stod(json_field(lines[i], "b")), original[i].b);
+  }
+}
+
+TEST(Tracer, ChromeTraceExportIsWellFormed) {
+  Tracer tracer(16);
+  tracer.enable(true);
+  tracer.record(TraceKind::kAnnounce, 500000, 1);
+  tracer.record(TraceKind::kAuthFail, 1500000, 1);
+  std::ostringstream out;
+  tracer.export_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"announce\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"auth_fail\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":500000"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+// ------------------------------------------------------------ Export
+
+TEST(Export, MetricsJsonContainsEveryInstrument) {
+  Registry reg;
+  reg.add(reg.counter("dap.announces_received"), 12);
+  reg.set(reg.gauge("dap.buffers"), 6.0);
+  reg.mark(reg.rate("dap.auth"), true);
+  auto h = reg.histogram("dap.rx_announce_us");
+  for (int i = 1; i <= 100; ++i) reg.observe(h, static_cast<double>(i));
+
+  const std::string json = metrics_json(reg, 1.5);
+  EXPECT_NE(json.find("\"schema\": \"dap.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall_seconds\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"dap.announces_received\": 12"), std::string::npos);
+  EXPECT_NE(json.find("\"dap.buffers\": 6"), std::string::npos);
+  EXPECT_NE(json.find("\"trials\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Export, EmptyRegistryStillValid) {
+  const Registry reg;
+  const std::string json = metrics_json(reg);
+  EXPECT_NE(json.find("\"counters\": {}"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\": {}"), std::string::npos);
+  EXPECT_EQ(json.find("wall_seconds"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dap::obs
