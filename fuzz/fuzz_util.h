@@ -1,0 +1,119 @@
+#pragma once
+// Shared scaffolding for the fuzz harnesses.
+//
+// Every harness defines the libFuzzer entry point
+// `LLVMFuzzerTestOneInput`. When the toolchain supports
+// `-fsanitize=fuzzer` (clang), CMake builds the harness as a real fuzzer
+// and libFuzzer supplies main(). Otherwise (gcc, or DAP_HAVE_LIBFUZZER
+// unset) this header supplies a corpus-replay main() so the exact same
+// harness runs under ctest forever: each argument is a corpus file or a
+// directory of corpus files, each replayed once through the harness.
+// Harnesses signal a finding by aborting (contract violation, sanitizer
+// report, or an explicit check in the harness), so a clean exit means the
+// whole corpus passed.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace dap::fuzz {
+
+/// Minimal FuzzedDataProvider: consumes the input front-to-back, returning
+/// zeros once exhausted so harness control flow is total on any input.
+class ByteStream {
+ public:
+  ByteStream(const std::uint8_t* data, std::size_t size) noexcept
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }
+  [[nodiscard]] bool empty() const noexcept { return remaining() == 0; }
+
+  std::uint8_t u8() noexcept { return empty() ? 0 : data_[pos_++]; }
+
+  std::uint32_t u32() noexcept {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    }
+    return v;
+  }
+
+  /// Up to `n` bytes (fewer near the end of the input).
+  std::vector<std::uint8_t> bytes(std::size_t n) {
+    const std::size_t take = n < remaining() ? n : remaining();
+    std::vector<std::uint8_t> out(data_ + pos_, data_ + pos_ + take);
+    pos_ += take;
+    return out;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dap::fuzz
+
+#if !defined(DAP_HAVE_LIBFUZZER)
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace dap::fuzz {
+
+inline std::vector<std::uint8_t> read_file(
+    const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+inline int replay_one(const std::filesystem::path& path) {
+  const std::vector<std::uint8_t> bytes = read_file(path);
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  return 1;
+}
+
+}  // namespace dap::fuzz
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <corpus-file-or-dir>...\n"
+                 "(corpus-replay driver; build with clang -fsanitize=fuzzer "
+                 "for real fuzzing)\n",
+                 argv[0]);
+    return 2;
+  }
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path arg(argv[i]);
+    if (fs::is_directory(arg)) {
+      // Sorted for reproducible replay order.
+      std::vector<fs::path> entries;
+      for (const auto& entry : fs::directory_iterator(arg)) {
+        if (entry.is_regular_file()) entries.push_back(entry.path());
+      }
+      std::sort(entries.begin(), entries.end());
+      for (const auto& path : entries) {
+        replayed += dap::fuzz::replay_one(path);
+      }
+    } else if (fs::is_regular_file(arg)) {
+      replayed += dap::fuzz::replay_one(arg);
+    } else {
+      std::fprintf(stderr, "corpus path not found: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  std::printf("replayed %d corpus input(s), no findings\n", replayed);
+  return 0;
+}
+
+#endif  // !DAP_HAVE_LIBFUZZER

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Full local check: tier-1 build + test suite, then the obs telemetry
-# tests again under AddressSanitizer + UBSan.
+# Full local check: tier-1 build + test suite (including the lint and
+# fuzz-corpus-replay ctest entries), then the ENTIRE ctest suite again
+# under AddressSanitizer + UBSan with contracts at the fatal level.
 #
 #   scripts/check.sh            # everything
 #   scripts/check.sh --fast     # tier-1 only, skip the sanitizer pass
@@ -23,14 +24,13 @@ if [[ "$FAST" == 1 ]]; then
   exit 0
 fi
 
-echo "== sanitizers: ASan+UBSan build of the test suite =="
+echo "== sanitizers: ASan+UBSan build, full ctest suite, contracts fatal =="
 cmake -B build-asan -S . "${GEN[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDAP_SANITIZE=address,undefined \
+  -DDAP_CONTRACTS=FATAL \
   -DDAP_BUILD_BENCHES=OFF -DDAP_BUILD_EXAMPLES=OFF
-cmake --build build-asan --target test_obs test_dap test_game
-for t in test_obs test_dap test_game; do
-  echo "-- $t (asan+ubsan)"
-  ./build-asan/tests/"$t"
-done
+cmake --build build-asan
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-asan --output-on-failure
 
 echo "== all checks passed =="

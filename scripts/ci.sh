@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# CI pipeline (also runnable locally). Stages:
+#   1. warnings-as-errors build (-DDAP_WERROR=ON) + full ctest suite,
+#      which includes the lint_self_test / lint_tree entries and the
+#      fuzz corpus-replay drivers.
+#   2. scripts/lint.py over src/ (repo-specific rules), run directly so a
+#      missing python3-in-ctest configuration cannot hide it.
+#   3. clang-tidy over the library sources when clang-tidy is installed
+#      (skipped gracefully otherwise — the container ships gcc only).
+#   4. Full ctest suite under ASan+UBSan with contracts at FATAL.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GEN=()
+command -v ninja >/dev/null 2>&1 && GEN=(-G Ninja)
+
+echo "== [1/4] build (DAP_WERROR=ON) + ctest =="
+cmake -B build-ci -S . "${GEN[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDAP_WERROR=ON
+cmake --build build-ci
+ctest --test-dir build-ci --output-on-failure
+
+echo "== [2/4] scripts/lint.py =="
+python3 scripts/lint.py --self-test
+python3 scripts/lint.py src
+
+echo "== [3/4] clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake -B build-ci -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  mapfile -t tidy_sources < <(find src fuzz -name '*.cc' | sort)
+  clang-tidy -p build-ci --quiet "${tidy_sources[@]}"
+else
+  echo "clang-tidy not installed — skipping (config: .clang-tidy)"
+fi
+
+echo "== [4/4] ASan+UBSan full suite, contracts fatal =="
+cmake -B build-ci-asan -S . "${GEN[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDAP_SANITIZE=address,undefined \
+  -DDAP_CONTRACTS=FATAL \
+  -DDAP_BUILD_BENCHES=OFF -DDAP_BUILD_EXAMPLES=OFF
+cmake --build build-ci-asan
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-ci-asan --output-on-failure
+
+echo "== ci passed =="

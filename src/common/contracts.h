@@ -1,0 +1,78 @@
+#pragma once
+// Design-by-contract macros for the protocol state machines.
+//
+// Three kinds, all checking a boolean condition:
+//   DAP_REQUIRE(cond, msg)    — precondition at a function entry
+//   DAP_ENSURE(cond, msg)     — postcondition before a return
+//   DAP_INVARIANT(cond, msg)  — internal consistency mid-function
+//
+// The distinction is purely diagnostic (the violation report names the
+// kind); all three compile identically. Contracts are for conditions that
+// are *always* true unless the library itself has a bug — attacker-
+// reachable and caller-reachable error paths keep their existing
+// exception/optional-based handling and must never be converted to
+// contracts, because a contract violation terminates the process.
+//
+// Compiled-in levels, selected by the DAP_CONTRACTS CMake option
+// (which defines DAP_CONTRACTS_LEVEL):
+//   0 (OFF)    — macros expand to nothing; conditions are not evaluated.
+//   1 (ASSERT) — violations abort with a one-line report (like assert,
+//                but independent of NDEBUG).
+//   2 (FATAL / ON) — violations print kind, expression, message, and
+//                source location to stderr, then abort. Default for
+//                sanitizer and CI builds.
+//
+// Conditions must be side-effect free: level 0 does not evaluate them.
+
+#include <cstdio>
+#include <cstdlib>
+
+#ifndef DAP_CONTRACTS_LEVEL
+#define DAP_CONTRACTS_LEVEL 1
+#endif
+
+namespace dap::common::detail {
+
+[[noreturn]] inline void contract_violation(const char* kind,
+                                            const char* expression,
+                                            const char* message,
+                                            const char* file, long line,
+                                            const char* function) noexcept {
+#if DAP_CONTRACTS_LEVEL >= 2
+  std::fprintf(stderr,
+               "[dap] contract violation: %s failed\n"
+               "  expression: %s\n"
+               "  message:    %s\n"
+               "  location:   %s:%ld in %s\n",
+               kind, expression, message, file, line, function);
+#else
+  std::fprintf(stderr, "[dap] %s failed: %s (%s:%ld)\n", kind, expression,
+               file, line);
+  (void)message;
+  (void)function;
+#endif
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace dap::common::detail
+
+#if DAP_CONTRACTS_LEVEL >= 1
+#define DAP_CONTRACT_CHECK_(kind, cond, msg)                               \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::dap::common::detail::contract_violation(kind, #cond, msg,          \
+                                                __FILE__, __LINE__,        \
+                                                static_cast<const char*>(  \
+                                                    __func__));            \
+    }                                                                      \
+  } while (false)
+#else
+#define DAP_CONTRACT_CHECK_(kind, cond, msg) \
+  do {                                       \
+  } while (false)
+#endif
+
+#define DAP_REQUIRE(cond, msg) DAP_CONTRACT_CHECK_("DAP_REQUIRE", cond, msg)
+#define DAP_ENSURE(cond, msg) DAP_CONTRACT_CHECK_("DAP_ENSURE", cond, msg)
+#define DAP_INVARIANT(cond, msg) DAP_CONTRACT_CHECK_("DAP_INVARIANT", cond, msg)

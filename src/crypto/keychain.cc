@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/codec.h"
+#include "common/contracts.h"
 #include "obs/scoped_timer.h"
 
 namespace dap::crypto {
@@ -42,6 +43,8 @@ KeyChain::KeyChain(common::ByteView seed, std::size_t length,
   for (std::size_t i = length; i > 0; --i) {
     keys_[i - 1] = step(keys_[i]);
   }
+  DAP_ENSURE(keys_[0].size() == key_size_ && keys_[length].size() == key_size_,
+             "KeyChain: every key must have the configured size");
 }
 
 const common::Bytes& KeyChain::key(std::size_t i) const {
@@ -77,6 +80,8 @@ common::Bytes chain_walk(PrfDomain domain, common::ByteView key,
   for (std::size_t s = 0; s < steps; ++s) {
     current = prf_bytes(domain, current, key_size);
   }
+  DAP_ENSURE(steps == 0 || current.size() == key_size,
+             "chain_walk: walked key must have the requested size");
   return current;
 }
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/codec.h"
+#include "common/contracts.h"
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
 
@@ -66,6 +67,8 @@ MerkleSigner::MerkleSigner(common::ByteView seed, unsigned height,
     levels_.push_back(std::move(level));
   }
   root_ = levels_.back().front();
+  DAP_ENSURE(levels_.size() == height_ + 1 && levels_.back().size() == 1,
+             "MerkleSigner: tree must reduce to a single root");
 }
 
 MerkleSignature MerkleSigner::sign(common::ByteView message) {
@@ -82,6 +85,8 @@ MerkleSignature MerkleSigner::sign(common::ByteView message) {
     index >>= 1;
   }
   ++next_leaf_;
+  DAP_ENSURE(sig.auth_path.size() == height_,
+             "MerkleSigner::sign: auth path must have one node per level");
   return sig;
 }
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/codec.h"
+#include "common/contracts.h"
 #include "crypto/hmac.h"
 
 namespace dap::crypto {
@@ -107,7 +108,8 @@ WotsKeyPair::WotsKeyPair(common::ByteView seed, unsigned winternitz_bits)
 WotsSignature WotsKeyPair::sign(common::ByteView message) {
   const Digest digest = sha256(message);
   const common::Bytes digest_bytes(digest.begin(), digest.end());
-  if (!signed_digest_.empty() && !common::equal(signed_digest_, digest_bytes)) {
+  if (!signed_digest_.empty() &&
+      !common::constant_time_equal(signed_digest_, digest_bytes)) {
     throw std::logic_error("WOTS: key already used for a different message");
   }
   signed_digest_ = digest_bytes;
@@ -118,6 +120,8 @@ WotsSignature WotsKeyPair::sign(common::ByteView message) {
     sig.chains.push_back(
         chain_iterate(secret_[i], i, 0, digits[i]));
   }
+  DAP_ENSURE(sig.chains.size() == digits.size(),
+             "WOTS::sign: one chain value per message/checksum digit");
   return sig;
 }
 

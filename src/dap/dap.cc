@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/contracts.h"
 #include "obs/scoped_timer.h"
 #include "obs/tracer.h"
 
@@ -43,6 +44,8 @@ wire::MacAnnounce DapSender::announce(std::uint32_t i,
   p.sender = config_.sender_id;
   p.interval = i;
   p.mac = crypto::compute_mac(chain_.mac_key(i), message, config_.mac_size);
+  DAP_ENSURE(p.mac.size() == config_.mac_size,
+             "announce: MAC must have the configured broadcast size");
   return p;
 }
 
@@ -75,6 +78,8 @@ DapReceiver::RecordBuffer::RecordBuffer(std::size_t capacity,
 
 bool DapReceiver::RecordBuffer::offer(Record record, common::Rng& rng) {
   ++offers_;
+  DAP_INVARIANT(slots_.size() <= capacity_,
+                "RecordBuffer: slot count exceeds capacity");
   if (slots_.size() < capacity_) {
     slots_.push_back(std::move(record));
     return true;
@@ -92,6 +97,8 @@ bool DapReceiver::RecordBuffer::offer(Record record, common::Rng& rng) {
       // Algorithm 2 line 9: keep the k-th copy with probability m/k.
       const double keep = static_cast<double>(capacity_) /
                           static_cast<double>(offers_);
+      DAP_INVARIANT(keep > 0.0 && keep <= 1.0,
+                    "RecordBuffer: reservoir keep probability outside (0,1]");
       if (!rng.bernoulli(keep)) return false;
       const auto victim =
           static_cast<std::size_t>(rng.uniform(0, capacity_ - 1));
@@ -121,7 +128,11 @@ DapReceiver::DapReceiver(const DapConfig& config, common::Bytes commitment,
 }
 
 common::Bytes DapReceiver::micro_mac_of(common::ByteView mac) const {
-  return crypto::micro_mac(local_secret_, mac, config_.micro_mac_size);
+  common::Bytes out =
+      crypto::micro_mac(local_secret_, mac, config_.micro_mac_size);
+  DAP_ENSURE(out.size() == config_.micro_mac_size,
+             "micro_mac_of: re-MAC must have the configured record size");
+  return out;
 }
 
 bool DapReceiver::RecordBuffer::take_matching(common::ByteView micro_mac) {
@@ -143,6 +154,8 @@ void DapReceiver::prune_stale_rounds(std::uint32_t current_interval) {
   while (it != buffers_.end() && it->first < floor) {
     it = buffers_.erase(it);
   }
+  DAP_ENSURE(buffers_.empty() || buffers_.begin()->first >= floor,
+             "prune_stale_rounds: stale round survived pruning");
 }
 
 void DapReceiver::receive(const wire::MacAnnounce& packet,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.h"
+
 namespace dap::game {
 
 const char* ess_kind_name(EssKind kind) noexcept {
@@ -64,6 +66,12 @@ Ess solve_ess(const GameParams& g) {
     out.kind = EssKind::kInterior;
     out.point = {c.x_interior, c.y_interior};
   }
+  // Whatever the regime, the ESS is a population state: both mixing
+  // proportions must land inside the unit simplex.
+  DAP_ENSURE(out.point.x >= 0.0 && out.point.x <= 1.0,
+             "solve_ess: defender share X outside [0,1]");
+  DAP_ENSURE(out.point.y >= 0.0 && out.point.y <= 1.0,
+             "solve_ess: attacker share Y outside [0,1]");
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/contracts.h"
 #include "obs/scoped_timer.h"
 
 namespace dap::game {
@@ -42,6 +43,9 @@ CostAtEss defense_cost_at_ess(const GameParams& g) {
   CostAtEss out;
   out.ess = solve_ess(g);
   out.cost = cost_at(g, out.ess);
+  // Cost is k2*m*X^2 + (1 - (1-P)X)*Ra*Y with X, Y, P in [0,1]: every
+  // term is non-negative for valid parameters.
+  DAP_ENSURE(out.cost >= 0.0, "defense_cost_at_ess: negative defence cost");
   return out;
 }
 
@@ -118,6 +122,8 @@ OptimizeResult optimize_m(const GameParams& base, OptimizeMode mode,
       result.m = m_opt == 0 ? 1 : m_opt;
       result.ess = curve[result.m - 1].ess;
       result.cost = curve[result.m - 1].cost;
+      DAP_ENSURE(result.m >= 1 && result.m <= max_m,
+                 "optimize_m: chosen m outside [1, max_m]");
       return result;
     }
   }

@@ -15,6 +15,8 @@
 #include <cstddef>
 #include <stdexcept>
 
+#include "common/contracts.h"
+
 namespace dap::game {
 
 struct GameParams {
@@ -38,7 +40,13 @@ struct GameParams {
 
   /// Attack success probability P = p^m.
   [[nodiscard]] double attack_success() const noexcept {
-    return std::pow(xa, static_cast<double>(m));
+    const double P = std::pow(xa, static_cast<double>(m));
+    // For validated parameters (xa in (0,1)) the success probability is a
+    // probability; tolerate out-of-range xa here because validate() owns
+    // that rejection.
+    DAP_ENSURE(!(xa > 0.0 && xa < 1.0) || (P >= 0.0 && P <= 1.0),
+               "attack_success: P = xa^m escaped [0,1]");
+    return P;
   }
 
   static void validate(const GameParams& g) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/contracts.h"
 #include "obs/scoped_timer.h"
 #include "obs/tracer.h"
 
@@ -61,6 +62,8 @@ State clamp_simplex(State s, Boundary boundary) noexcept {
       boundary == Boundary::kPaperClamp ? 1.0 : 1.0 - kFloor;
   s.x = std::clamp(s.x, kFloor, ceiling);
   s.y = std::clamp(s.y, kFloor, ceiling);
+  DAP_ENSURE(s.x >= 0.0 && s.x <= 1.0 && s.y >= 0.0 && s.y <= 1.0,
+             "clamp_simplex: population shares must stay in [0,1]");
   return s;
 }
 
@@ -129,6 +132,11 @@ Trajectory integrate(const GameParams& g, State start,
   }
   out.final = s;
   reg.add(telemetry.steps, out.steps);
+  DAP_ENSURE(out.final.x >= 0.0 && out.final.x <= 1.0 && out.final.y >= 0.0 &&
+                 out.final.y <= 1.0,
+             "integrate: trajectory escaped the unit simplex");
+  DAP_ENSURE(!out.points.empty() && out.steps <= options.max_steps,
+             "integrate: step accounting is inconsistent");
   return out;
 }
 

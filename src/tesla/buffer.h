@@ -21,6 +21,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/contracts.h"
 #include "common/rng.h"
 
 namespace dap::tesla {
@@ -38,6 +39,8 @@ class ReservoirBuffer {
   /// Offers one copy; returns true if it was stored.
   bool offer(T value, common::Rng& rng) {
     ++offers_;
+    DAP_INVARIANT(slots_.size() <= capacity_,
+                  "ReservoirBuffer: slot count exceeds capacity");
     if (slots_.size() < capacity_) {
       slots_.push_back(std::move(value));
       return true;
@@ -45,6 +48,8 @@ class ReservoirBuffer {
     // Keep with probability m/k, replacing a uniformly random slot.
     const double keep_probability =
         static_cast<double>(capacity_) / static_cast<double>(offers_);
+    DAP_INVARIANT(keep_probability > 0.0 && keep_probability <= 1.0,
+                  "ReservoirBuffer: keep probability outside (0,1]");
     if (!rng.bernoulli(keep_probability)) return false;
     const std::size_t victim =
         static_cast<std::size_t>(rng.uniform(0, capacity_ - 1));

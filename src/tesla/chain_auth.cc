@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/contracts.h"
+
 namespace dap::tesla {
 
 ChainAuthenticator::ChainAuthenticator(crypto::PrfDomain domain,
@@ -25,7 +27,7 @@ bool ChainAuthenticator::accept(std::uint32_t i, common::ByteView key) {
   if (key.empty()) return false;
   if (i <= anchor_index_) {
     const auto it = known_.find(i);
-    return it != known_.end() && common::equal(it->second, key);
+    return it != known_.end() && common::constant_time_equal(it->second, key);
   }
   const common::Bytes walked =
       crypto::chain_walk(domain_, key, i - anchor_index_, key_size_);
@@ -33,14 +35,21 @@ bool ChainAuthenticator::accept(std::uint32_t i, common::ByteView key) {
     ++rejected_;
     return false;
   }
+  const std::uint32_t old_anchor = anchor_index_;
   common::Bytes current(key.begin(), key.end());
-  for (std::uint32_t j = i; j > anchor_index_; --j) {
+  for (std::uint32_t j = i; j > old_anchor; --j) {
     known_[j] = current;
     current = crypto::chain_walk(domain_, current, 1, key_size_);
   }
   anchor_index_ = i;
   anchor_key_ = known_[i];
   ++accepted_;
+  // The anchor only ever moves forward, and every interval between the
+  // old and new anchor now has a cached authentic key.
+  DAP_ENSURE(anchor_index_ > old_anchor,
+             "ChainAuthenticator: anchor index must advance monotonically");
+  DAP_ENSURE(known_.count(anchor_index_) == 1,
+             "ChainAuthenticator: accepted key missing from the cache");
   return true;
 }
 

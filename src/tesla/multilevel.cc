@@ -267,8 +267,9 @@ MultiLevelEvents MultiLevelReceiver::receive(const wire::CdmPacket& packet,
   //    CDM's image, so forged copies are filtered immediately.
   const auto image_it = expected_cdm_image_.find(i);
   if (image_it != expected_cdm_image_.end()) {
-    if (common::equal(crypto::sha256_bytes(cdm_image_payload(packet)),
-                      image_it->second)) {
+    if (common::constant_time_equal(
+            crypto::sha256_bytes(cdm_image_payload(packet)),
+            image_it->second)) {
       events.merge(adopt_cdm(packet, local_now, CdmAuthPath::kHashChain));
     } else {
       ++stats_.cdm_forged_dropped;

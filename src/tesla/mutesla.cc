@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/codec.h"
+#include "common/contracts.h"
 #include "crypto/mac.h"
 
 namespace dap::tesla {
@@ -60,6 +61,8 @@ std::optional<wire::KeyDisclosure> MuTeslaSender::disclosure(
     std::uint32_t i) const {
   if (i <= config_.disclosure_delay) return std::nullopt;
   const std::uint32_t disclosed = i - config_.disclosure_delay;
+  DAP_INVARIANT(disclosed < i,
+                "disclosure: disclosed interval must lie strictly in the past");
   wire::KeyDisclosure d;
   d.sender = config_.sender_id;
   d.interval = disclosed;

@@ -67,7 +67,8 @@ wire::TeslaPacket TeslaSender::make_packet(std::uint32_t i,
 
 bool verify_bootstrap(const wire::BootstrapPacket& packet,
                       common::ByteView expected_public_key) {
-  if (!common::equal(packet.signer_public_key, expected_public_key)) {
+  if (!common::constant_time_equal(packet.signer_public_key,
+                                   expected_public_key)) {
     return false;
   }
   const auto chains = wire::decode_wots_signature(packet.signature);

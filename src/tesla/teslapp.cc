@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/codec.h"
+#include "common/contracts.h"
 #include "crypto/mac.h"
 #include "obs/scoped_timer.h"
 
@@ -124,7 +125,11 @@ common::Bytes TeslaPpReceiver::self_mac(std::uint32_t interval,
   common::Writer w;
   w.u32(interval);
   w.raw(mac);
-  return crypto::compute_mac(local_secret_, w.data(), config_.self_mac_size);
+  common::Bytes out =
+      crypto::compute_mac(local_secret_, w.data(), config_.self_mac_size);
+  DAP_ENSURE(out.size() == config_.self_mac_size,
+             "self_mac: record must have the configured re-MAC size");
+  return out;
 }
 
 void TeslaPpReceiver::receive(const wire::MacAnnounce& packet,
@@ -150,6 +155,9 @@ void TeslaPpReceiver::receive(const wire::MacAnnounce& packet,
     ++stats_.records_stored;
     reg.add(telemetry_.records_stored);
   }
+  DAP_INVARIANT(config_.max_records_per_interval == 0 ||
+                    bucket.size() <= config_.max_records_per_interval,
+                "TeslaPpReceiver: per-interval record cap exceeded");
 }
 
 std::vector<AuthenticatedMessage> TeslaPpReceiver::receive(

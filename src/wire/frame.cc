@@ -1,6 +1,7 @@
 #include "wire/frame.h"
 
 #include "common/codec.h"
+#include "common/contracts.h"
 #include "wire/crc32.h"
 
 namespace dap::wire {
@@ -11,7 +12,10 @@ common::Bytes frame(const Packet& packet) {
   common::Writer w;
   w.raw(payload);
   w.u32(crc);
-  return std::move(w).take();
+  common::Bytes out = std::move(w).take();
+  DAP_ENSURE(out.size() == payload.size() + 4,
+             "frame: trailer must be exactly the 32-bit CRC");
+  return out;
 }
 
 std::optional<Packet> deframe(common::ByteView bytes) {

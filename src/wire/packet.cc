@@ -1,6 +1,7 @@
 #include "wire/packet.h"
 
 #include "common/codec.h"
+#include "common/contracts.h"
 
 namespace dap::wire {
 
@@ -116,7 +117,10 @@ common::Bytes encode(const Packet& packet) {
         }
       },
       packet);
-  return std::move(w).take();
+  common::Bytes out = std::move(w).take();
+  DAP_ENSURE(out.size() * 8 == wire_bits(packet),
+             "encode: serialized size disagrees with wire_bits accounting");
+  return out;
 }
 
 std::optional<Packet> decode(common::ByteView data) {

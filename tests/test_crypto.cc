@@ -244,7 +244,7 @@ TEST(KeyChain, RejectsBadConstruction) {
 
 TEST(KeyChain, OutOfRangeIndexThrows) {
   const KeyChain chain(bytes_of("seed"), 4);
-  EXPECT_THROW(chain.key(6), std::out_of_range);
+  EXPECT_THROW((void)chain.key(6), std::out_of_range);
 }
 
 TEST(KeyChain, ChainWalkMatchesChain) {

@@ -28,9 +28,9 @@ TEST(GameParams, PaperDefaults) {
 }
 
 TEST(GameParams, ValidationRejectsBadValues) {
-  EXPECT_THROW(GameParams::paper_defaults(0.0, 4), std::invalid_argument);
-  EXPECT_THROW(GameParams::paper_defaults(1.0, 4), std::invalid_argument);
-  EXPECT_THROW(GameParams::paper_defaults(0.5, 0), std::invalid_argument);
+  EXPECT_THROW((void)GameParams::paper_defaults(0.0, 4), std::invalid_argument);
+  EXPECT_THROW((void)GameParams::paper_defaults(1.0, 4), std::invalid_argument);
+  EXPECT_THROW((void)GameParams::paper_defaults(0.5, 0), std::invalid_argument);
   GameParams g = GameParams::paper_defaults(0.5, 4);
   g.Ra = 10.0;  // violates Ra > k1
   EXPECT_THROW(GameParams::validate(g), std::invalid_argument);
@@ -273,7 +273,7 @@ TEST(Optimizer, NaiveCostFormula) {
   const double pM = std::pow(0.8, 50);
   const double y_prime = std::min(1.0, pM * 200.0 / 16.0);
   EXPECT_NEAR(naive_cost(g, 50), 200.0 + pM * 200.0 * y_prime, 1e-9);
-  EXPECT_THROW(naive_cost(g, 0), std::invalid_argument);
+  EXPECT_THROW((void)naive_cost(g, 0), std::invalid_argument);
 }
 
 TEST(Optimizer, PaperInteriorPicksSmallestInteriorM) {
@@ -356,7 +356,7 @@ TEST(Optimizer, CostCurveHasExpectedShape) {
 
 TEST(Optimizer, RejectsZeroMaxM) {
   const auto g = GameParams::paper_defaults(0.8, 1);
-  EXPECT_THROW(optimize_m(g, OptimizeMode::kMinimizeCost, 0),
+  EXPECT_THROW((void)optimize_m(g, OptimizeMode::kMinimizeCost, 0),
                std::invalid_argument);
 }
 

@@ -98,8 +98,8 @@ TEST(MultiLevelSender, DataPacketUsesLowChain) {
 TEST(MultiLevelSender, RejectsOutOfRange) {
   const auto config = test_config(crypto::LevelLink::kOriginal, false);
   MultiLevelSender sender(config, bytes_of("seed"));
-  EXPECT_THROW(sender.cdm(0), std::out_of_range);
-  EXPECT_THROW(sender.cdm(9), std::out_of_range);
+  EXPECT_THROW((void)sender.cdm(0), std::out_of_range);
+  EXPECT_THROW((void)sender.cdm(9), std::out_of_range);
   EXPECT_THROW(sender.make_data_packet(0, 1, bytes_of("m")),
                std::out_of_range);
   EXPECT_THROW(sender.make_data_packet(1, 7, bytes_of("m")),

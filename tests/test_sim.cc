@@ -384,8 +384,8 @@ TEST(Adversary, CopiesForFraction) {
   EXPECT_EQ(FF::copies_for_fraction(1, 0.8), 4u);
   EXPECT_EQ(FF::copies_for_fraction(2, 0.8), 8u);
   EXPECT_EQ(FF::copies_for_fraction(1, 0.9), 9u);
-  EXPECT_THROW(FF::copies_for_fraction(1, 1.0), std::invalid_argument);
-  EXPECT_THROW(FF::copies_for_fraction(1, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)FF::copies_for_fraction(1, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)FF::copies_for_fraction(1, -0.1), std::invalid_argument);
 }
 
 TEST(Adversary, CopiesForFractionHitsTarget) {

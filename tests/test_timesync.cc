@@ -128,7 +128,8 @@ TEST(TimeSync, CalibrationNeverUnderestimatesSenderClock) {
     const auto offset = rng.uniform(0, 2 * kSecond);  // sender ahead
     const auto out_delay = rng.uniform(0, 100 * kMillisecond);
     const auto back_delay = rng.uniform(0, 100 * kMillisecond);
-    TimeSyncClient client(bytes_of("k"), 10 + trial);
+    TimeSyncClient client(bytes_of("k"),
+                          static_cast<std::uint64_t>(10 + trial));
     TimeSyncResponder responder(bytes_of("k"));
     const sim::SimTime t0 = kSecond;
     const auto request = client.begin(t0);

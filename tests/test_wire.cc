@@ -213,6 +213,178 @@ TEST(Frame, WotsSignatureRejectsTrailingBytes) {
 }  // namespace
 }  // namespace dap::wire
 
+// ------------------------------------------- malformed-input decode table
+//
+// One canonical instance per wire message kind, run through the same set
+// of adversarial shapes: truncation at every byte, oversized input
+// (trailing garbage), a length prefix claiming more bytes than remain
+// ("bad index" into the payload), and single-bit flips at every position.
+// Decode must never crash; where rejection is guaranteed it must return
+// nullopt, and any accepted mutation must still be a canonical encoding.
+
+namespace dap::wire {
+namespace {
+
+using common::Bytes;
+using common::bytes_of;
+
+struct MalformedCase {
+  const char* name;
+  Packet packet;
+  // Offset of the first u16 blob length prefix in the encoding (after the
+  // tag, sender, and any fixed-width integer fields).
+  std::size_t first_blob_offset;
+};
+
+std::vector<MalformedCase> malformed_cases() {
+  TeslaPacket tesla;
+  tesla.sender = 7;
+  tesla.interval = 42;
+  tesla.message = bytes_of("hello sensors");
+  tesla.mac = Bytes(10, 0xab);
+  tesla.disclosed_interval = 40;
+  tesla.disclosed_key = Bytes(10, 0xcd);
+
+  MacAnnounce announce;
+  announce.sender = 3;
+  announce.interval = 9;
+  announce.mac = Bytes(10, 0x55);
+
+  MessageReveal reveal;
+  reveal.sender = 3;
+  reveal.interval = 9;
+  reveal.message = bytes_of("reading=42");
+  reveal.key = Bytes(10, 0x66);
+
+  KeyDisclosure disclosure;
+  disclosure.sender = 1;
+  disclosure.interval = 5;
+  disclosure.key = Bytes(10, 0x77);
+
+  CdmPacket cdm;
+  cdm.sender = 2;
+  cdm.high_interval = 6;
+  cdm.low_commitment = Bytes(10, 0x88);
+  cdm.next_cdm_image = Bytes(32, 0x99);
+  cdm.mac = Bytes(10, 0xaa);
+  cdm.disclosed_high_key = Bytes(10, 0xbb);
+
+  BootstrapPacket bootstrap;
+  bootstrap.sender = 1;
+  bootstrap.start_interval = 1;
+  bootstrap.interval_duration_us = 1000000;
+  bootstrap.commitment = Bytes(10, 0x11);
+  bootstrap.signature = Bytes(80, 0x22);
+  bootstrap.signer_public_key = Bytes(32, 0x33);
+
+  // tag(1) + sender(4) + one u32(4) = 9 for every kind except Bootstrap,
+  // which carries an extra u64 duration before its first blob.
+  return {
+      {"tesla", Packet{tesla}, 9},
+      {"mac_announce", Packet{announce}, 9},
+      {"message_reveal", Packet{reveal}, 9},
+      {"key_disclosure", Packet{disclosure}, 9},
+      {"cdm", Packet{cdm}, 9},
+      {"bootstrap", Packet{bootstrap}, 17},
+  };
+}
+
+TEST(PacketMalformed, TruncationRejectedForEveryKind) {
+  for (const auto& c : malformed_cases()) {
+    const Bytes full = encode(c.packet);
+    for (std::size_t len = 0; len < full.size(); ++len) {
+      const common::ByteView prefix(full.data(), len);
+      EXPECT_FALSE(decode(prefix).has_value())
+          << c.name << " accepted a " << len << "-byte prefix";
+    }
+  }
+}
+
+TEST(PacketMalformed, OversizedInputRejectedForEveryKind) {
+  for (const auto& c : malformed_cases()) {
+    Bytes data = encode(c.packet);
+    data.push_back(0x00);
+    EXPECT_FALSE(decode(data).has_value())
+        << c.name << " accepted one trailing byte";
+    data.insert(data.end(), 64, 0xff);
+    EXPECT_FALSE(decode(data).has_value())
+        << c.name << " accepted 65 trailing bytes";
+  }
+}
+
+TEST(PacketMalformed, OversizedLengthPrefixRejectedForEveryKind) {
+  for (const auto& c : malformed_cases()) {
+    Bytes data = encode(c.packet);
+    ASSERT_GT(data.size(), c.first_blob_offset + 1) << c.name;
+    // Claim 0xffff bytes in the first blob: far more than remain.
+    data[c.first_blob_offset] = 0xff;
+    data[c.first_blob_offset + 1] = 0xff;
+    EXPECT_FALSE(decode(data).has_value())
+        << c.name << " accepted an oversized length prefix";
+    // Off-by-one: claim exactly one byte more than the blob carries.
+    Bytes one_more = encode(c.packet);
+    one_more[c.first_blob_offset] =
+        static_cast<std::uint8_t>(one_more[c.first_blob_offset] + 1);
+    EXPECT_FALSE(decode(one_more).has_value())
+        << c.name << " accepted a length prefix one past the payload";
+  }
+}
+
+TEST(PacketMalformed, BitFlipsNeverCrashAndStayCanonical) {
+  for (const auto& c : malformed_cases()) {
+    const Bytes original = encode(c.packet);
+    for (std::size_t pos = 0; pos < original.size(); ++pos) {
+      for (int bit = 0; bit < 8; ++bit) {
+        Bytes copy = original;
+        copy[pos] = static_cast<std::uint8_t>(copy[pos] ^ (1u << bit));
+        const auto decoded = decode(copy);
+        if (decoded.has_value()) {
+          // A flip inside a content field can still parse; it must then
+          // re-encode to exactly the mutated bytes (canonical form) and
+          // never silently equal the original packet.
+          EXPECT_EQ(encode(*decoded), copy)
+              << c.name << " byte " << pos << " bit " << bit;
+          EXPECT_NE(encode(*decoded), original)
+              << c.name << " byte " << pos << " bit " << bit;
+        }
+      }
+    }
+  }
+}
+
+TEST(PacketMalformed, FramedBitFlipsRejectedByCrc) {
+  for (const auto& c : malformed_cases()) {
+    const Bytes framed = frame(c.packet);
+    common::Rng rng(11);
+    for (int trial = 0; trial < 32; ++trial) {
+      Bytes copy = framed;
+      const auto pos =
+          static_cast<std::size_t>(rng.uniform(0, copy.size() - 1));
+      const auto bit = static_cast<int>(rng.uniform(0, 7));
+      copy[pos] = static_cast<std::uint8_t>(copy[pos] ^ (1u << bit));
+      EXPECT_FALSE(deframe(copy).has_value())
+          << c.name << " framed flip at byte " << pos << " bit " << bit;
+    }
+  }
+}
+
+TEST(PacketMalformed, ExtremeIndexValuesDecodeCleanly) {
+  // Interval/index fields are plain u32s: an attacker can put any value
+  // there. The codec must accept them (semantic validation is the
+  // receiver's job) without crashing and round-trip them exactly.
+  TeslaPacket p;
+  p.sender = 0xffffffffu;
+  p.interval = 0xffffffffu;
+  p.disclosed_interval = 0xffffffffu;
+  p.mac = Bytes(10, 0x01);
+  const auto decoded = decode(encode(Packet{p}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<TeslaPacket>(*decoded), p);
+}
+
+}  // namespace
+}  // namespace dap::wire
+
 // --------------------------------------------------- CDM MAC payload scope
 
 namespace dap::wire {
