@@ -21,6 +21,7 @@ set(DAP_BENCH_PLAIN
   ablate_constants
   ablate_fig5_sender
   population_dynamics
+  chaos_soak
 )
 
 foreach(name ${DAP_BENCH_PLAIN})
@@ -42,3 +43,8 @@ target_link_libraries(bench_micro_crypto
 set_target_properties(bench_micro_crypto PROPERTIES
   OUTPUT_NAME micro_crypto
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
+# Short fixed-seed chaos soak in the default ctest suite (the bench exits
+# non-zero on an invariant violation). The full seeded soak runs in
+# tests/test_chaos_soak.cc under DAP_CHAOS_SOAK_ITERS.
+add_test(NAME chaos_soak_smoke COMMAND bench_chaos_soak --smoke)

@@ -1,0 +1,102 @@
+// Chaos soak — seeded fault schedules (jitter/duplication/blackout/clock
+// faults/crash) through concurrent DAP and TESLA++ sessions while a
+// flooding + late-key-forging adversary stays active. Two invariants
+// must hold for every mix and seed: zero forged authentications, and
+// every receiver reconverging within the bounded tail. Exits non-zero on
+// any violation, so the --smoke run doubles as a ctest.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/chaos.h"
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace dap;
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bench::banner(
+      std::string("chaos soak — fault injection vs receiver recovery") +
+          (smoke ? " (smoke)" : ""),
+      "Sec. VII robustness: authentication must survive adverse channels",
+      "0 forged authentications ever; every receiver reconverges within "
+      "the bounded tail after faults clear");
+
+  const std::vector<std::uint64_t> seeds =
+      smoke ? std::vector<std::uint64_t>{7}
+            : std::vector<std::uint64_t>{7, 11, 23, 42};
+
+  common::TextTable table({"mix", "seed", "dap auth", "tpp auth", "episodes",
+                           "resyncs", "exhausted", "crashes", "forged",
+                           "reconverged"});
+  common::CsvWriter csv(
+      bench::csv_path("chaos_soak"),
+      {"mix_index", "seed", "dap_authenticated", "teslapp_authenticated",
+       "resync_episodes", "resync_successes", "budget_exhausted",
+       "forged_accepted", "all_reconverged"});
+
+  bool ok = true;
+  std::size_t mix_index = 0;
+  for (const auto& [name, mix] : analysis::standard_fault_mixes()) {
+    for (const std::uint64_t seed : seeds) {
+      analysis::ChaosConfig config;
+      config.seed = seed;
+      config.mix = mix;
+      if (smoke) {
+        config.receivers = 2;
+        config.fault_from = 6;
+        config.fault_until = 14;
+        config.reconverge_within = 8;
+      }
+      const auto report = analysis::run_chaos_soak(config);
+
+      std::uint64_t dap_auth = 0, tpp_auth = 0, episodes = 0, resyncs = 0,
+                    exhausted = 0, crashes = 0;
+      for (const auto& r : report.dap) {
+        dap_auth += r.authenticated;
+        episodes += r.resync_episodes;
+        resyncs += r.resync_successes;
+        exhausted += r.budget_exhausted;
+        crashes += r.crash_restarts;
+      }
+      for (const auto& r : report.teslapp) {
+        tpp_auth += r.authenticated;
+        episodes += r.resync_episodes;
+        resyncs += r.resync_successes;
+        exhausted += r.budget_exhausted;
+        crashes += r.crash_restarts;
+      }
+      table.add_row({name, std::to_string(seed), std::to_string(dap_auth),
+                     std::to_string(tpp_auth), std::to_string(episodes),
+                     std::to_string(resyncs), std::to_string(exhausted),
+                     std::to_string(crashes),
+                     std::to_string(report.forged_accepted_total),
+                     report.all_reconverged ? "yes" : "NO"});
+      csv.row({static_cast<double>(mix_index), static_cast<double>(seed),
+               static_cast<double>(dap_auth), static_cast<double>(tpp_auth),
+               static_cast<double>(episodes), static_cast<double>(resyncs),
+               static_cast<double>(exhausted),
+               static_cast<double>(report.forged_accepted_total),
+               report.all_reconverged ? 1.0 : 0.0});
+      if (report.forged_accepted_total != 0) {
+        std::cerr << "INVARIANT VIOLATION: forged message authenticated "
+                  << "(mix=" << name << " seed=" << seed << ")\n";
+        ok = false;
+      }
+      if (!report.all_reconverged) {
+        std::cerr << "INVARIANT VIOLATION: receiver failed to reconverge "
+                  << "(mix=" << name << " seed=" << seed << ")\n";
+        ok = false;
+      }
+    }
+    ++mix_index;
+  }
+  std::cout << table.render();
+  std::cout << "\nepisodes/resyncs: desync episodes declared and handshakes "
+               "completed across all\nreceivers and both stacks; 'exhausted' "
+               "counts retry budgets spent against an\nunreachable timesync "
+               "responder (step mix).\n";
+  bench::footer("chaos_soak");
+  return ok ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "common/rng.h"
 #include "dap/dap.h"
@@ -39,6 +40,9 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   config.disclosure_delay = 1 + stream.u8() % 2;  // d in {1, 2}
   config.buffers = 1 + stream.u8() % 4;           // m in {1..4}
   config.policy = static_cast<dap::protocol::BufferPolicy>(stream.u8() % 3);
+  // Half the corpus runs with a tight record-pool cap so the graceful
+  // degradation path (shed + shrink) is exercised under fuzz too.
+  config.record_pool_limit = stream.u8() % 2 ? 6 : 0;
 
   const dap::common::Bytes seed = dap::common::bytes_of("fuzz-dap-seed");
   const dap::common::Bytes secret = dap::common::bytes_of("fuzz-recv-secret");
@@ -49,11 +53,12 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
       dap::common::Rng(stream.u32()));
 
   dap::sim::SimTime now = config.schedule.interval_start(1);
+  std::vector<dap::wire::MacAnnounce> deferred;
 
   while (!stream.empty()) {
     const std::uint8_t op = stream.u8();
     const std::uint32_t interval = 1 + stream.u8() % kChainLength;
-    switch (op % 6) {
+    switch (op % 8) {
       case 0: {  // authentic announce
         const auto message = stream.bytes(stream.u8() % 16);
         receiver.receive(sender.announce(interval, message), now);
@@ -101,6 +106,20 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                128;
         break;
       }
+      case 6: {  // defer an authentic announce (reordering fault)
+        const auto message = stream.bytes(stream.u8() % 16);
+        deferred.push_back(sender.announce(interval, message));
+        break;
+      }
+      case 7: {  // deliver the newest deferred announce late AND twice
+        if (!deferred.empty()) {
+          const auto announce = deferred.back();
+          deferred.pop_back();
+          receiver.receive(announce, now);
+          receiver.receive(announce, now);  // duplication fault
+        }
+        break;
+      }
     }
   }
 
@@ -109,9 +128,10 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   if (stats.records_stored > stats.records_offered) {
     fail("stored more records than were offered");
   }
-  if (stats.records_offered + stats.announces_unsafe !=
+  if (stats.records_offered + stats.announces_unsafe +
+          stats.admissions_shed !=
       stats.announces_received) {
-    fail("announce accounting leak: offered + unsafe != received");
+    fail("announce accounting leak: offered + unsafe + shed != received");
   }
   if (stats.strong_auth_success + stats.strong_auth_failures +
           stats.weak_auth_failures !=

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "fuzz_util.h"
 #include "sim/time.h"
@@ -34,6 +35,9 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   dap::tesla::TeslaPpConfig config;
   config.chain_length = kChainLength;
   config.max_records_per_interval = stream.u8() % 4;  // 0 = unlimited
+  // Half the corpus runs with a tight pool cap so saturation shedding
+  // (graceful degradation) is exercised under fuzz too.
+  config.record_pool_limit = stream.u8() % 2 ? 8 : 0;
 
   const dap::common::Bytes seed = dap::common::bytes_of("fuzz-tpp-seed");
   const dap::common::Bytes secret = dap::common::bytes_of("fuzz-tpp-secret");
@@ -43,11 +47,12 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
       dap::sim::LooseClock(0, 10 * dap::sim::kMillisecond));
 
   dap::sim::SimTime now = config.schedule.interval_start(1);
+  std::vector<dap::wire::MacAnnounce> deferred;
 
   while (!stream.empty()) {
     const std::uint8_t op = stream.u8();
     const std::uint32_t interval = 1 + stream.u8() % kChainLength;
-    switch (op % 6) {
+    switch (op % 8) {
       case 0: {  // authentic announce (overwrites the interval's message)
         const auto message = stream.bytes(stream.u8() % 16);
         receiver.receive(sender.announce(interval, message), now);
@@ -103,13 +108,27 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                128;
         break;
       }
+      case 6: {  // defer an authentic announce (reordering fault)
+        const auto message = stream.bytes(stream.u8() % 16);
+        deferred.push_back(sender.announce(interval, message));
+        break;
+      }
+      case 7: {  // deliver the newest deferred announce late AND twice
+        if (!deferred.empty()) {
+          const auto announce = deferred.back();
+          deferred.pop_back();
+          receiver.receive(announce, now);
+          receiver.receive(announce, now);  // duplication fault
+        }
+        break;
+      }
     }
   }
 
   const dap::tesla::TeslaPpStats& stats = receiver.stats();
-  if (stats.records_stored + stats.records_dropped >
+  if (stats.records_stored + stats.records_dropped + stats.admissions_shed >
       stats.announces_received) {
-    fail("stored + dropped records exceed announces received");
+    fail("stored + dropped + shed records exceed announces received");
   }
   if (stats.authenticated + stats.unmatched + stats.keys_rejected !=
       stats.reveals_received) {

@@ -30,7 +30,11 @@ cmake -B build-asan -S . "${GEN[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDAP_CONTRACTS=FATAL \
   -DDAP_BUILD_BENCHES=OFF -DDAP_BUILD_EXAMPLES=OFF
 cmake --build build-asan
+# DAP_CHAOS_SOAK_ITERS widens the chaos-soak gtest from the smoke config
+# to the full seeded fault-mix soak — the whole thing under ASan+UBSan
+# with fatal contracts.
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+  DAP_CHAOS_SOAK_ITERS=4 \
   ctest --test-dir build-asan --output-on-failure
 
 echo "== all checks passed =="

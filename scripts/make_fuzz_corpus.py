@@ -8,7 +8,7 @@ plus a few malformed shapes (truncated, unknown tag, oversized length
 prefix) that exercise the rejection paths. The receiver-harness seeds
 are op-streams for the ByteStream interpreters in fuzz_dap_receiver.cc /
 fuzz_teslapp_receiver.cc: announce/forge/reveal interleavings with time
-skips.
+skips, reordered/duplicated deliveries, and pool-saturation floods.
 
 Deterministic: running it twice produces identical files.
 """
@@ -119,14 +119,18 @@ def op(kind, interval, *payload):
 
 
 def dap_seeds():
-    # Stream prefix: d selector, m selector, policy selector, rng seed u32.
-    prefix = u8(0) + u8(1) + u8(0) + u32(1234)
+    # Stream prefix: d selector, m selector, policy selector, record-pool
+    # selector (odd = tight cap), rng seed u32.
+    prefix = u8(0) + u8(1) + u8(0) + u8(0) + u32(1234)
+    pool_prefix = u8(1) + u8(3) + u8(0) + u8(1) + u32(1234)
     announce = op(0, 2, u8(5), b"hello")          # authentic announce, 5-byte msg
     reveal = op(2, 2, u8(0))                      # reveal slot 0
     forge_announce = op(1, 2, b"\xde\xad\xbe\xef\x00\x11\x22\x33\x44\x55")
     forge_reveal = op(3, 2, u8(4), b"fake", b"\x00" * 10)
     flip_replay = op(4, 2, u8(0), u8(3))
     skip_time = op(5, 1, u8(200))
+    defer = op(6, 2, u8(5), b"later")             # hold an authentic announce
+    deliver_deferred = op(7, 0)                   # release it late, twice
     return {
         "announce_reveal": prefix + announce + skip_time + reveal,
         "forge_flood": prefix + forge_announce * 8 + announce + skip_time +
@@ -135,12 +139,22 @@ def dap_seeds():
         "bitflip_replay": prefix + announce + skip_time + flip_replay,
         "mixed": prefix + announce + forge_announce * 3 + skip_time + reveal +
                  forge_reveal + flip_replay,
+        # Reordering fault: a deferred announce arrives after newer traffic.
+        "reordered": prefix + defer + announce + deliver_deferred +
+                     skip_time + reveal,
+        # Duplication fault: the deferred announce is delivered twice.
+        "duplicated": prefix + defer + deliver_deferred + skip_time + reveal,
+        # Pool saturation: d=2, m=4, tight cap -> shed + shrink path.
+        "pool_shed": pool_prefix +
+                     b"".join(op(0, i, u8(0)) * 4 for i in (2, 3)) + reveal,
         "empty": b"",
     }
 
 
 def teslapp_seeds():
-    prefix = u8(2) + u32(99)  # record cap selector, then first op's bytes
+    # Prefix: record cap selector, pool selector (odd = tight cap), then ops.
+    prefix = u8(2) + u8(0) + u32(99)
+    pool_prefix = u8(2) + u8(1) + u32(99)
     announce = op(0, 3, u8(6), b"sensor")
     reveal = op(2, 3)
     forge_announce = op(1, 3, b"\x99" * 10)
@@ -148,11 +162,19 @@ def teslapp_seeds():
     anchor_ok = op(4, 3, u8(1))
     anchor_mut = op(4, 3, u8(0), u8(2), u8(5))
     skip_time = op(5, 1, u8(180))
+    defer = op(6, 3, u8(6), b"offset")
+    deliver_deferred = op(7, 0)
     return {
         "announce_reveal": prefix + announce + skip_time + reveal,
         "record_cap_flood": prefix + forge_announce * 10 + announce + reveal,
         "anchors": prefix + anchor_ok + anchor_mut + announce + reveal,
         "forged_reveal": prefix + announce + forge_reveal + reveal,
+        "reordered": prefix + defer + announce + deliver_deferred +
+                     skip_time + reveal,
+        "duplicated": prefix + defer + deliver_deferred + skip_time + reveal,
+        "pool_shed": pool_prefix +
+                     b"".join(op(0, i, u8(0)) * 2 for i in range(2, 8)) +
+                     reveal,
         "empty": b"",
     }
 

@@ -1,0 +1,88 @@
+#pragma once
+// Chaos soak: seeded fault schedules driven through concurrent DAP and
+// TESLA++ sessions over the broadcast medium.
+//
+// Each run wires `receivers` nodes, every one running both protocol
+// stacks behind the same faulty link and the same (possibly faulty)
+// oscillator, then scripts a fault window [fault_from, fault_until) in
+// interval space while a flooding/forging adversary stays active the
+// whole time. Two invariants are asserted by the harness on the report:
+//
+//   1. Safety: no forged message EVER authenticates, under any fault mix
+//      (forged payloads are tagged so acceptance is detectable).
+//   2. Liveness: every receiver authenticates fresh authentic traffic
+//      within `reconverge_within` intervals after the faults clear.
+//
+// The adversary includes a *late-key* forger: once K_i is public it can
+// compute the real MAC key, so only the receiver's loose-time safety
+// check (plus the drift-allowance margin) stands between it and a clean
+// forgery — exactly the failure mode clock faults try to open.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace dap::analysis {
+
+struct ChaosFaultMix {
+  bool jitter = false;        // per-link delay jitter (reorders frames)
+  bool duplication = false;   // frame duplication on every link
+  bool blackout = false;      // total link outage over the fault window
+  bool clock_drift = false;   // oscillator skew (fast and slow receivers)
+  bool clock_step = false;    // forward clock step at the window start
+  bool crash_restart = false; // receivers lose volatile state mid-window
+  /// Timesync responder unreachable during the window: resync attempts
+  /// fail, exercising backoff and the per-episode retry budget.
+  bool resync_outage = false;
+};
+
+struct ChaosConfig {
+  std::uint64_t seed = 1;
+  std::size_t receivers = 3;
+  std::size_t chain_length = 48;
+  sim::SimTime interval = 200 * sim::kMillisecond;
+  /// Forged MAC announces injected per interval (memory-DoS pressure).
+  std::size_t forged_per_interval = 2;
+  ChaosFaultMix mix{};
+  /// Fault window in interval indices: [fault_from, fault_until).
+  std::uint32_t fault_from = 12;
+  std::uint32_t fault_until = 28;
+  /// Liveness bound: every receiver must authenticate authentic traffic
+  /// within this many intervals after the window closes.
+  std::uint32_t reconverge_within = 12;
+};
+
+struct ChaosReceiverReport {
+  std::uint64_t authenticated = 0;     // authentic messages accepted
+  std::uint64_t forged_accepted = 0;   // MUST stay zero
+  std::uint64_t resync_episodes = 0;
+  std::uint64_t resync_attempts = 0;
+  std::uint64_t resync_successes = 0;
+  std::uint64_t budget_exhausted = 0;
+  std::uint64_t admissions_shed = 0;
+  std::uint64_t crash_restarts = 0;
+  bool reconverged = false;
+  /// Intervals from window close to the first post-fault authentication
+  /// (0 when the receiver never reconverged).
+  std::uint32_t reconverge_intervals = 0;
+};
+
+struct ChaosReport {
+  std::vector<ChaosReceiverReport> dap;
+  std::vector<ChaosReceiverReport> teslapp;
+  std::uint64_t forged_accepted_total = 0;
+  std::uint64_t duplicated_frames = 0;
+  std::uint64_t total_intervals = 0;
+  bool all_reconverged = false;
+};
+
+ChaosReport run_chaos_soak(const ChaosConfig& config);
+
+/// The named fault mixes the soak suite iterates: each single-fault
+/// scenario plus a combined one.
+std::vector<std::pair<std::string, ChaosFaultMix>> standard_fault_mixes();
+
+}  // namespace dap::analysis

@@ -20,8 +20,11 @@ DapReceiver::Telemetry DapReceiver::make_telemetry() {
       reg.counter("dap.weak_auth_failures"),
       reg.counter("dap.strong_auth_success"),
       reg.counter("dap.strong_auth_failures"),
+      reg.counter("dap.admissions_shed"),
+      reg.counter("dap.crash_restarts"),
       reg.histogram("dap.rx_announce_us"),
       reg.histogram("dap.rx_reveal_us"),
+      reg.gauge("dap.effective_buffers"),
   };
 }
 
@@ -118,13 +121,95 @@ DapReceiver::DapReceiver(const DapConfig& config, common::Bytes commitment,
       clock_(clock),
       rng_(rng),
       auth_(crypto::PrfDomain::kChainStep, config.key_size,
-            std::move(commitment)) {
+            std::move(commitment)),
+      resync_("dap", config.resync),
+      effective_buffers_(config.buffers) {
   if (local_secret_.empty()) {
     throw std::invalid_argument("DapReceiver: empty local secret");
   }
   if (config_.buffers == 0) {
     throw std::invalid_argument("DapReceiver: buffers must be >= 1");
   }
+  obs::Registry::global().set(telemetry_.effective_buffers,
+                              static_cast<double>(effective_buffers_));
+}
+
+bool DapReceiver::packet_safe(std::uint32_t i,
+                              sim::SimTime local_now) const noexcept {
+  // The drift allowance widens the check on the conservative side: a
+  // larger local reading only makes "key may already be public" MORE
+  // likely, so bounded unmodelled drift can never admit a late forgery.
+  const sim::SimTime guarded = local_now + resync_.safety_margin(local_now);
+  if (calibration_.has_value()) {
+    return calibration_->packet_safe(i, config_.disclosure_delay, guarded,
+                                     config_.schedule);
+  }
+  return clock_.packet_safe(i, config_.disclosure_delay, guarded,
+                            config_.schedule);
+}
+
+void DapReceiver::adopt_calibration(tesla::SyncCalibration calibration) {
+  calibration_ = calibration;
+}
+
+void DapReceiver::set_resync_handler(tesla::ResyncFn handler) {
+  resync_.set_handler(std::move(handler));
+}
+
+void DapReceiver::tick(sim::SimTime local_now) {
+  if (auto calibration = resync_.maybe_resync(local_now)) {
+    adopt_calibration(*calibration);
+  }
+}
+
+void DapReceiver::crash_restart(sim::SimTime /*local_now*/) {
+  buffers_.clear();
+  auth_.rebase_to_newest();
+  calibration_.reset();
+  resync_.invalidate();
+  effective_buffers_ = config_.buffers;
+  ++stats_.crash_restarts;
+  auto& reg = obs::Registry::global();
+  reg.add(telemetry_.crash_restarts);
+  reg.set(telemetry_.effective_buffers,
+          static_cast<double>(effective_buffers_));
+}
+
+std::size_t DapReceiver::stored_records() const noexcept {
+  std::size_t records = 0;
+  for (const auto& [interval, buffer] : buffers_) {
+    records += buffer.contents().size();
+  }
+  return records;
+}
+
+bool DapReceiver::degrade_or_admit(sim::SimTime local_now) {
+  if (config_.record_pool_limit == 0) return true;
+  const std::size_t pool = stored_records();
+  auto& reg = obs::Registry::global();
+  if (pool >= config_.record_pool_limit) {
+    // Saturated: shed this admission and shrink the reservoir for rounds
+    // that have not started, instead of silently thrashing the pool.
+    ++stats_.admissions_shed;
+    reg.add(telemetry_.admissions_shed);
+    obs::Tracer::global().record(obs::TraceKind::kBufferEvict, local_now, 0);
+    if (effective_buffers_ > 1) {
+      effective_buffers_ = effective_buffers_ / 2;
+      reg.set(telemetry_.effective_buffers,
+              static_cast<double>(effective_buffers_));
+    }
+    return false;
+  }
+  if (effective_buffers_ < config_.buffers &&
+      pool < config_.record_pool_limit / 2) {
+    // Pressure eased: restore capacity gradually (doubling back up).
+    effective_buffers_ =
+        effective_buffers_ * 2 < config_.buffers ? effective_buffers_ * 2
+                                                 : config_.buffers;
+    reg.set(telemetry_.effective_buffers,
+            static_cast<double>(effective_buffers_));
+  }
+  return true;
 }
 
 common::Bytes DapReceiver::micro_mac_of(common::ByteView mac) const {
@@ -166,15 +251,22 @@ void DapReceiver::receive(const wire::MacAnnounce& packet,
   reg.add(telemetry_.announces_received);
   obs::Tracer::global().record(obs::TraceKind::kAnnounce, local_now,
                                packet.interval);
+  tick(local_now);
   prune_stale_rounds(packet.interval);
   // Algorithm 2 line 2: discard when the key may already be public.
-  if (!clock_.packet_safe(packet.interval, config_.disclosure_delay,
-                          local_now, config_.schedule)) {
+  if (!packet_safe(packet.interval, local_now)) {
     ++stats_.announces_unsafe;
     reg.add(telemetry_.announces_unsafe);
+    // A streak of unsafe announces is the desync signature: either our
+    // clock bound ran away or the stream really is stale/replayed — the
+    // episode threshold plus healthy resets separate the two.
+    resync_.note_suspect(local_now);
+    tick(local_now);
     return;
   }
-  auto [it, created] = buffers_.try_emplace(packet.interval, config_.buffers,
+  if (!degrade_or_admit(local_now)) return;
+  auto [it, created] = buffers_.try_emplace(packet.interval,
+                                            effective_buffers_,
                                             config_.policy);
   ++stats_.records_offered;
   reg.add(telemetry_.records_offered);
@@ -200,12 +292,15 @@ std::optional<tesla::AuthenticatedMessage> DapReceiver::receive(
   reg.add(telemetry_.reveals_received);
   obs::Tracer::global().record(obs::TraceKind::kReveal, local_now,
                                packet.interval);
+  tick(local_now);
   // Algorithm 2 line 16: weak authentication of the disclosed key.
   if (!auth_.accept(packet.interval, packet.key)) {
     ++stats_.weak_auth_failures;
     reg.add(telemetry_.weak_auth_failures);
     obs::Tracer::global().record(obs::TraceKind::kWeakAuthFail, local_now,
                                  packet.interval);
+    resync_.note_suspect(local_now);
+    tick(local_now);
     return std::nullopt;
   }
   // Lines 19-24: strong authentication against the stored μMAC records.
@@ -233,6 +328,7 @@ std::optional<tesla::AuthenticatedMessage> DapReceiver::receive(
   reg.add(telemetry_.strong_auth_success);
   obs::Tracer::global().record(obs::TraceKind::kAuthSuccess, local_now,
                                packet.interval);
+  resync_.note_healthy();
   return tesla::AuthenticatedMessage{packet.interval, packet.message,
                                      local_now};
 }
@@ -242,6 +338,9 @@ void DapReceiver::set_buffers(std::size_t m) {
     throw std::invalid_argument("DapReceiver::set_buffers: m must be >= 1");
   }
   config_.buffers = m;
+  effective_buffers_ = m;
+  obs::Registry::global().set(telemetry_.effective_buffers,
+                              static_cast<double>(m));
 }
 
 std::size_t DapReceiver::stored_record_bits() const noexcept {

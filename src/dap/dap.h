@@ -30,6 +30,7 @@
 #include "obs/registry.h"
 #include "sim/clock_model.h"
 #include "tesla/chain_auth.h"
+#include "tesla/resync.h"
 #include "tesla/tesla.h"
 #include "wire/packet.h"
 
@@ -51,6 +52,14 @@ struct DapConfig {
   std::size_t buffers = 4;                       // m
   BufferPolicy policy = BufferPolicy::kReservoir;
   sim::IntervalSchedule schedule{0, sim::kSecond};
+  /// Graceful degradation: cap on total stored records across all live
+  /// rounds (0 = unlimited). At the cap a receiver sheds new admissions
+  /// and halves the reservoir size m for rounds that have not started,
+  /// restoring m once the pool drains below half the cap.
+  std::size_t record_pool_limit = 0;
+  /// Desync detection / timesync re-execution policy (disabled by
+  /// default: zero behaviour change for existing deployments).
+  tesla::ResyncConfig resync{};
 };
 
 class DapSender {
@@ -92,6 +101,8 @@ struct DapStats {
   std::uint64_t weak_auth_failures = 0;   // h(K_i) != K_{i-1}
   std::uint64_t strong_auth_success = 0;  // μMAC matched
   std::uint64_t strong_auth_failures = 0; // no stored record matched
+  std::uint64_t admissions_shed = 0;      // dropped at the record pool cap
+  std::uint64_t crash_restarts = 0;
 };
 
 class DapReceiver {
@@ -129,6 +140,38 @@ class DapReceiver {
   /// Buffered record count for interval i (test introspection).
   [[nodiscard]] std::size_t buffered_records(std::uint32_t i) const noexcept;
 
+  /// Total records currently buffered across all live rounds (the pool
+  /// the degradation policy watches).
+  [[nodiscard]] std::size_t stored_records() const noexcept;
+
+  /// Reservoir size new rounds get right now (== buffers() unless the
+  /// degradation policy shrank it under pool pressure).
+  [[nodiscard]] std::size_t effective_buffers() const noexcept {
+    return effective_buffers_;
+  }
+
+  // ---- Resync / recovery (config_.resync) --------------------------------
+
+  /// Wires the transport that re-executes the timesync handshake when a
+  /// desync episode is declared. Without a handler the receiver still
+  /// detects desync but cannot recover.
+  void set_resync_handler(tesla::ResyncFn handler);
+
+  /// Idle-time driver for the resync state machine: lets retry/backoff
+  /// progress during periods with no inbound traffic (blackouts).
+  void tick(sim::SimTime local_now);
+
+  /// Simulates a crash/restart: volatile state (record buffers, cached
+  /// chain keys, the live calibration) is dropped; the newest
+  /// authenticated chain key survives as the persistent anchor, so the
+  /// receiver re-authenticates forward via the one-way chain.
+  void crash_restart(sim::SimTime local_now);
+
+  [[nodiscard]] bool desynced() const noexcept { return resync_.desynced(); }
+  [[nodiscard]] const tesla::ResyncStats& resync_stats() const noexcept {
+    return resync_.stats();
+  }
+
  private:
   struct Record {
     common::Bytes micro_mac;
@@ -162,6 +205,18 @@ class DapReceiver {
   /// older than `current_interval` minus the disclosure delay.
   void prune_stale_rounds(std::uint32_t current_interval);
 
+  /// TESLA safety check through the live calibration (when present) or
+  /// the bootstrap LooseClock, widened by the drift-allowance margin.
+  [[nodiscard]] bool packet_safe(std::uint32_t i,
+                                 sim::SimTime local_now) const noexcept;
+
+  /// Applies a completed resync (installs the calibration).
+  void adopt_calibration(tesla::SyncCalibration calibration);
+
+  /// Degradation policy: true when the offer must be shed because the
+  /// record pool is saturated; adjusts effective_buffers_ both ways.
+  bool degrade_or_admit(sim::SimTime local_now);
+
   /// Global-registry handles mirroring DapStats, resolved once at
   /// construction so the receive paths never touch instrument names.
   /// Aggregated across every receiver in the process.
@@ -175,8 +230,11 @@ class DapReceiver {
     obs::CounterHandle weak_auth_failures;
     obs::CounterHandle strong_auth_success;
     obs::CounterHandle strong_auth_failures;
+    obs::CounterHandle admissions_shed;
+    obs::CounterHandle crash_restarts;
     obs::HistogramHandle rx_announce_latency;
     obs::HistogramHandle rx_reveal_latency;
+    obs::GaugeHandle effective_buffers;
   };
 
   [[nodiscard]] static Telemetry make_telemetry();
@@ -189,6 +247,9 @@ class DapReceiver {
   tesla::ChainAuthenticator auth_;
   std::map<std::uint32_t, RecordBuffer> buffers_;  // by interval
   DapStats stats_;
+  tesla::ResyncController resync_;
+  std::optional<tesla::SyncCalibration> calibration_;
+  std::size_t effective_buffers_;
 };
 
 }  // namespace dap::protocol

@@ -4,6 +4,10 @@
 
 namespace dap::sim {
 
+std::size_t Channel::deliveries(common::Rng& rng) {
+  return deliver(rng) ? 1 : 0;
+}
+
 void Channel::corrupt(common::Bytes&, common::Rng&) {}
 
 bool PerfectChannel::deliver(common::Rng&) { return true; }

@@ -8,6 +8,7 @@
 // A channel decides, per frame and per receiver, whether the frame
 // arrives, and can additionally flip bits (caught by CRC framing).
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 
@@ -24,6 +25,12 @@ class Channel {
 
   /// True if a frame survives the channel.
   virtual bool deliver(common::Rng& rng) = 0;
+
+  /// Number of copies the receiver edge sees for one transmitted frame.
+  /// Default folds through deliver(): 1 if it survives, 0 otherwise.
+  /// Duplicating decorators (sim/faults.h) override this to return > 1;
+  /// the medium delivers each copy independently.
+  virtual std::size_t deliveries(common::Rng& rng);
 
   /// Applies in-place corruption to surviving frames (default: none).
   virtual void corrupt(common::Bytes& frame, common::Rng& rng);

@@ -13,13 +13,21 @@ Medium::Medium(EventQueue& queue, common::Rng& rng)
   ctr_broadcasts_ = reg.counter("medium.broadcasts");
   ctr_frames_lost_ = reg.counter("medium.frames_lost");
   ctr_frames_corrupted_ = reg.counter("medium.frames_corrupted");
+  ctr_frames_duplicated_ = reg.counter("medium.frames_duplicated");
 }
 
 std::size_t Medium::attach(ReceiveFn receive, std::unique_ptr<Channel> channel,
                            SimTime latency) {
+  return attach(std::move(receive), std::move(channel),
+                std::make_unique<FixedLatency>(latency));
+}
+
+std::size_t Medium::attach(ReceiveFn receive, std::unique_ptr<Channel> channel,
+                           std::unique_ptr<LatencyModel> latency) {
   if (!receive) throw std::invalid_argument("Medium::attach: null receiver");
   if (!channel) throw std::invalid_argument("Medium::attach: null channel");
-  Link link{std::move(receive), std::move(channel), latency,
+  if (!latency) throw std::invalid_argument("Medium::attach: null latency");
+  Link link{std::move(receive), std::move(channel), std::move(latency),
             rng_.fork(links_.size() + 1)};
   links_.push_back(std::move(link));
   return links_.size() - 1;
@@ -56,23 +64,36 @@ bool Medium::broadcast(const wire::Packet& packet) {
 
   for (std::size_t li = 0; li < links_.size(); ++li) {
     auto& link = links_[li];
-    if (!link.channel->deliver(link.rng)) {
+    const std::size_t copies = link.channel->deliveries(link.rng);
+    if (copies == 0) {
       metrics_.registry().add(ctr_frames_lost_);
       continue;
     }
-    common::Bytes copy = framed;
-    link.channel->corrupt(copy, link.rng);
-    // Deframing happens at delivery time so CRC failures of corrupted
-    // frames count as losses at the receiver edge. The link is addressed
-    // by index: links_ may grow (never shrink) while events are pending.
-    queue_.schedule_in(link.latency, [this, li, copy = std::move(copy)]() {
-      auto packet_opt = wire::deframe(copy);
-      if (!packet_opt) {
-        metrics_.registry().add(ctr_frames_corrupted_);
-        return;
+    for (std::size_t c = 0; c < copies; ++c) {
+      if (c > 0) {
+        // A duplicate is one more transmission on the medium: count its
+        // airtime against the original sender so bandwidth-fraction
+        // experiments see the true load.
+        ++duplicated_frames_;
+        bits_by_sender_[sender] += bits;
+        total_bits_ += bits;
+        metrics_.registry().add(ctr_frames_duplicated_);
       }
-      links_[li].receive(*packet_opt, queue_.now());
-    });
+      common::Bytes copy = framed;
+      link.channel->corrupt(copy, link.rng);
+      // Deframing happens at delivery time so CRC failures of corrupted
+      // frames count as losses at the receiver edge. The link is addressed
+      // by index: links_ may grow (never shrink) while events are pending.
+      queue_.schedule_in(link.latency->sample(link.rng),
+                         [this, li, copy = std::move(copy)]() {
+        auto packet_opt = wire::deframe(copy);
+        if (!packet_opt) {
+          metrics_.registry().add(ctr_frames_corrupted_);
+          return;
+        }
+        links_[li].receive(*packet_opt, queue_.now());
+      });
+    }
   }
   return true;
 }

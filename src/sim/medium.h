@@ -18,6 +18,7 @@
 #include "common/rng.h"
 #include "sim/channel.h"
 #include "sim/event_queue.h"
+#include "sim/faults.h"
 #include "sim/metrics.h"
 #include "sim/shaper.h"
 #include "wire/frame.h"
@@ -36,9 +37,20 @@ class Medium {
   std::size_t attach(ReceiveFn receive, std::unique_ptr<Channel> channel,
                      SimTime latency = kMillisecond);
 
+  /// Same, with a per-link latency model (fixed or jittered); each
+  /// delivered copy samples its own latency, so jitter wider than the
+  /// inter-frame gap reorders frames at this receiver.
+  std::size_t attach(ReceiveFn receive, std::unique_ptr<Channel> channel,
+                     std::unique_ptr<LatencyModel> latency);
+
   /// Broadcasts `packet` to every attached link (including any owned by
   /// the sender itself — receivers filter by sender id if they care).
   /// Returns false if the sender's rate limit dropped the frame.
+  /// A channel that duplicates (Channel::deliveries > 1) makes the extra
+  /// copies count as additional medium transmissions: their bits are
+  /// added to total_bits and attributed to the original sender, since a
+  /// network-level retransmission consumes airtime exactly like the
+  /// first copy did.
   bool broadcast(const wire::Packet& packet);
 
   /// Caps `sender`'s transmit rate with a token bucket. Enforces the
@@ -60,11 +72,16 @@ class Medium {
   [[nodiscard]] Metrics& metrics() noexcept { return metrics_; }
   [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
 
+  /// Extra frame copies produced by duplicating channels so far.
+  [[nodiscard]] std::uint64_t duplicated_frames() const noexcept {
+    return duplicated_frames_;
+  }
+
  private:
   struct Link {
     ReceiveFn receive;
     std::unique_ptr<Channel> channel;
-    SimTime latency;
+    std::unique_ptr<LatencyModel> latency;
     common::Rng rng;
   };
 
@@ -73,6 +90,7 @@ class Medium {
   std::vector<Link> links_;
   std::vector<std::uint64_t> bits_by_sender_;
   std::uint64_t total_bits_ = 0;
+  std::uint64_t duplicated_frames_ = 0;
   std::map<wire::NodeId, TokenBucket> rate_limits_;
   std::map<wire::NodeId, std::uint64_t> rate_limited_;
   Metrics metrics_;
@@ -81,6 +99,7 @@ class Medium {
   obs::CounterHandle ctr_broadcasts_;
   obs::CounterHandle ctr_frames_lost_;
   obs::CounterHandle ctr_frames_corrupted_;
+  obs::CounterHandle ctr_frames_duplicated_;
 };
 
 }  // namespace dap::sim

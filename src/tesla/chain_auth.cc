@@ -66,6 +66,13 @@ std::optional<common::Bytes> ChainAuthenticator::mac_key(
   return crypto::prf_bytes(crypto::PrfDomain::kMacKey, *k);
 }
 
+void ChainAuthenticator::rebase_to_newest() {
+  // accept() keeps the anchor at the newest authenticated key, so the
+  // rebase only needs to drop the volatile cache around it.
+  known_.clear();
+  known_[anchor_index_] = anchor_key_;
+}
+
 void ChainAuthenticator::prune_below(std::uint32_t floor) {
   auto it = known_.begin();
   while (it != known_.end() && it->first < floor) {

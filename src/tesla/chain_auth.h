@@ -47,6 +47,13 @@ class ChainAuthenticator {
   /// long-running receivers); the anchor itself is always kept.
   void prune_below(std::uint32_t floor);
 
+  /// Collapses state to the newest authenticated key — the persistent
+  /// anchor a crash/restart keeps. All cached intermediate keys are
+  /// dropped, so reveals for intervals at or before the anchor can no
+  /// longer authenticate (their records were volatile anyway); later
+  /// intervals re-authenticate by walking the chain from the anchor.
+  void rebase_to_newest();
+
  private:
   crypto::PrfDomain domain_;
   std::size_t key_size_;

@@ -91,6 +91,8 @@ TeslaPpReceiver::Telemetry TeslaPpReceiver::make_telemetry() {
       reg.counter("teslapp.keys_rejected"),
       reg.counter("teslapp.authenticated"),
       reg.counter("teslapp.unmatched"),
+      reg.counter("teslapp.admissions_shed"),
+      reg.counter("teslapp.crash_restarts"),
       reg.histogram("teslapp.rx_announce_us"),
       reg.histogram("teslapp.rx_reveal_us"),
   };
@@ -106,7 +108,8 @@ TeslaPpReceiver::TeslaPpReceiver(const TeslaPpConfig& config,
       local_secret_(std::move(local_secret)),
       clock_(clock),
       auth_(crypto::PrfDomain::kChainStep, config.key_size,
-            std::move(anchor_key), anchor_index) {
+            std::move(anchor_key), anchor_index),
+      resync_("teslapp", config.resync) {
   if (local_secret_.empty()) {
     throw std::invalid_argument("TeslaPpReceiver: empty local secret");
   }
@@ -132,16 +135,66 @@ common::Bytes TeslaPpReceiver::self_mac(std::uint32_t interval,
   return out;
 }
 
+bool TeslaPpReceiver::packet_safe(std::uint32_t i,
+                                  sim::SimTime local_now) const noexcept {
+  // The drift-allowance margin widens the check toward "the key may
+  // already be public", so bounded clock drift can never admit a late
+  // forgery — it only costs liveness, which resync restores.
+  const sim::SimTime guarded = local_now + resync_.safety_margin(local_now);
+  // TESLA++ reveals the key one interval after the announcement (d = 1).
+  if (calibration_) {
+    return calibration_->packet_safe(i, 1, guarded, config_.schedule);
+  }
+  return clock_.packet_safe(i, 1, guarded, config_.schedule);
+}
+
+void TeslaPpReceiver::set_resync_handler(ResyncFn handler) {
+  resync_.set_handler(std::move(handler));
+}
+
+void TeslaPpReceiver::tick(sim::SimTime local_now) {
+  if (auto calibration = resync_.maybe_resync(local_now)) {
+    calibration_ = *calibration;
+  }
+}
+
+void TeslaPpReceiver::crash_restart(sim::SimTime /*local_now*/) {
+  records_.clear();
+  auth_.rebase_to_newest();
+  calibration_.reset();
+  resync_.invalidate();
+  ++stats_.crash_restarts;
+  obs::Registry::global().add(telemetry_.crash_restarts);
+}
+
+std::size_t TeslaPpReceiver::stored_records() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [interval, bucket] : records_) {
+    total += bucket.size();
+  }
+  return total;
+}
+
 void TeslaPpReceiver::receive(const wire::MacAnnounce& packet,
                               sim::SimTime local_now) {
   auto& reg = obs::Registry::global();
   const obs::ScopedTimer timer(reg, telemetry_.rx_announce_latency);
+  tick(local_now);
   ++stats_.announces_received;
   reg.add(telemetry_.announces_received);
-  // TESLA++ reveals the key one interval after the announcement (d = 1).
-  if (!clock_.packet_safe(packet.interval, 1, local_now, config_.schedule)) {
+  if (!packet_safe(packet.interval, local_now)) {
     ++stats_.announces_unsafe;
     reg.add(telemetry_.announces_unsafe);
+    resync_.note_suspect(local_now);
+    tick(local_now);
+    return;
+  }
+  // Degradation: TESLA++ has no reservoir to shrink, so at the pool cap
+  // it sheds the admission outright (contrast with DAP's adaptive m).
+  if (config_.record_pool_limit != 0 &&
+      stored_records() >= config_.record_pool_limit) {
+    ++stats_.admissions_shed;
+    reg.add(telemetry_.admissions_shed);
     return;
   }
   auto& bucket = records_[packet.interval];
@@ -164,11 +217,14 @@ std::vector<AuthenticatedMessage> TeslaPpReceiver::receive(
     const wire::MessageReveal& packet, sim::SimTime local_now) {
   auto& reg = obs::Registry::global();
   const obs::ScopedTimer timer(reg, telemetry_.rx_reveal_latency);
+  tick(local_now);
   ++stats_.reveals_received;
   reg.add(telemetry_.reveals_received);
   if (!auth_.accept(packet.interval, packet.key)) {
     ++stats_.keys_rejected;
     reg.add(telemetry_.keys_rejected);
+    resync_.note_suspect(local_now);
+    tick(local_now);
     return {};
   }
   const auto mac_key = auth_.mac_key(packet.interval);
@@ -188,6 +244,9 @@ std::vector<AuthenticatedMessage> TeslaPpReceiver::receive(
   records_.erase(bucket_it);
   ++stats_.authenticated;
   reg.add(telemetry_.authenticated);
+  // Only end-to-end authentication counts as "healthy": forged-but-safe
+  // announces must not reset an accumulating suspect streak.
+  resync_.note_healthy();
   return {AuthenticatedMessage{packet.interval, packet.message, local_now}};
 }
 

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -25,6 +26,7 @@
 #include "obs/registry.h"
 #include "sim/clock_model.h"
 #include "tesla/chain_auth.h"
+#include "tesla/resync.h"
 #include "tesla/tesla.h"
 #include "wire/packet.h"
 
@@ -52,6 +54,14 @@ struct TeslaPpConfig {
   /// the weakness DAP's reservoir selection fixes (ablation E9).
   std::size_t max_records_per_interval = 0;
   sim::IntervalSchedule schedule{0, sim::kSecond};
+  /// Degradation: cap on total stored records across intervals (0 =
+  /// unlimited). TESLA++ has no reservoir to shrink, so at the cap it
+  /// sheds new admissions outright — the contrast DAP's adaptive m is
+  /// measured against.
+  std::size_t record_pool_limit = 0;
+  /// Desync detection / timesync re-execution policy (disabled by
+  /// default).
+  ResyncConfig resync{};
 };
 
 class TeslaPpSender {
@@ -110,6 +120,8 @@ struct TeslaPpStats {
   std::uint64_t keys_rejected = 0;
   std::uint64_t authenticated = 0;
   std::uint64_t unmatched = 0;  // reveal without a matching stored record
+  std::uint64_t admissions_shed = 0;  // dropped at the record pool cap
+  std::uint64_t crash_restarts = 0;
 };
 
 class TeslaPpReceiver {
@@ -138,6 +150,23 @@ class TeslaPpReceiver {
   [[nodiscard]] const TeslaPpStats& stats() const noexcept { return stats_; }
   /// Bits currently held in record storage (for the memory experiments).
   [[nodiscard]] std::size_t stored_record_bits() const noexcept;
+  /// Total records currently stored across intervals.
+  [[nodiscard]] std::size_t stored_records() const noexcept;
+
+  // ---- Resync / recovery (config_.resync) --------------------------------
+
+  /// Wires the timesync-handshake transport used by desync recovery.
+  void set_resync_handler(ResyncFn handler);
+  /// Idle-time driver for retry/backoff during silent periods.
+  void tick(sim::SimTime local_now);
+  /// Crash/restart: drops records and cached keys, keeps the newest
+  /// authenticated chain key as the persistent anchor.
+  void crash_restart(sim::SimTime local_now);
+
+  [[nodiscard]] bool desynced() const noexcept { return resync_.desynced(); }
+  [[nodiscard]] const ResyncStats& resync_stats() const noexcept {
+    return resync_.stats();
+  }
 
  private:
   TeslaPpReceiver(const TeslaPpConfig& config, common::Bytes anchor_key,
@@ -146,6 +175,11 @@ class TeslaPpReceiver {
 
   [[nodiscard]] common::Bytes self_mac(std::uint32_t interval,
                                        common::ByteView mac) const;
+
+  /// Safety check through the live calibration (when present) or the
+  /// bootstrap LooseClock, widened by the drift-allowance margin.
+  [[nodiscard]] bool packet_safe(std::uint32_t i,
+                                 sim::SimTime local_now) const noexcept;
 
   /// Global-registry handles mirroring TeslaPpStats; resolved once so
   /// the receive paths update by index only.
@@ -158,6 +192,8 @@ class TeslaPpReceiver {
     obs::CounterHandle keys_rejected;
     obs::CounterHandle authenticated;
     obs::CounterHandle unmatched;
+    obs::CounterHandle admissions_shed;
+    obs::CounterHandle crash_restarts;
     obs::HistogramHandle rx_announce_latency;
     obs::HistogramHandle rx_reveal_latency;
   };
@@ -171,6 +207,8 @@ class TeslaPpReceiver {
   ChainAuthenticator auth_;
   std::map<std::uint32_t, std::set<common::Bytes>> records_;
   TeslaPpStats stats_;
+  ResyncController resync_;
+  std::optional<SyncCalibration> calibration_;
 };
 
 }  // namespace dap::tesla

@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "common/rng.h"
+#include "sim/channel.h"
 #include "tesla/multilevel.h"
 
 namespace dap::tesla {
@@ -311,6 +314,47 @@ TEST(MultiLevelReceiver, LostCdmBlocksFutureIntervalUntilRecovery) {
   events = receiver.receive(sender.cdm(5), cdm_time(config, 5));
   EXPECT_TRUE(receiver.low_chain_known(3));
   ASSERT_EQ(events.messages.size(), 1u);
+}
+
+TEST(MultiLevelReceiver, GilbertElliottBurstRecoversViaHighChain) {
+  // A bursty Gilbert–Elliott link (lossless good state, total loss in the
+  // bad state) eats a run of consecutive CDMs — the correlated-loss case
+  // multi-level μTESLA's high-key link exists for. Seed 1 realizes the
+  // delivery pattern D D D L L D L D over CDMs 1..8: the burst swallows
+  // CDM_4 (carrying chain 6's commitment), so interval-6 data must be
+  // buffered until CDM_8 discloses K_7 and the high link re-anchors the
+  // low chain.
+  const auto config = test_config(crypto::LevelLink::kOriginal, false);
+  MultiLevelSender sender(config, bytes_of("seed"));
+  MultiLevelReceiver receiver(config, sender.bootstrap(),
+                              sim::LooseClock(0, 0), Rng(14));
+  sim::GilbertElliottChannel channel(0.5, 0.5, 0.0, 1.0);
+  Rng channel_rng(1);
+
+  std::string realized;
+  MultiLevelEvents events;
+  for (std::uint32_t i = 1; i <= 8; ++i) {
+    const bool delivered = channel.deliver(channel_rng);
+    realized += delivered ? 'D' : 'L';
+    if (delivered) {
+      events = receiver.receive(sender.cdm(i), cdm_time(config, i));
+    }
+    if (i == 5) {
+      // Mid-burst: chain 6's commitment went down with CDM_4, so data of
+      // interval 6 parks in the buffer instead of authenticating.
+      EXPECT_FALSE(receiver.low_chain_known(6));
+      const auto buffered = receiver.receive(
+          sender.make_data_packet(6, 1, bytes_of("m")), data_time(config, 6, 1));
+      EXPECT_TRUE(buffered.messages.empty());
+    }
+  }
+  ASSERT_EQ(realized, "DDDLLDLD");
+  // CDM_8 disclosed K_7, the anchor of low chain 6: the receiver
+  // recovered the chain through the high level and released the message.
+  EXPECT_TRUE(receiver.low_chain_known(6));
+  EXPECT_GE(receiver.stats().low_chains_recovered_via_high, 1u);
+  ASSERT_EQ(events.messages.size(), 1u);
+  EXPECT_EQ(events.messages[0].message, bytes_of("m"));
 }
 
 TEST(MultiLevelReceiver, IgnoresOutOfRangeIntervals) {

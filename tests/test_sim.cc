@@ -3,12 +3,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "sim/adversary.h"
 #include "sim/channel.h"
 #include "sim/clock_model.h"
 #include "sim/event_queue.h"
+#include "sim/faults.h"
 #include "sim/medium.h"
 #include "sim/metrics.h"
 #include "sim/time.h"
@@ -570,6 +573,155 @@ TEST(Medium, RateLimitEnforcesBandwidthFraction) {
   const double p = static_cast<double>(forged_sent) /
                    static_cast<double>(forged_sent + legit_sent);
   EXPECT_NEAR(p, 0.8, 0.02);
+}
+
+// ------------------------------------------------------ Fault injection
+
+TEST(FaultSchedule, WindowsAreHalfOpen) {
+  FaultSchedule sched;
+  sched.add_window(10, 20);
+  sched.add_window(40, 50);
+  EXPECT_FALSE(sched.active(9));
+  EXPECT_TRUE(sched.active(10));
+  EXPECT_TRUE(sched.active(19));
+  EXPECT_FALSE(sched.active(20));
+  EXPECT_TRUE(sched.active(45));
+  EXPECT_FALSE(sched.active(50));
+  EXPECT_EQ(sched.windows(), 2u);
+  EXPECT_EQ(sched.last_clear(), 50u);
+}
+
+TEST(FaultSchedule, EmptyScheduleNeverActive) {
+  FaultSchedule sched;
+  EXPECT_FALSE(sched.active(0));
+  EXPECT_FALSE(sched.active(UINT64_MAX));
+  EXPECT_EQ(sched.last_clear(), 0u);
+  EXPECT_THROW(sched.add_window(5, 5), std::invalid_argument);
+  EXPECT_THROW(sched.add_window(7, 3), std::invalid_argument);
+}
+
+TEST(FaultyClock, DriftAccumulatesThenFreezes) {
+  FaultyClock clock(LooseClock(0, kMillisecond));
+  // +100000 ppm = +100 us per ms of true time, active for 10 ms.
+  clock.add(ClockDriftFault{100000.0, 0, 10 * kMillisecond});
+  EXPECT_EQ(clock.offset_at(0), 0);
+  EXPECT_EQ(clock.offset_at(5 * kMillisecond), 500);
+  EXPECT_EQ(clock.offset_at(10 * kMillisecond), 1000);
+  // Frozen after the window: the clock stays wrong, it does not recover.
+  EXPECT_EQ(clock.offset_at(20 * kMillisecond), 1000);
+  EXPECT_EQ(clock.local_time(20 * kMillisecond), 20 * kMillisecond + 1000);
+  // The believed bound is still the pre-fault LooseClock.
+  EXPECT_EQ(clock.believed().offset(), 0);
+}
+
+TEST(FaultyClock, StepJumpsAtInstant) {
+  FaultyClock clock(LooseClock(-200, kMillisecond));
+  clock.add(ClockStepFault{5000, 10 * kMillisecond});
+  EXPECT_EQ(clock.offset_at(10 * kMillisecond - 1), -200);
+  EXPECT_EQ(clock.offset_at(10 * kMillisecond), 4800);
+  EXPECT_EQ(clock.local_time(10 * kMillisecond),
+            10 * kMillisecond + 4800);
+}
+
+TEST(JitterLink, SamplesWithinRangeAndGatesOnSchedule) {
+  EventQueue queue;
+  Rng rng(31);
+  auto sched = std::make_shared<FaultSchedule>();
+  sched->add_window(100, 200);
+  JitterLink link(kMillisecond, 5 * kMillisecond, sched, &queue);
+  // Outside the window: exactly the base latency.
+  SimTime latency = link.sample(rng);
+  EXPECT_EQ(latency, kMillisecond);
+  // Inside the window: base plus uniform extra in [0, max_extra].
+  queue.schedule_at(150, [&] {
+    bool saw_extra = false;
+    for (int i = 0; i < 64; ++i) {
+      latency = link.sample(rng);
+      EXPECT_GE(latency, kMillisecond);
+      EXPECT_LE(latency, 6 * kMillisecond);
+      saw_extra = saw_extra || latency != kMillisecond;
+    }
+    EXPECT_TRUE(saw_extra);
+  });
+  queue.run();
+}
+
+TEST(DuplicateChannel, CertainDuplicationDoublesDeliveries) {
+  Rng rng(32);
+  DuplicateChannel channel(std::make_unique<PerfectChannel>(), 1.0);
+  EXPECT_EQ(channel.deliveries(rng), 2u);
+  // A lossless channel with p=0 never duplicates.
+  DuplicateChannel quiet(std::make_unique<PerfectChannel>(), 0.0);
+  EXPECT_EQ(quiet.deliveries(rng), 1u);
+}
+
+TEST(DuplicateChannel, ScheduleGatesDuplication) {
+  EventQueue queue;
+  Rng rng(33);
+  auto sched = std::make_shared<FaultSchedule>();
+  sched->add_window(10, 20);
+  DuplicateChannel channel(std::make_unique<PerfectChannel>(), 1.0, sched,
+                           &queue);
+  std::vector<std::size_t> copies;
+  queue.schedule_at(5, [&] { copies.push_back(channel.deliveries(rng)); });
+  queue.schedule_at(15, [&] { copies.push_back(channel.deliveries(rng)); });
+  queue.schedule_at(25, [&] { copies.push_back(channel.deliveries(rng)); });
+  queue.run();
+  EXPECT_EQ(copies, (std::vector<std::size_t>{1, 2, 1}));
+}
+
+TEST(BlackoutChannel, DropsEverythingInsideWindowOnly) {
+  EventQueue queue;
+  Rng rng(34);
+  auto sched = std::make_shared<FaultSchedule>();
+  sched->add_window(10, 20);
+  BlackoutChannel channel(std::make_unique<PerfectChannel>(), sched, queue);
+  std::vector<std::size_t> copies;
+  queue.schedule_at(15, [&] { copies.push_back(channel.deliveries(rng)); });
+  queue.schedule_at(25, [&] { copies.push_back(channel.deliveries(rng)); });
+  queue.run();
+  EXPECT_EQ(copies, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Medium, DuplicatedFramesCountAsExtraAirtime) {
+  EventQueue q;
+  Rng rng(35);
+  Medium medium(q, rng);
+  int received = 0;
+  medium.attach([&](const wire::Packet&, SimTime) { ++received; },
+                std::make_unique<DuplicateChannel>(
+                    std::make_unique<PerfectChannel>(), 1.0));
+  const wire::Packet p{make_announce(1, 1)};
+  medium.broadcast(p);
+  q.run();
+  // The receiver sees both copies, and the duplicate consumed airtime
+  // attributed to the original sender exactly like the first copy.
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(medium.duplicated_frames(), 1u);
+  EXPECT_EQ(medium.bits_sent_by(1), 2 * wire::wire_bits(p));
+  EXPECT_EQ(medium.total_bits(), 2 * wire::wire_bits(p));
+  EXPECT_EQ(medium.metrics().count("medium.frames_duplicated"), 1u);
+}
+
+TEST(Medium, JitterReordersBackToBackFrames) {
+  EventQueue q;
+  Rng rng(36);
+  Medium medium(q, rng);
+  std::vector<std::uint32_t> arrivals;
+  medium.attach(
+      [&](const wire::Packet& packet, SimTime) {
+        arrivals.push_back(std::get<wire::MacAnnounce>(packet).interval);
+      },
+      std::make_unique<PerfectChannel>(),
+      std::make_unique<JitterLink>(kMillisecond, 20 * kMillisecond));
+  for (std::uint32_t i = 1; i <= 32; ++i) {
+    q.run_until(q.now() + 10);
+    medium.broadcast(wire::Packet{make_announce(1, i)});
+  }
+  q.run();
+  ASSERT_EQ(arrivals.size(), 32u);
+  // Jitter much wider than the 10 us inter-frame gap must reorder.
+  EXPECT_FALSE(std::is_sorted(arrivals.begin(), arrivals.end()));
 }
 
 }  // namespace
