@@ -5,19 +5,29 @@
 // leaves a machine-readable run summary (counters + histogram
 // percentiles + wall time from the obs registry) in
 // bench_out/<name>.metrics.json — the perf-trajectory baseline future
-// PRs diff against.
+// PRs diff against. The summary footer also records the parallel-engine
+// thread count, peak RSS, and per-phase wall times so speedup runs are
+// self-describing.
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <iostream>
+#include <map>
 #include <string>
 
 #include "common/ascii_chart.h"
 #include "common/csv.h"
+#include "common/parallel.h"
 #include "common/table.h"
 #include "obs/export.h"
 #include "obs/registry.h"
 #include "obs/scoped_timer.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 namespace dap::bench {
 
@@ -26,6 +36,13 @@ namespace detail {
 inline std::chrono::steady_clock::time_point run_start() {
   static const auto start = std::chrono::steady_clock::now();
   return start;
+}
+
+/// Wall seconds per completed named phase, in completion order; rendered
+/// into the metrics footer as the "phases" object.
+inline std::map<std::string, double>& phase_walls() {
+  static std::map<std::string, double> walls;
+  return walls;
 }
 }  // namespace detail
 
@@ -39,6 +56,50 @@ inline std::string metrics_path(const std::string& name) {
   return "bench_out/" + name + ".metrics.json";
 }
 
+/// Parses `--threads N` (or `--threads=N`) from argv and pins the
+/// parallel engine's default worker count; without the flag the default
+/// stands (DAP_THREADS env override, else hardware concurrency). Returns
+/// the thread count now in effect. Unrelated arguments are ignored so
+/// benches can mix this with their own flags (e.g. --smoke).
+inline std::size_t configure_threads(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--threads" && i + 1 < argc) {
+      value = argv[i + 1];
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      value = arg.substr(std::string("--threads=").size());
+    } else {
+      continue;
+    }
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0' && parsed > 0) {
+      common::set_default_threads(static_cast<std::size_t>(parsed));
+    } else {
+      std::cerr << "[bench] ignoring invalid --threads value '" << value
+                << "'\n";
+    }
+    break;
+  }
+  return common::default_threads();
+}
+
+/// Peak resident set size in KiB, or 0 where unavailable.
+inline std::uint64_t peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(usage.ru_maxrss) / 1024;  // bytes
+#else
+    return static_cast<std::uint64_t>(usage.ru_maxrss);  // KiB already
+#endif
+  }
+#endif
+  return 0;
+}
+
 /// Times a named phase of a bench into the global registry (histogram
 /// `bench.<phase>_us`), so figure benches and micro benches report
 /// through the same log-bucketed histogram type.
@@ -46,6 +107,31 @@ inline std::string metrics_path(const std::string& name) {
   return obs::ScopedTimer(
       obs::Registry::global().histogram("bench." + phase + "_us"));
 }
+
+/// RAII phase clock: on destruction records the phase's wall seconds
+/// into the footer's "phases" map AND the `bench.<phase>_us` histogram.
+/// Re-entering a phase name accumulates.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(std::string phase)
+      : phase_(std::move(phase)),
+        timer_(scoped_timer(phase_)),
+        start_(std::chrono::steady_clock::now()) {}
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+  ~PhaseTimer() {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    detail::phase_walls()[phase_] += seconds;
+  }
+
+ private:
+  std::string phase_;
+  obs::ScopedTimer timer_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 inline void banner(const std::string& title, const std::string& paper_ref,
                    const std::string& expectation) {
@@ -57,8 +143,27 @@ inline void banner(const std::string& title, const std::string& paper_ref,
             << "================================================================\n";
 }
 
-/// Writes the global-registry snapshot (plus wall time since banner) to
-/// bench_out/<name>.metrics.json.
+namespace detail {
+/// Renders the run-environment footer fields ("threads", "peak_rss_kb",
+/// "phases") as a JSON fragment for metrics_json's extra_fields slot.
+inline std::string footer_extra_fields() {
+  std::string out = "\"threads\": " + std::to_string(common::default_threads());
+  out += ", \"peak_rss_kb\": " + std::to_string(peak_rss_kb());
+  out += ", \"phases\": {";
+  bool first = true;
+  for (const auto& [phase, seconds] : phase_walls()) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6f", seconds);
+    out += std::string(first ? "" : ", ") + "\"" + phase + "\": " + buf;
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+}  // namespace detail
+
+/// Writes the global-registry snapshot (plus wall time since banner and
+/// the thread/RSS/phase footer fields) to bench_out/<name>.metrics.json.
 inline void write_run_summary(const std::string& name) {
   auto& reg = obs::Registry::global();
   reg.add(reg.counter("bench.completed"));
@@ -67,7 +172,8 @@ inline void write_run_summary(const std::string& name) {
                                     detail::run_start())
           .count();
   reg.observe(reg.histogram("bench.wall_us"), wall_seconds * 1e6);
-  obs::write_metrics_json(reg, metrics_path(name), wall_seconds);
+  obs::write_metrics_json(reg, metrics_path(name), wall_seconds,
+                          detail::footer_extra_fields());
 }
 
 inline void footer(const std::string& name) {

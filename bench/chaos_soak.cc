@@ -8,6 +8,7 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/chaos.h"
@@ -15,13 +16,18 @@
 
 int main(int argc, char** argv) {
   using namespace dap;
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const std::size_t threads = bench::configure_threads(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
   bench::banner(
       std::string("chaos soak — fault injection vs receiver recovery") +
           (smoke ? " (smoke)" : ""),
       "Sec. VII robustness: authentication must survive adverse channels",
       "0 forged authentications ever; every receiver reconverges within "
       "the bounded tail after faults clear");
+  std::cout << "[parallel engine: " << threads << " thread(s)]\n";
 
   const std::vector<std::uint64_t> seeds =
       smoke ? std::vector<std::uint64_t>{7}
@@ -36,9 +42,13 @@ int main(int argc, char** argv) {
        "resync_episodes", "resync_successes", "budget_exhausted",
        "forged_accepted", "all_reconverged"});
 
-  bool ok = true;
-  std::size_t mix_index = 0;
-  for (const auto& [name, mix] : analysis::standard_fault_mixes()) {
+  // Build the full (mix, seed) plan, then fan every soak out across the
+  // parallel engine; reports come back in plan order with telemetry
+  // merged deterministically.
+  const auto mixes = analysis::standard_fault_mixes();
+  std::vector<analysis::ChaosConfig> configs;
+  std::vector<std::pair<std::string, std::uint64_t>> labels;
+  for (const auto& [name, mix] : mixes) {
     for (const std::uint64_t seed : seeds) {
       analysis::ChaosConfig config;
       config.seed = seed;
@@ -49,8 +59,22 @@ int main(int argc, char** argv) {
         config.fault_until = 14;
         config.reconverge_within = 8;
       }
-      const auto report = analysis::run_chaos_soak(config);
+      configs.push_back(config);
+      labels.emplace_back(name, seed);
+    }
+  }
+  const auto reports = [&] {
+    const bench::PhaseTimer phase("soaks");
+    return analysis::run_chaos_soaks(configs);
+  }();
 
+  bool ok = true;
+  for (std::size_t run = 0; run < reports.size(); ++run) {
+    const auto& report = reports[run];
+    const auto& name = labels[run].first;
+    const std::uint64_t seed = labels[run].second;
+    const std::size_t mix_index = run / seeds.size();
+    {
       std::uint64_t dap_auth = 0, tpp_auth = 0, episodes = 0, resyncs = 0,
                     exhausted = 0, crashes = 0;
       for (const auto& r : report.dap) {
@@ -90,7 +114,6 @@ int main(int argc, char** argv) {
         ok = false;
       }
     }
-    ++mix_index;
   }
   std::cout << table.render();
   std::cout << "\nepisodes/resyncs: desync episodes declared and handshakes "

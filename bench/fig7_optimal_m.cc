@@ -3,24 +3,29 @@
 // cost-arg-min variant for comparison.
 
 #include <iostream>
+#include <utility>
 
 #include "analysis/figures.h"
 #include "bench_util.h"
 #include "game/ess.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dap;
+  const std::size_t threads = bench::configure_threads(argc, argv);
   bench::banner(
       "Fig. 7 — optimised number of buffers m at different DoS levels",
       "ICDCS'16 DAP paper, Fig. 7",
       "m* grows with p, then jumps to the cap (50) past p ~ 0.94 where "
       "no interior ESS exists (the mechanism 'gives up')");
+  std::cout << "[parallel engine: " << threads << " thread(s)]\n";
 
   const auto sweep = analysis::default_p_sweep();
-  const auto paper_rows =
-      analysis::fig7_series(sweep, game::OptimizeMode::kPaperInterior);
-  const auto argmin_rows =
-      analysis::fig7_series(sweep, game::OptimizeMode::kMinimizeCost);
+  const auto [paper_rows, argmin_rows] = [&] {
+    const bench::PhaseTimer phase("solve");
+    auto paper = analysis::fig7_series(sweep, game::OptimizeMode::kPaperInterior);
+    auto argmin = analysis::fig7_series(sweep, game::OptimizeMode::kMinimizeCost);
+    return std::make_pair(std::move(paper), std::move(argmin));
+  }();
 
   common::TextTable table({"p", "m* (paper mode)", "ESS", "E(m*)",
                            "m* (arg-min E)", "E(arg-min)"});

@@ -8,17 +8,20 @@
 #include "analysis/montecarlo.h"
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dap;
+  const std::size_t threads = bench::configure_threads(argc, argv);
   bench::banner(
       "E7 — simulator-measured attack success vs analytic P = p^m",
       "the P = p^m model assumption of Sec. IV-A / V-C (from Liu & Ning)",
       "measured ~ p^m within confidence bounds for floods >> m; small "
       "floods deviate in the defender's favour (hypergeometric)");
+  std::cout << "[parallel engine: " << threads << " thread(s)]\n";
 
   const std::vector<double> ps = {0.5, 0.7, 0.8, 0.9, 0.95};
   const std::vector<std::size_t> ms = {1, 2, 4, 8, 16};
   const auto sweep = [&] {
+    const bench::PhaseTimer phase("trials");
     const auto sweep_timer = bench::scoped_timer("montecarlo_sweep");
     return analysis::attack_success_sweep(ps, ms, 1500, 2024);
   }();
@@ -52,7 +55,10 @@ int main() {
   small_flood.m = 8;
   small_flood.authentic_copies = 1;  // flood of 10 against 8 buffers
   small_flood.trials = 3000;
-  const auto r = analysis::measure_attack_success(small_flood);
+  const auto r = [&] {
+    const bench::PhaseTimer phase("small_flood");
+    return analysis::measure_attack_success(small_flood);
+  }();
   std::cout << "small-flood check (1 authentic + 9 forged, m=8): measured "
             << common::format_number(r.measured_attack_success)
             << " vs p^m = " << common::format_number(r.analytic)

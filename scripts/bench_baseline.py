@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Serial-vs-parallel bench baseline: runs the experiment binaries at 1
+thread and at N threads, proves the outputs are bitwise identical, and
+records the timing in BENCH_parallel.json (schema dap.bench_parallel.v1).
+
+Each bench runs twice in its own scratch working directory:
+
+  DAP_THREADS=1 <bench> ...      # the bit-exact serial reference
+  DAP_THREADS=N <bench> ...      # the parallel engine
+
+and the two bench_out/<name>.csv files are compared byte for byte — the
+determinism contract of common::parallel_for made observable. Timing uses
+wall clocks around the whole process, so treat the speedup as indicative;
+the CSV identity check is the hard pass/fail signal.
+
+Stdlib only. Usage:
+
+  scripts/bench_baseline.py [--build BUILD_DIR] [--threads N] [--out FILE]
+
+Defaults: --build build, --threads os.cpu_count(), --out
+BENCH_parallel.json in the repo root. Exits 1 when a bench fails or a CSV
+differs between thread counts.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# (bench name, binary relative to the build dir, extra argv)
+BENCHES = [
+    ("montecarlo_dap", "bench/montecarlo_dap", []),
+    ("fig7_optimal_m", "bench/fig7_optimal_m", []),
+    ("chaos_soak", "bench/chaos_soak", ["--smoke"]),
+]
+
+
+def run_once(binary, extra_args, threads, scratch):
+    """Runs one bench in `scratch` with DAP_THREADS pinned; returns
+    (wall_seconds, csv_bytes, metrics_dict_or_None, returncode)."""
+    env = dict(os.environ)
+    env["DAP_THREADS"] = str(threads)
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [str(binary)] + extra_args,
+        cwd=scratch,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+    wall = time.perf_counter() - start
+    name = pathlib.Path(binary).name
+    csv_path = pathlib.Path(scratch) / "bench_out" / (name + ".csv")
+    csv_bytes = csv_path.read_bytes() if csv_path.exists() else None
+    metrics = None
+    metrics_path = pathlib.Path(scratch) / "bench_out" / (name + ".metrics.json")
+    if metrics_path.exists():
+        try:
+            metrics = json.loads(metrics_path.read_text())
+        except json.JSONDecodeError:
+            pass
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout.decode(errors="replace"))
+    return wall, csv_bytes, metrics, proc.returncode
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build", default="build",
+                        help="CMake build directory holding the benches")
+    parser.add_argument("--threads", type=int, default=os.cpu_count() or 1,
+                        help="parallel thread count to compare against 1")
+    parser.add_argument("--out", default=str(ROOT / "BENCH_parallel.json"),
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    build = pathlib.Path(args.build)
+    if not build.is_absolute():
+        build = ROOT / build
+    threads = max(1, args.threads)
+
+    report = {
+        "schema": "dap.bench_parallel.v1",
+        "threads_serial": 1,
+        "threads_parallel": threads,
+        "cpu_count": os.cpu_count() or 1,
+        "benches": [],
+    }
+    failed = False
+    for name, rel, extra in BENCHES:
+        binary = build / rel
+        if not binary.exists():
+            print(f"[{name}] SKIP: {binary} not built")
+            report["benches"].append({"name": name, "status": "missing"})
+            continue
+        with tempfile.TemporaryDirectory() as serial_dir, \
+                tempfile.TemporaryDirectory() as parallel_dir:
+            s_wall, s_csv, s_metrics, s_rc = run_once(
+                binary, extra, 1, serial_dir)
+            p_wall, p_csv, p_metrics, p_rc = run_once(
+                binary, extra, threads, parallel_dir)
+        entry = {
+            "name": name,
+            "args": extra,
+            "serial_wall_seconds": round(s_wall, 4),
+            "parallel_wall_seconds": round(p_wall, 4),
+            "speedup": round(s_wall / p_wall, 3) if p_wall > 0 else None,
+            "csv_identical": s_csv is not None and s_csv == p_csv,
+        }
+        for metrics, key in ((s_metrics, "serial"), (p_metrics, "parallel")):
+            if metrics is not None:
+                entry[key + "_reported_threads"] = metrics.get("threads")
+                entry[key + "_peak_rss_kb"] = metrics.get("peak_rss_kb")
+        if s_rc != 0 or p_rc != 0:
+            entry["status"] = "bench_failed"
+            failed = True
+        elif s_csv is None:
+            entry["status"] = "no_csv"
+            failed = True
+        elif not entry["csv_identical"]:
+            entry["status"] = "csv_mismatch"
+            failed = True
+        else:
+            entry["status"] = "ok"
+        report["benches"].append(entry)
+        print(f"[{name}] {entry['status']}: serial {s_wall:.2f}s, "
+              f"{threads}-thread {p_wall:.2f}s "
+              f"(speedup {entry['speedup']}), csv identical: "
+              f"{entry['csv_identical']}")
+
+    pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report written to {args.out}")
+    if failed:
+        print("FAIL: at least one bench failed or diverged across "
+              "thread counts")
+        return 1
+    print("OK: all benches bitwise identical across thread counts")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -37,4 +37,15 @@ ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
   DAP_CHAOS_SOAK_ITERS=4 \
   ctest --test-dir build-asan --output-on-failure
 
+echo "== tsan: ThreadSanitizer build, parallel-engine suite =="
+cmake -B build-tsan -S . "${GEN[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDAP_SANITIZE=thread \
+  -DDAP_CONTRACTS=FATAL \
+  -DDAP_BUILD_BENCHES=OFF -DDAP_BUILD_EXAMPLES=OFF -DDAP_BUILD_FUZZERS=OFF
+cmake --build build-tsan
+# DAP_THREADS=4 forces real worker threads through the pool even on
+# single-core machines, so TSan sees genuine cross-thread handoff.
+TSAN_OPTIONS=halt_on_error=1 DAP_THREADS=4 \
+  ctest --test-dir build-tsan -L test_parallel --output-on-failure
+
 echo "== all checks passed =="

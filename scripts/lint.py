@@ -25,6 +25,16 @@ Rules (each finding prints `path:line: [rule] message`):
                   bare `assert(` is banned in src/ (use DAP_REQUIRE /
                   DAP_ENSURE / DAP_INVARIANT from common/contracts.h).
 
+  global-state    Mutable `static` variables (function-local or namespace
+                  scope) are shared state that breaks thread-safety under
+                  the parallel engine: banned in src/ outside src/obs
+                  (the telemetry layer owns the process-global registry /
+                  tracer singletons and merges per-thread shards into
+                  them). `static const` / `constexpr` and `thread_local`
+                  declarations are fine. Suppress a deliberate global
+                  (e.g. a Meyers singleton guarded by its own mutex) with
+                  `// dap-lint: allow(global-state)`.
+
 Usage:
   scripts/lint.py              # lint src/ (exit 1 on any finding)
   scripts/lint.py PATH...      # lint specific files/directories
@@ -43,6 +53,7 @@ SOURCE_SUFFIXES = {".cc", ".h"}
 
 CONSTANT_TIME_DIRS = ("src/crypto", "src/tesla", "src/dap", "src/wire")
 DETERMINISM_EXEMPT_DIRS = ("src/obs",)
+GLOBAL_STATE_EXEMPT_DIRS = ("src/obs",)
 
 CONSTANT_TIME_BANNED = [
     (re.compile(r"\bmemcmp\s*\("), "memcmp"),
@@ -82,8 +93,32 @@ INCLUDE_RE = re.compile(r'^\s*#\s*include\s+[<"]([^">]+)[">]')
 PROJECT_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 BARE_ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
 
+# A `static` declarator that is not const/constexpr/thread_local. Whether
+# it declares a *variable* (flagged) or a function (fine) is decided by
+# looking at what comes first after the type: an initializer or
+# statement end (variable) vs an argument list (function).
+STATIC_DECL_RE = re.compile(
+    r"^\s*(?:inline\s+)?static\s+(?!const\b|constexpr\b|thread_local\b)(.*)$")
+
 ALLOW_VARIABLE_TIME = "dap-lint: allow(variable-time)"
 ALLOW_NONDETERMINISM = "dap-lint: allow(nondeterminism)"
+ALLOW_GLOBAL_STATE = "dap-lint: allow(global-state)"
+
+
+def is_mutable_static_variable(code):
+    """True when `code` (comment-stripped) declares a mutable static
+    variable: the declaration reaches an initializer (`=` / brace) or a
+    plain `;` before any parameter list opens."""
+    match = STATIC_DECL_RE.match(code)
+    if not match:
+        return False
+    rest = match.group(1)
+    for ch in rest:
+        if ch in "={;":
+            return True   # initializer or bare declaration: a variable
+        if ch == "(":
+            return False  # parameter list: a function
+    return False  # declaration continues on the next line: give benefit
 
 
 def is_under(rel, prefixes):
@@ -108,6 +143,8 @@ def lint_file(path, rel, findings):
     check_ct = is_under(rel, CONSTANT_TIME_DIRS)
     check_det = rel.startswith("src/") and not is_under(
         rel, DETERMINISM_EXEMPT_DIRS)
+    check_gs = rel.startswith("src/") and not is_under(
+        rel, GLOBAL_STATE_EXEMPT_DIRS)
     in_src = rel.startswith("src/")
 
     first_project_include = None
@@ -131,6 +168,15 @@ def lint_file(path, rel, findings):
                         f"{name} breaks seeded reproducibility — use "
                         "common::Rng / sim::SimTime (or annotate "
                         f"'// {ALLOW_NONDETERMINISM}')"))
+
+        if check_gs and ALLOW_GLOBAL_STATE not in raw \
+                and is_mutable_static_variable(code):
+            findings.append((
+                rel, lineno, "global-state",
+                "mutable static variable is shared state under the "
+                "parallel engine — use a thread_local, pass state "
+                "explicitly, or annotate a deliberate singleton "
+                f"'// {ALLOW_GLOBAL_STATE}'"))
 
         include = INCLUDE_RE.match(raw)
         if include:
@@ -223,6 +269,23 @@ def self_test():
          "bool f(dap::common::ByteView a, dap::common::ByteView b) {\n"
          "  return common::equal(a, b);"
          "  // dap-lint: allow(variable-time)\n"
+         "}\n",
+         set()),
+        ("src/game/bad_static.cc",
+         '#include "game/bad_static.h"\n'
+         "int f() {\n"
+         "  static int call_count = 0;\n"
+         "  return ++call_count;\n"
+         "}\n",
+         {"global-state"}),
+        ("src/sim/ok_static.cc",
+         '#include "sim/ok_static.h"\n'
+         "int helper(int);\n"
+         "int f() {\n"
+         "  static const int k = 7;\n"
+         "  static thread_local int scratch = 0;\n"
+         "  static int instance;  // dap-lint: allow(global-state)\n"
+         "  return helper(k + scratch + instance);\n"
          "}\n",
          set()),
         ("src/game/clean.cc",

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "common/bytes.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "crypto/mac.h"
 #include "crypto/prf.h"
@@ -336,6 +337,15 @@ ChaosReport run_chaos_soak(const ChaosConfig& config) {
                              report.teslapp.back().reconverged;
   }
   return report;
+}
+
+std::vector<ChaosReport> run_chaos_soaks(
+    const std::vector<ChaosConfig>& configs) {
+  // Each soak is deterministic from its config alone (it seeds its own
+  // RNGs), so the fan-out needs no plan pass.
+  return common::parallel_map<ChaosReport>(
+      configs.size(),
+      [&configs](std::size_t i) { return run_chaos_soak(configs[i]); });
 }
 
 std::vector<std::pair<std::string, ChaosFaultMix>> standard_fault_mixes() {

@@ -81,6 +81,12 @@ struct ChaosReport {
 
 ChaosReport run_chaos_soak(const ChaosConfig& config);
 
+/// Runs several independent soaks (typically one per fault mix) across
+/// the parallel engine; slot i is run_chaos_soak(configs[i]), and every
+/// run's telemetry merges into the caller's registry in slot order.
+std::vector<ChaosReport> run_chaos_soaks(
+    const std::vector<ChaosConfig>& configs);
+
 /// The named fault mixes the soak suite iterates: each single-fault
 /// scenario plus a combined one.
 std::vector<std::pair<std::string, ChaosFaultMix>> standard_fault_mixes();

@@ -1,8 +1,10 @@
 #include "analysis/empirical.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "analysis/montecarlo.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stats.h"
 
@@ -19,38 +21,68 @@ struct ArmOutcome {
 
 /// One population arm: every node defends with probability `X` using `m`
 /// buffers and faces an active attacker with probability `Y`.
+/// Everything the serial RNG decides for one (interval, node) cell.
+struct NodePlan {
+  bool attacked = false;
+  bool defends = false;
+  bool simulate = false;          // defends && attacked
+  common::Rng round_rng{0};       // only meaningful when simulate
+};
+
 ArmOutcome run_arm(const EmpiricalCostConfig& config,
                    const game::GameParams& g, std::size_t m, double X,
                    double Y, common::Rng& rng) {
-  ArmOutcome out;
-  common::RunningStats costs;
+  // Plan pass: replay the legacy per-node draw order (attacked, defends,
+  // then a fork only for defended-and-attacked cells) on the caller's
+  // RNG serially, so the stream matches the historical loop bit for bit.
+  std::vector<NodePlan> plan;
+  plan.reserve(config.intervals * config.nodes);
   for (std::size_t interval = 0; interval < config.intervals; ++interval) {
     for (std::size_t node = 0; node < config.nodes; ++node) {
-      const bool attacked = rng.bernoulli(Y);
-      const bool defends = rng.bernoulli(X);
-      double cost = 0.0;
-      if (defends) {
-        ++out.defended;
-        // Table I: Cd = k2 * m * X — the defence cost scales with the
-        // defending share of the population.
-        cost += g.k2 * static_cast<double>(m) * X;
-        if (attacked) {
-          common::Rng round_rng = rng.fork(interval * config.nodes + node);
-          if (simulate_dap_round(config.p, m,
-                                 protocol::BufferPolicy::kReservoir,
-                                 FloodTiming::kInterleaved,
-                                 config.authentic_copies, round_rng)) {
-            cost += g.Ra;
-            ++out.lost_defended;
-          }
-        }
-      } else if (attacked) {
-        // No buffers: a flooded round is lost with certainty.
-        cost += g.Ra;
-        ++out.lost_undefended;
+      NodePlan cell;
+      cell.attacked = rng.bernoulli(Y);
+      cell.defends = rng.bernoulli(X);
+      if (cell.defends && cell.attacked) {
+        cell.round_rng = rng.fork(interval * config.nodes + node);
+        cell.simulate = true;
       }
-      costs.add(cost);
+      plan.push_back(cell);
     }
+  }
+
+  // The expensive flooded-round simulations fan out; each cell owns its
+  // pre-forked RNG and result slot.
+  const std::vector<char> defeated =
+      common::parallel_map<char>(plan.size(), [&config, &plan, m](std::size_t i) {
+        if (!plan[i].simulate) return static_cast<char>(0);
+        return static_cast<char>(simulate_dap_round(
+            config.p, m, protocol::BufferPolicy::kReservoir,
+            FloodTiming::kInterleaved, config.authentic_copies,
+            plan[i].round_rng));
+      });
+
+  // In-order reduction: the Welford cost stream sees the same values in
+  // the same sequence as the serial loop.
+  ArmOutcome out;
+  common::RunningStats costs;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const NodePlan& cell = plan[i];
+    double cost = 0.0;
+    if (cell.defends) {
+      ++out.defended;
+      // Table I: Cd = k2 * m * X — the defence cost scales with the
+      // defending share of the population.
+      cost += g.k2 * static_cast<double>(m) * X;
+      if (cell.attacked && defeated[i] != 0) {
+        cost += g.Ra;
+        ++out.lost_defended;
+      }
+    } else if (cell.attacked) {
+      // No buffers: a flooded round is lost with certainty.
+      cost += g.Ra;
+      ++out.lost_undefended;
+    }
+    costs.add(cost);
   }
   out.mean_cost = costs.mean();
   return out;

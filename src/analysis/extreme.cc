@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "sim/adversary.h"
 
 namespace dap::analysis {
@@ -62,32 +63,64 @@ bool simulate_lossy_dap_round(double loss, double p, std::size_t m,
 
 std::vector<ExtremeCell> extreme_conditions_grid(
     const ExtremeGridConfig& config) {
+  // Flatten the (loss, p, trial) nest: the per-trial RNGs are forked
+  // serially in the legacy (cell-major, trial-minor) order, then every
+  // trial fans out into its own slot.
+  struct Trial {
+    std::size_t cell = 0;
+    double loss = 0.0;
+    double p = 0.0;
+    common::Rng rng{0};
+  };
   common::Rng master(config.seed);
+  const std::size_t cell_count = config.losses.size() * config.ps.size();
+  std::vector<Trial> trials;
+  trials.reserve(cell_count * config.trials);
+  std::size_t cell_index = 0;
+  for (double loss : config.losses) {
+    for (double p : config.ps) {
+      for (std::size_t t = 0; t < config.trials; ++t) {
+        Trial trial;
+        trial.cell = cell_index;
+        trial.loss = loss;
+        trial.p = p;
+        trial.rng = master.fork((cell_index << 32) ^
+                                static_cast<std::uint64_t>(t));
+        trials.push_back(trial);
+      }
+      ++cell_index;
+    }
+  }
+
+  const std::vector<char> won = common::parallel_map<char>(
+      trials.size(), [&config, &trials](std::size_t i) {
+        return static_cast<char>(simulate_lossy_dap_round(
+            trials[i].loss, trials[i].p, config.m, config.announce_copies,
+            config.reveal_copies, trials[i].rng));
+      });
+
+  std::vector<std::size_t> successes(cell_count, 0);
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    if (won[i] != 0) ++successes[trials[i].cell];
+  }
+
   std::vector<ExtremeCell> grid;
-  grid.reserve(config.losses.size() * config.ps.size());
+  grid.reserve(cell_count);
+  cell_index = 0;
   for (double loss : config.losses) {
     for (double p : config.ps) {
       ExtremeCell cell;
       cell.loss = loss;
       cell.p = p;
-      std::size_t successes = 0;
-      for (std::size_t t = 0; t < config.trials; ++t) {
-        common::Rng trial = master.fork(
-            (grid.size() << 32) ^ static_cast<std::uint64_t>(t));
-        if (simulate_lossy_dap_round(loss, p, config.m,
-                                     config.announce_copies,
-                                     config.reveal_copies, trial)) {
-          ++successes;
-        }
-      }
-      cell.measured_success =
-          static_cast<double>(successes) / static_cast<double>(config.trials);
+      cell.measured_success = static_cast<double>(successes[cell_index]) /
+                              static_cast<double>(config.trials);
       const double m = static_cast<double>(config.m);
       cell.analytic =
           (1.0 - std::pow(loss, static_cast<double>(config.announce_copies))) *
           (1.0 - std::pow(p, m)) *
           (1.0 - std::pow(loss, static_cast<double>(config.reveal_copies)));
       grid.push_back(cell);
+      ++cell_index;
     }
   }
   return grid;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/parallel.h"
 #include "common/stats.h"
 #include "crypto/mac.h"
 #include "game/bandwidth.h"
@@ -79,27 +80,26 @@ game::Trajectory fig6_trajectory(double p, std::size_t m,
 
 std::vector<Fig7Row> fig7_series(const std::vector<double>& ps,
                                  game::OptimizeMode mode, std::size_t max_m) {
-  std::vector<Fig7Row> rows;
-  rows.reserve(ps.size());
-  for (double p : ps) {
-    const auto g = game::GameParams::paper_defaults(p, 1);
-    const auto result = game::optimize_m(g, mode, max_m);
-    rows.push_back(Fig7Row{p, result.m, result.ess.kind, result.cost});
-  }
-  return rows;
+  // Every p's optimize_m is an independent deterministic solve; the
+  // inner cost_curve detects the parallel region and runs inline.
+  return common::parallel_map<Fig7Row>(
+      ps.size(), [&ps, mode, max_m](std::size_t i) {
+        const double p = ps[i];
+        const auto g = game::GameParams::paper_defaults(p, 1);
+        const auto result = game::optimize_m(g, mode, max_m);
+        return Fig7Row{p, result.m, result.ess.kind, result.cost};
+      });
 }
 
 std::vector<Fig8Row> fig8_series(const std::vector<double>& ps,
                                  game::OptimizeMode mode, std::size_t max_m) {
-  std::vector<Fig8Row> rows;
-  rows.reserve(ps.size());
-  for (double p : ps) {
-    const auto g = game::GameParams::paper_defaults(p, 1);
-    const auto result = game::optimize_m(g, mode, max_m);
-    rows.push_back(Fig8Row{p, result.m, result.cost,
-                           game::naive_cost(g, max_m)});
-  }
-  return rows;
+  return common::parallel_map<Fig8Row>(
+      ps.size(), [&ps, mode, max_m](std::size_t i) {
+        const double p = ps[i];
+        const auto g = game::GameParams::paper_defaults(p, 1);
+        const auto result = game::optimize_m(g, mode, max_m);
+        return Fig8Row{p, result.m, result.cost, game::naive_cost(g, max_m)};
+      });
 }
 
 std::vector<MemoryRow> memory_table() {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "common/stats.h"
 #include "sim/adversary.h"
 
@@ -69,13 +70,26 @@ bool simulate_dap_round(double p, std::size_t m,
 }
 
 MonteCarloResult measure_attack_success(const MonteCarloConfig& config) {
+  // Plan-then-parallelize: Rng::fork mutates the parent, so the per-trial
+  // generators are derived serially in the legacy fork order, then the
+  // (independent) trials fan out with each outcome landing in its own
+  // slot. The in-order reduction makes the estimator bitwise identical
+  // to the historical serial loop at any thread count.
   common::Rng master(config.seed);
-  common::RateEstimator estimator;
+  std::vector<common::Rng> trial_rngs;
+  trial_rngs.reserve(config.trials);
   for (std::size_t trial = 0; trial < config.trials; ++trial) {
-    common::Rng trial_rng = master.fork(trial);
-    estimator.add(simulate_dap_round(config.p, config.m, config.policy,
-                                     config.timing, config.authentic_copies,
-                                     trial_rng));
+    trial_rngs.push_back(master.fork(trial));
+  }
+  const std::vector<char> defeated = common::parallel_map<char>(
+      config.trials, [&config, &trial_rngs](std::size_t trial) {
+        return static_cast<char>(simulate_dap_round(
+            config.p, config.m, config.policy, config.timing,
+            config.authentic_copies, trial_rngs[trial]));
+      });
+  common::RateEstimator estimator;
+  for (const char outcome : defeated) {
+    estimator.add(outcome != 0);
   }
 
   MonteCarloResult out;
@@ -92,8 +106,14 @@ std::vector<SweepPoint> attack_success_sweep(
     const std::vector<double>& ps, const std::vector<std::size_t>& ms,
     std::size_t trials, std::uint64_t seed, protocol::BufferPolicy policy,
     FloodTiming timing) {
-  std::vector<SweepPoint> out;
-  out.reserve(ps.size() * ms.size());
+  // Grid configs (and their salted seeds) are laid out serially in the
+  // legacy iteration order; the independent cells then fan out. Inner
+  // measure_attack_success calls detect the parallel region and run
+  // their trial loops inline.
+  std::vector<MonteCarloConfig> configs;
+  configs.reserve(ps.size() * ms.size());
+  std::vector<std::pair<double, std::size_t>> cells;
+  cells.reserve(ps.size() * ms.size());
   std::uint64_t salt = 0;
   for (double p : ps) {
     for (std::size_t m : ms) {
@@ -104,10 +124,15 @@ std::vector<SweepPoint> attack_success_sweep(
       config.seed = seed + (++salt) * 0x9e3779b97f4a7c15ULL;
       config.policy = policy;
       config.timing = timing;
-      out.push_back(SweepPoint{p, m, measure_attack_success(config)});
+      configs.push_back(config);
+      cells.emplace_back(p, m);
     }
   }
-  return out;
+  return common::parallel_map<SweepPoint>(
+      configs.size(), [&configs, &cells](std::size_t i) {
+        return SweepPoint{cells[i].first, cells[i].second,
+                          measure_attack_success(configs[i])};
+      });
 }
 
 }  // namespace dap::analysis

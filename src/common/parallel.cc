@@ -1,0 +1,338 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/contracts.h"
+#include "common/rng.h"
+
+namespace dap::common {
+
+namespace {
+
+// The hooks and the thread-count override are process-wide configuration
+// for the parallel engine itself; they are written before any pool work
+// starts and read-only while chunks run.
+ShardHooks g_hooks{};                       // dap-lint: allow(global-state)
+std::atomic<std::size_t> g_thread_override{0};  // dap-lint: allow(global-state)
+
+thread_local bool tls_in_parallel_region = false;
+
+/// Hard cap on pool size: oversubscribing beyond this is never useful
+/// and bounds the resources a bad --threads value can claim.
+constexpr std::size_t kMaxThreads = 256;
+
+struct Chunk {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// One parallel_for invocation: the chunk list, one deque of chunk ids
+/// per participant (work-stealing victims), and the join bookkeeping.
+struct Job {
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::vector<Chunk> chunks;
+  std::vector<void*> shards;  // slot per chunk, merged in index order
+
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::size_t> chunk_ids;
+  };
+  std::vector<std::unique_ptr<Queue>> queues;
+
+  std::atomic<std::size_t> unfinished_chunks{0};
+  std::atomic<std::size_t> active_workers{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::exception_ptr error;
+
+  std::mutex join_mu;
+  std::condition_variable join_cv;
+
+  void note_chunk_done() {
+    if (unfinished_chunks.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      const std::lock_guard<std::mutex> lock(join_mu);
+      join_cv.notify_all();
+    }
+  }
+  void note_worker_exit() {
+    active_workers.fetch_sub(1, std::memory_order_acq_rel);
+    const std::lock_guard<std::mutex> lock(join_mu);
+    join_cv.notify_all();
+  }
+};
+
+/// Unbinds the shard even when the body throws.
+class ShardActivation {
+ public:
+  explicit ShardActivation(void* shard) : shard_(shard) {
+    if (shard_ != nullptr && g_hooks.activate != nullptr) {
+      g_hooks.activate(shard_);
+    }
+    tls_in_parallel_region = true;
+  }
+  ShardActivation(const ShardActivation&) = delete;
+  ShardActivation& operator=(const ShardActivation&) = delete;
+  ~ShardActivation() {
+    tls_in_parallel_region = false;
+    if (shard_ != nullptr && g_hooks.deactivate != nullptr) {
+      g_hooks.deactivate(shard_);
+    }
+  }
+
+ private:
+  void* shard_;
+};
+
+void execute_chunk(Job& job, std::size_t chunk_id) {
+  void* shard = g_hooks.create != nullptr ? g_hooks.create() : nullptr;
+  job.shards[chunk_id] = shard;
+  {
+    const ShardActivation activation(shard);
+    if (!job.failed.load(std::memory_order_relaxed)) {
+      try {
+        const Chunk& chunk = job.chunks[chunk_id];
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+          (*job.body)(i);
+        }
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(job.error_mu);
+          if (job.error == nullptr) job.error = std::current_exception();
+        }
+        job.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+  job.note_chunk_done();
+}
+
+/// Drains the job's queues as participant `self`: own deque from the
+/// front, then steal from the back of the other participants' deques.
+void participate(Job& job, std::size_t self) {
+  const std::size_t participants = job.queues.size();
+  for (;;) {
+    std::size_t chunk_id = 0;
+    bool found = false;
+    {
+      Job::Queue& own = *job.queues[self];
+      const std::lock_guard<std::mutex> lock(own.mu);
+      if (!own.chunk_ids.empty()) {
+        chunk_id = own.chunk_ids.front();
+        own.chunk_ids.pop_front();
+        found = true;
+      }
+    }
+    for (std::size_t offset = 1; !found && offset < participants; ++offset) {
+      Job::Queue& victim = *job.queues[(self + offset) % participants];
+      const std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.chunk_ids.empty()) {
+        chunk_id = victim.chunk_ids.back();
+        victim.chunk_ids.pop_back();
+        found = true;
+      }
+    }
+    if (!found) return;
+    execute_chunk(job, chunk_id);
+  }
+}
+
+/// Lazily grown pool of sleeping workers. A parallel_for publishes its
+/// job with a claim budget; each woken worker claims a participant slot,
+/// drains the job, and goes back to sleep. Workers persist across calls.
+class WorkStealingPool {
+ public:
+  static WorkStealingPool& instance() {
+    // The pool is the engine's own machinery, torn down at process exit.
+    static WorkStealingPool pool;  // dap-lint: allow(global-state)
+    return pool;
+  }
+
+  /// Runs `job` with `threads` participants (the caller is participant
+  /// 0). Returns after every chunk completed AND every claimed worker
+  /// left the job, so `job` can live on the caller's stack.
+  void run(Job& job, std::size_t threads) {
+    ensure_workers(threads - 1);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++generation_;
+      current_job_ = &job;
+      claims_available_ = threads - 1;
+      next_slot_ = 1;
+    }
+    cv_.notify_all();
+    participate(job, 0);
+    {
+      std::unique_lock<std::mutex> lock(job.join_mu);
+      job.join_cv.wait(lock, [&job] {
+        return job.unfinished_chunks.load(std::memory_order_acquire) == 0 &&
+               job.active_workers.load(std::memory_order_acquire) == 0;
+      });
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      current_job_ = nullptr;
+      claims_available_ = 0;
+    }
+  }
+
+ private:
+  WorkStealingPool() = default;
+  ~WorkStealingPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  void ensure_workers(std::size_t wanted) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    while (workers_.size() < wanted && workers_.size() < kMaxThreads - 1) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t last_generation = 0;
+    for (;;) {
+      Job* job = nullptr;
+      std::size_t slot = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this, last_generation] {
+          return stop_ || (current_job_ != nullptr && claims_available_ > 0 &&
+                           generation_ != last_generation);
+        });
+        if (stop_) return;
+        last_generation = generation_;
+        --claims_available_;
+        slot = next_slot_++;
+        job = current_job_;
+        job->active_workers.fetch_add(1, std::memory_order_acq_rel);
+      }
+      participate(*job, slot);
+      job->note_worker_exit();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::thread> workers_;
+  Job* current_job_ = nullptr;
+  std::size_t claims_available_ = 0;
+  std::size_t next_slot_ = 1;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+void run_serial(std::size_t n, const std::function<void(std::size_t)>& body) {
+  for (std::size_t i = 0; i < n; ++i) body(i);
+}
+
+}  // namespace
+
+std::size_t hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+std::size_t default_threads() noexcept {
+  const std::size_t override_threads =
+      g_thread_override.load(std::memory_order_relaxed);
+  if (override_threads != 0) return override_threads;
+  if (const char* env = std::getenv("DAP_THREADS")) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1 && parsed <= kMaxThreads) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  return hardware_threads();
+}
+
+void set_default_threads(std::size_t n) noexcept {
+  g_thread_override.store(n > kMaxThreads ? kMaxThreads : n,
+                          std::memory_order_relaxed);
+}
+
+std::uint64_t subseed(std::uint64_t base_seed, std::uint64_t index) noexcept {
+  // One extra SplitMix64 round over (base ^ mixed-index) — the same
+  // golden-ratio increment Rng::fork uses, but stateless, so shard seeds
+  // never depend on fork order.
+  std::uint64_t state =
+      base_seed ^ ((index + 1) * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(state);
+}
+
+bool in_parallel_region() noexcept { return tls_in_parallel_region; }
+
+void set_shard_hooks(const ShardHooks& hooks) noexcept { g_hooks = hooks; }
+
+const ShardHooks& shard_hooks() noexcept { return g_hooks; }
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  const ParallelOptions& options) {
+  if (n == 0) return;
+  std::size_t threads =
+      options.threads != 0 ? options.threads : default_threads();
+  if (threads > kMaxThreads) threads = kMaxThreads;
+  if (threads > n) threads = n;
+  // Inside a parallel region the telemetry shard for the outer chunk is
+  // already bound; running inline keeps the shard accounting (and the
+  // serial-equivalence argument) simple.
+  if (threads <= 1 || in_parallel_region()) {
+    run_serial(n, body);
+    return;
+  }
+
+  // Several chunks per participant so stealing can rebalance uneven
+  // per-item cost; chunk boundaries depend only on (n, threads, grain).
+  std::size_t grain = options.grain;
+  if (grain == 0) {
+    const std::size_t target_chunks = threads * 4;
+    grain = (n + target_chunks - 1) / target_chunks;
+    if (grain == 0) grain = 1;
+  }
+  const std::size_t chunk_count = (n + grain - 1) / grain;
+
+  Job job;
+  job.body = &body;
+  job.chunks.reserve(chunk_count);
+  for (std::size_t begin = 0; begin < n; begin += grain) {
+    job.chunks.push_back(Chunk{begin, begin + grain < n ? begin + grain : n});
+  }
+  DAP_INVARIANT(job.chunks.size() == chunk_count,
+                "parallel_for: chunk layout must match the computed count");
+  job.shards.assign(job.chunks.size(), nullptr);
+  job.unfinished_chunks.store(job.chunks.size(), std::memory_order_relaxed);
+  job.queues.reserve(threads);
+  for (std::size_t q = 0; q < threads; ++q) {
+    job.queues.push_back(std::make_unique<Job::Queue>());
+  }
+  // Round-robin initial placement; stealing corrects any imbalance.
+  for (std::size_t chunk_id = 0; chunk_id < job.chunks.size(); ++chunk_id) {
+    job.queues[chunk_id % threads]->chunk_ids.push_back(chunk_id);
+  }
+
+  WorkStealingPool::instance().run(job, threads);
+
+  // Merge shards on the calling thread in chunk order: fixed order makes
+  // the merged registry reproducible for a fixed configuration.
+  for (void* shard : job.shards) {
+    if (shard == nullptr) continue;
+    if (g_hooks.merge != nullptr) g_hooks.merge(shard);
+    if (g_hooks.destroy != nullptr) g_hooks.destroy(shard);
+  }
+  if (job.error != nullptr) std::rethrow_exception(job.error);
+}
+
+}  // namespace dap::common

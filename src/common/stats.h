@@ -46,6 +46,13 @@ class RateEstimator {
   /// Wilson 95% interval as {lo, hi}; {0,1} with no trials.
   [[nodiscard]] std::pair<double, double> wilson95() const noexcept;
 
+  /// Merges another estimator into this one (parallel reduction). Exact:
+  /// trial/success totals are integers, so merge order never matters.
+  void merge(const RateEstimator& other) noexcept {
+    trials_ += other.trials_;
+    successes_ += other.successes_;
+  }
+
  private:
   std::size_t trials_ = 0;
   std::size_t successes_ = 0;

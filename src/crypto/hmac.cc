@@ -9,17 +9,19 @@ namespace dap::crypto {
 namespace {
 constexpr std::size_t kBlockSize = 64;
 
-// Per-packet verification cost lives here; registered once per process.
+// Per-packet verification cost lives here; handles are re-resolved per
+// effective registry so shard overrides (parallel runs) stay valid.
 struct HmacTelemetry {
-  obs::CounterHandle calls = obs::Registry::global().counter(
-      "crypto.hmac_calls");
-  obs::HistogramHandle latency = obs::Registry::global().histogram(
-      "crypto.hmac_us");
+  obs::CounterHandle calls;
+  obs::HistogramHandle latency;
 };
 
-const HmacTelemetry& hmac_telemetry() noexcept {
-  static const HmacTelemetry t;
-  return t;
+const HmacTelemetry& hmac_telemetry() {
+  thread_local obs::PerRegistryCache<HmacTelemetry> cache;
+  return cache.get([](obs::Registry& reg) {
+    return HmacTelemetry{reg.counter("crypto.hmac_calls"),
+                        reg.histogram("crypto.hmac_us")};
+  });
 }
 }  // namespace
 

@@ -10,17 +10,20 @@ namespace dap::crypto {
 
 namespace {
 struct KeyChainTelemetry {
-  obs::HistogramHandle build_latency = obs::Registry::global().histogram(
-      "crypto.keychain_build_us");
-  obs::HistogramHandle walk_latency = obs::Registry::global().histogram(
-      "crypto.chain_walk_us");
-  obs::CounterHandle walk_steps = obs::Registry::global().counter(
-      "crypto.chain_walk_steps");
+  obs::HistogramHandle build_latency;
+  obs::HistogramHandle walk_latency;
+  obs::CounterHandle walk_steps;
 };
 
-const KeyChainTelemetry& keychain_telemetry() noexcept {
-  static const KeyChainTelemetry t;
-  return t;
+// Re-resolved per effective registry so shard overrides (parallel runs)
+// never see handles minted against a different registry.
+const KeyChainTelemetry& keychain_telemetry() {
+  thread_local obs::PerRegistryCache<KeyChainTelemetry> cache;
+  return cache.get([](obs::Registry& reg) {
+    return KeyChainTelemetry{reg.histogram("crypto.keychain_build_us"),
+                             reg.histogram("crypto.chain_walk_us"),
+                             reg.counter("crypto.chain_walk_steps")};
+  });
 }
 }  // namespace
 

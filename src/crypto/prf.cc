@@ -9,15 +9,18 @@ namespace dap::crypto {
 
 namespace {
 struct PrfTelemetry {
-  obs::CounterHandle calls = obs::Registry::global().counter(
-      "crypto.prf_calls");
-  obs::HistogramHandle latency = obs::Registry::global().histogram(
-      "crypto.prf_us");
+  obs::CounterHandle calls;
+  obs::HistogramHandle latency;
 };
 
-const PrfTelemetry& prf_telemetry() noexcept {
-  static const PrfTelemetry t;
-  return t;
+// Re-resolved per effective registry so shard overrides (parallel runs)
+// never see handles minted against a different registry.
+const PrfTelemetry& prf_telemetry() {
+  thread_local obs::PerRegistryCache<PrfTelemetry> cache;
+  return cache.get([](obs::Registry& reg) {
+    return PrfTelemetry{reg.counter("crypto.prf_calls"),
+                        reg.histogram("crypto.prf_us")};
+  });
 }
 }  // namespace
 

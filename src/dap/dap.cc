@@ -22,6 +22,9 @@ DapReceiver::Telemetry DapReceiver::make_telemetry() {
       reg.counter("dap.strong_auth_failures"),
       reg.counter("dap.admissions_shed"),
       reg.counter("dap.crash_restarts"),
+      reg.counter("dap.mac_key_derivations"),
+      reg.counter("dap.reveal_batches"),
+      reg.counter("dap.batched_reveals"),
       reg.histogram("dap.rx_announce_us"),
       reg.histogram("dap.rx_reveal_us"),
       reg.gauge("dap.effective_buffers"),
@@ -164,6 +167,7 @@ void DapReceiver::tick(sim::SimTime local_now) {
 
 void DapReceiver::crash_restart(sim::SimTime /*local_now*/) {
   buffers_.clear();
+  pending_.clear();
   auth_.rebase_to_newest();
   calibration_.reset();
   resync_.invalidate();
@@ -286,6 +290,33 @@ void DapReceiver::receive(const wire::MacAnnounce& packet,
 
 std::optional<tesla::AuthenticatedMessage> DapReceiver::receive(
     const wire::MessageReveal& packet, sim::SimTime local_now) {
+  return process_reveal(packet, local_now, nullptr);
+}
+
+void DapReceiver::enqueue(const wire::MessageReveal& packet) {
+  pending_.push_back(packet);
+}
+
+std::vector<std::optional<tesla::AuthenticatedMessage>>
+DapReceiver::drain_pending_batch(sim::SimTime local_now) {
+  std::vector<std::optional<tesla::AuthenticatedMessage>> out;
+  out.reserve(pending_.size());
+  if (pending_.empty()) return out;
+  auto& reg = obs::Registry::global();
+  reg.add(telemetry_.reveal_batches);
+  reg.add(telemetry_.batched_reveals, pending_.size());
+  BatchContext batch;
+  while (!pending_.empty()) {
+    const wire::MessageReveal packet = std::move(pending_.front());
+    pending_.pop_front();
+    out.push_back(process_reveal(packet, local_now, &batch));
+  }
+  return out;
+}
+
+std::optional<tesla::AuthenticatedMessage> DapReceiver::process_reveal(
+    const wire::MessageReveal& packet, sim::SimTime local_now,
+    BatchContext* batch) {
   auto& reg = obs::Registry::global();
   const obs::ScopedTimer timer(reg, telemetry_.rx_reveal_latency);
   ++stats_.reveals_received;
@@ -293,7 +324,9 @@ std::optional<tesla::AuthenticatedMessage> DapReceiver::receive(
   obs::Tracer::global().record(obs::TraceKind::kReveal, local_now,
                                packet.interval);
   tick(local_now);
-  // Algorithm 2 line 16: weak authentication of the disclosed key.
+  // Algorithm 2 line 16: weak authentication of the disclosed key. Never
+  // cached across a batch — same-interval reveals can carry different
+  // key bytes, and each candidate must be judged on its own.
   if (!auth_.accept(packet.interval, packet.key)) {
     ++stats_.weak_auth_failures;
     reg.add(telemetry_.weak_auth_failures);
@@ -304,9 +337,27 @@ std::optional<tesla::AuthenticatedMessage> DapReceiver::receive(
     return std::nullopt;
   }
   // Lines 19-24: strong authentication against the stored μMAC records.
-  const auto mac_key = auth_.mac_key(packet.interval);
+  // In a batch the interval's MAC key F'(K_i) is derived once and shared
+  // by every reveal of that interval (the key is authentic regardless of
+  // which reveal's bytes authenticated it).
+  common::Bytes mac_key;
+  const common::Bytes* cached = nullptr;
+  if (batch != nullptr) {
+    const auto it = batch->mac_keys.find(packet.interval);
+    if (it != batch->mac_keys.end()) cached = &it->second;
+  }
+  if (cached == nullptr) {
+    mac_key = *auth_.mac_key(packet.interval);
+    ++stats_.mac_key_derivations;
+    reg.add(telemetry_.mac_key_derivations);
+    if (batch != nullptr) {
+      cached = &batch->mac_keys.emplace(packet.interval, mac_key).first->second;
+    } else {
+      cached = &mac_key;
+    }
+  }
   const common::Bytes expected_mac =
-      crypto::compute_mac(*mac_key, packet.message, config_.mac_size);
+      crypto::compute_mac(*cached, packet.message, config_.mac_size);
   const common::Bytes expected_micro = micro_mac_of(expected_mac);
 
   const auto buf_it = buffers_.find(packet.interval);

@@ -19,6 +19,7 @@
 // for ablation E9; the paper's protocol is the reservoir policy.
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <optional>
 #include <vector>
@@ -103,6 +104,7 @@ struct DapStats {
   std::uint64_t strong_auth_failures = 0; // no stored record matched
   std::uint64_t admissions_shed = 0;      // dropped at the record pool cap
   std::uint64_t crash_restarts = 0;
+  std::uint64_t mac_key_derivations = 0;  // F'(K_i) computations (batching KPI)
 };
 
 class DapReceiver {
@@ -122,6 +124,25 @@ class DapReceiver {
   /// authenticate independently against the shared buffer.
   std::optional<tesla::AuthenticatedMessage> receive(
       const wire::MessageReveal& packet, sim::SimTime local_now);
+
+  // ---- Batched reveal verification ---------------------------------------
+
+  /// Queues a reveal for deferred processing by drain_pending_batch().
+  void enqueue(const wire::MessageReveal& packet);
+
+  /// Reveals currently queued.
+  [[nodiscard]] std::size_t pending_reveals() const noexcept {
+    return pending_.size();
+  }
+
+  /// Processes every queued reveal in arrival order, deriving each
+  /// interval's MAC key F'(K_i) once per drain instead of once per
+  /// reveal (multi-message streams share the interval key). Outcomes
+  /// match one-at-a-time receive() calls at the same `local_now`
+  /// exactly; slot k of the result is the outcome of the k-th queued
+  /// packet.
+  std::vector<std::optional<tesla::AuthenticatedMessage>> drain_pending_batch(
+      sim::SimTime local_now);
 
   [[nodiscard]] const DapStats& stats() const noexcept { return stats_; }
 
@@ -213,6 +234,20 @@ class DapReceiver {
   /// Applies a completed resync (installs the calibration).
   void adopt_calibration(tesla::SyncCalibration calibration);
 
+  /// Per-drain cache: MAC keys already derived for this batch, keyed by
+  /// interval. Accept/reject outcomes are NEVER cached — two reveals for
+  /// the same interval can carry different key bytes, and each must be
+  /// judged on its own.
+  struct BatchContext {
+    std::map<std::uint32_t, common::Bytes> mac_keys;
+  };
+
+  /// Shared reveal path: receive() passes no context (derive per
+  /// reveal), drain_pending_batch() passes one per drain.
+  std::optional<tesla::AuthenticatedMessage> process_reveal(
+      const wire::MessageReveal& packet, sim::SimTime local_now,
+      BatchContext* batch);
+
   /// Degradation policy: true when the offer must be shed because the
   /// record pool is saturated; adjusts effective_buffers_ both ways.
   bool degrade_or_admit(sim::SimTime local_now);
@@ -232,6 +267,9 @@ class DapReceiver {
     obs::CounterHandle strong_auth_failures;
     obs::CounterHandle admissions_shed;
     obs::CounterHandle crash_restarts;
+    obs::CounterHandle mac_key_derivations;
+    obs::CounterHandle reveal_batches;
+    obs::CounterHandle batched_reveals;
     obs::HistogramHandle rx_announce_latency;
     obs::HistogramHandle rx_reveal_latency;
     obs::GaugeHandle effective_buffers;
@@ -246,6 +284,7 @@ class DapReceiver {
   common::Rng rng_;
   tesla::ChainAuthenticator auth_;
   std::map<std::uint32_t, RecordBuffer> buffers_;  // by interval
+  std::deque<wire::MessageReveal> pending_;        // enqueue() backlog
   DapStats stats_;
   tesla::ResyncController resync_;
   std::optional<tesla::SyncCalibration> calibration_;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/contracts.h"
+#include "common/parallel.h"
 #include "obs/scoped_timer.h"
 
 namespace dap::game {
@@ -12,15 +13,18 @@ namespace dap::game {
 namespace {
 
 struct OptimizerTelemetry {
-  obs::HistogramHandle optimize_latency = obs::Registry::global().histogram(
-      "game.optimize_m_us");
-  obs::CounterHandle ess_solves = obs::Registry::global().counter(
-      "game.ess_solves");
+  obs::HistogramHandle optimize_latency;
+  obs::CounterHandle ess_solves;
 };
 
-const OptimizerTelemetry& optimizer_telemetry() noexcept {
-  static const OptimizerTelemetry t;
-  return t;
+// Re-resolved per effective registry so shard overrides (parallel runs)
+// never see handles minted against a different registry.
+const OptimizerTelemetry& optimizer_telemetry() {
+  thread_local obs::PerRegistryCache<OptimizerTelemetry> cache;
+  return cache.get([](obs::Registry& reg) {
+    return OptimizerTelemetry{reg.histogram("game.optimize_m_us"),
+                              reg.counter("game.ess_solves")};
+  });
 }
 
 double cost_at(const GameParams& g, const Ess& ess) noexcept {
@@ -64,12 +68,11 @@ double naive_cost(const GameParams& base, std::size_t M) {
 }
 
 std::vector<CostAtEss> cost_curve(const GameParams& base, std::size_t max_m) {
-  std::vector<CostAtEss> out;
-  out.reserve(max_m);
-  for (std::size_t m = 1; m <= max_m; ++m) {
-    out.push_back(defense_cost_at_ess(with_m(base, m)));
-  }
-  return out;
+  // Each m's ESS solve is independent and deterministic, so the curve
+  // parallelizes by index with output identical to the serial loop.
+  return common::parallel_map<CostAtEss>(max_m, [&base](std::size_t i) {
+    return defense_cost_at_ess(with_m(base, i + 1));
+  });
 }
 
 OptimizeResult optimize_m(const GameParams& base, OptimizeMode mode,

@@ -12,17 +12,20 @@ namespace dap::game {
 
 namespace {
 struct IntegrateTelemetry {
-  obs::HistogramHandle latency = obs::Registry::global().histogram(
-      "game.integrate_us");
-  obs::CounterHandle runs = obs::Registry::global().counter(
-      "game.integrate_runs");
-  obs::CounterHandle steps = obs::Registry::global().counter(
-      "game.integrate_steps");
+  obs::HistogramHandle latency;
+  obs::CounterHandle runs;
+  obs::CounterHandle steps;
 };
 
-const IntegrateTelemetry& integrate_telemetry() noexcept {
-  static const IntegrateTelemetry t;
-  return t;
+// Re-resolved per effective registry so shard overrides (parallel runs)
+// never see handles minted against a different registry.
+const IntegrateTelemetry& integrate_telemetry() {
+  thread_local obs::PerRegistryCache<IntegrateTelemetry> cache;
+  return cache.get([](obs::Registry& reg) {
+    return IntegrateTelemetry{reg.histogram("game.integrate_us"),
+                              reg.counter("game.integrate_runs"),
+                              reg.counter("game.integrate_steps")};
+  });
 }
 }  // namespace
 

@@ -2,16 +2,24 @@
 
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace dap::game {
 
 std::vector<RegimeSpan> regime_spans(const GameParams& base, double p,
                                      std::size_t max_m) {
+  // The per-m ESS solves are independent; the span run-length encoding
+  // stays serial over the index-ordered kinds.
+  const std::vector<EssKind> kinds =
+      common::parallel_map<EssKind>(max_m, [&base, p](std::size_t i) {
+        GameParams g = base;
+        g.xa = p;
+        g.m = i + 1;
+        return solve_ess(g).kind;
+      });
   std::vector<RegimeSpan> spans;
   for (std::size_t m = 1; m <= max_m; ++m) {
-    GameParams g = base;
-    g.xa = p;
-    g.m = m;
-    const EssKind kind = solve_ess(g).kind;
+    const EssKind kind = kinds[m - 1];
     if (spans.empty() || spans.back().kind != kind) {
       spans.push_back(RegimeSpan{kind, m, m});
     } else {

@@ -59,10 +59,18 @@ std::ofstream open_for_write(const std::string& path) {
 }  // namespace
 
 std::string metrics_json(const Registry& registry, double wall_seconds) {
+  return metrics_json(registry, wall_seconds, std::string());
+}
+
+std::string metrics_json(const Registry& registry, double wall_seconds,
+                         const std::string& extra_fields) {
   std::ostringstream out;
   out << "{\n  \"schema\": \"dap.metrics.v1\"";
   if (wall_seconds >= 0.0) {
     out << ",\n  \"wall_seconds\": " << json_number(wall_seconds);
+  }
+  if (!extra_fields.empty()) {
+    out << ",\n  " << extra_fields;
   }
 
   out << ",\n  \"counters\": {";
@@ -121,6 +129,11 @@ std::string metrics_json(const Registry& registry, double wall_seconds) {
 void write_metrics_json(const Registry& registry, const std::string& path,
                         double wall_seconds) {
   open_for_write(path) << metrics_json(registry, wall_seconds);
+}
+
+void write_metrics_json(const Registry& registry, const std::string& path,
+                        double wall_seconds, const std::string& extra_fields) {
+  open_for_write(path) << metrics_json(registry, wall_seconds, extra_fields);
 }
 
 void write_trace_jsonl(const Tracer& tracer, const std::string& path) {

@@ -20,10 +20,22 @@ namespace dap::obs {
 [[nodiscard]] std::string metrics_json(const Registry& registry,
                                        double wall_seconds = -1.0);
 
+/// As above, but splices `extra_fields` — pre-rendered JSON members such
+/// as `"threads": 4, "peak_rss_kb": 1234` (no surrounding braces, no
+/// trailing comma) — right after the wall-time field. Empty string adds
+/// nothing. The caller owns the validity of the rendered fragment.
+[[nodiscard]] std::string metrics_json(const Registry& registry,
+                                       double wall_seconds,
+                                       const std::string& extra_fields);
+
 /// Writes `metrics_json` to `path`, creating parent directories.
 /// Throws std::runtime_error when the file cannot be opened.
 void write_metrics_json(const Registry& registry, const std::string& path,
                         double wall_seconds = -1.0);
+
+/// Three-field variant threading `extra_fields` through to the renderer.
+void write_metrics_json(const Registry& registry, const std::string& path,
+                        double wall_seconds, const std::string& extra_fields);
 
 /// Writes the tracer's retained events as JSONL to `path`.
 void write_trace_jsonl(const Tracer& tracer, const std::string& path);

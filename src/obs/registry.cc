@@ -1,13 +1,33 @@
 #include "obs/registry.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <sstream>
+#include <utility>
 
+#include "common/contracts.h"
 #include "common/csv.h"
+#include "common/parallel.h"
+#include "obs/tracer.h"
 
 namespace dap::obs {
+
+namespace {
+
+/// Source of registry uids: never 0 (the PerRegistryCache "unbound"
+/// sentinel), never reused. Atomic so shard registries can be
+/// constructed concurrently on pool threads.
+std::uint64_t next_registry_uid() noexcept {
+  static std::atomic<std::uint64_t> next{1};  // dap-lint: allow(global-state)
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// The calling thread's shard override (nullptr = process registry).
+thread_local Registry* tls_registry_override = nullptr;
+
+}  // namespace
 
 // ------------------------------------------------------ LatencyHistogram
 
@@ -48,6 +68,14 @@ void LatencyHistogram::add(double value) noexcept {
   sum_ += value;
 }
 
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  moments_.merge(other.moments_);
+  sum_ += other.sum_;
+}
+
 double LatencyHistogram::quantile(double q) const noexcept {
   const std::size_t n = moments_.count();
   if (n == 0) return 0.0;
@@ -76,6 +104,58 @@ double LatencyHistogram::quantile(double q) const noexcept {
 }
 
 // -------------------------------------------------------------- Registry
+
+Registry::Registry() : uid_(next_registry_uid()) {}
+
+Registry::Registry(const Registry& other)
+    : uid_(next_registry_uid()),
+      counter_names_(other.counter_names_),
+      gauge_names_(other.gauge_names_),
+      histogram_names_(other.histogram_names_),
+      rate_names_(other.rate_names_),
+      counters_(other.counters_),
+      gauges_(other.gauges_),
+      histograms_(other.histograms_),
+      rates_(other.rates_) {}
+
+Registry& Registry::operator=(const Registry& other) {
+  if (this == &other) return *this;
+  counter_names_ = other.counter_names_;
+  gauge_names_ = other.gauge_names_;
+  histogram_names_ = other.histogram_names_;
+  rate_names_ = other.rate_names_;
+  counters_ = other.counters_;
+  gauges_ = other.gauges_;
+  histograms_ = other.histograms_;
+  rates_ = other.rates_;
+  uid_ = next_registry_uid();  // contents changed: invalidate cached handles
+  return *this;
+}
+
+Registry::Registry(Registry&& other) noexcept
+    : uid_(next_registry_uid()),
+      counter_names_(std::move(other.counter_names_)),
+      gauge_names_(std::move(other.gauge_names_)),
+      histogram_names_(std::move(other.histogram_names_)),
+      rate_names_(std::move(other.rate_names_)),
+      counters_(std::move(other.counters_)),
+      gauges_(std::move(other.gauges_)),
+      histograms_(std::move(other.histograms_)),
+      rates_(std::move(other.rates_)) {}
+
+Registry& Registry::operator=(Registry&& other) noexcept {
+  if (this == &other) return *this;
+  counter_names_ = std::move(other.counter_names_);
+  gauge_names_ = std::move(other.gauge_names_);
+  histogram_names_ = std::move(other.histogram_names_);
+  rate_names_ = std::move(other.rate_names_);
+  counters_ = std::move(other.counters_);
+  gauges_ = std::move(other.gauges_);
+  histograms_ = std::move(other.histograms_);
+  rates_ = std::move(other.rates_);
+  uid_ = next_registry_uid();
+  return *this;
+}
 
 std::uint32_t Registry::NameTable::intern(std::string_view name,
                                           std::size_t next_slot) {
@@ -187,6 +267,38 @@ std::string Registry::report(bool skip_zero_counters) const {
   return out.str();
 }
 
+void Registry::merge_from(const Registry& other) {
+  DAP_REQUIRE(this != &other, "Registry::merge_from: cannot merge with self");
+  for (std::uint32_t slot = 0; slot < other.counter_names_.names.size();
+       ++slot) {
+    const std::string& name = other.counter_names_.names[slot];
+    const CounterHandle h = counter(name);
+    DAP_INVARIANT(counter_names_.names[h.index] == name,
+                  "Registry::merge_from: counter handle/name mismatch");
+    counters_[h.index] += other.counters_[slot];
+  }
+  for (std::uint32_t slot = 0; slot < other.gauge_names_.names.size();
+       ++slot) {
+    const GaugeHandle h = gauge(other.gauge_names_.names[slot]);
+    gauges_[h.index] = other.gauges_[slot];  // last writer wins
+  }
+  for (std::uint32_t slot = 0; slot < other.histogram_names_.names.size();
+       ++slot) {
+    const std::string& name = other.histogram_names_.names[slot];
+    const HistogramHandle h = histogram(name);
+    DAP_INVARIANT(histogram_names_.names[h.index] == name,
+                  "Registry::merge_from: histogram handle/name mismatch");
+    histograms_[h.index].merge(other.histograms_[slot]);
+  }
+  for (std::uint32_t slot = 0; slot < other.rate_names_.names.size(); ++slot) {
+    const RateHandle h = rate(other.rate_names_.names[slot]);
+    rates_[h.index].merge(other.rates_[slot]);
+  }
+  DAP_ENSURE(counters_.size() >= other.counters_.size() &&
+                 histograms_.size() >= other.histograms_.size(),
+             "Registry::merge_from: every merged instrument must resolve");
+}
+
 void Registry::clear() noexcept {
   counter_names_ = NameTable{};
   gauge_names_ = NameTable{};
@@ -196,11 +308,69 @@ void Registry::clear() noexcept {
   gauges_.clear();
   histograms_.clear();
   rates_.clear();
+  uid_ = next_registry_uid();  // handles are invalid now; force re-resolve
 }
 
 Registry& Registry::global() {
-  static Registry instance;
+  if (tls_registry_override != nullptr) return *tls_registry_override;
+  static Registry instance;  // dap-lint: allow(global-state)
   return instance;
 }
+
+Registry* Registry::set_thread_override(Registry* reg) noexcept {
+  return std::exchange(tls_registry_override, reg);
+}
+
+// ------------------------------------------------- parallel shard hooks
+//
+// Wires common::parallel_for's telemetry bracketing to this layer. Lives
+// here (not its own TU) because registry.cc is always pulled into any
+// link that touches telemetry — a dedicated TU with only a static
+// initializer would be dropped from the static library.
+
+namespace {
+
+struct ObsShard {
+  Registry registry;
+  Tracer tracer;
+  Registry* prev_registry = nullptr;
+  Tracer* prev_tracer = nullptr;
+
+  ObsShard()
+      : tracer(Tracer::global().enabled() ? Tracer::global().capacity() : 1) {
+    tracer.enable(Tracer::global().enabled());
+  }
+};
+
+void* shard_create() { return new ObsShard; }
+
+void shard_activate(void* shard) {
+  auto* s = static_cast<ObsShard*>(shard);
+  s->prev_registry = Registry::set_thread_override(&s->registry);
+  s->prev_tracer = Tracer::set_thread_override(&s->tracer);
+}
+
+void shard_deactivate(void* shard) {
+  auto* s = static_cast<ObsShard*>(shard);
+  Registry::set_thread_override(s->prev_registry);
+  Tracer::set_thread_override(s->prev_tracer);
+}
+
+void shard_merge(void* shard) {
+  auto* s = static_cast<ObsShard*>(shard);
+  Registry::global().merge_from(s->registry);
+  Tracer::global().append_from(s->tracer);
+}
+
+void shard_destroy(void* shard) { delete static_cast<ObsShard*>(shard); }
+
+[[maybe_unused]] const bool kShardHooksInstalled = [] {
+  common::set_shard_hooks(common::ShardHooks{
+      &shard_create, &shard_activate, &shard_deactivate, &shard_merge,
+      &shard_destroy});
+  return true;
+}();
+
+}  // namespace
 
 }  // namespace dap::obs

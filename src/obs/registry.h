@@ -11,9 +11,12 @@
 // telemetry; simulation components that need isolated counters (one
 // `sim::Medium` per run, say) own a private Registry instead.
 //
-// Not thread-safe: the simulator and every bench are single-threaded,
-// and the cost of making the Welford moments atomic would land on the
-// per-packet path this layer exists to keep cheap.
+// Not thread-safe: instruments stay lock-free and non-atomic so the
+// per-packet path stays cheap. Parallel experiments instead give every
+// chunk of work its own shard Registry (bound through
+// `set_thread_override`, installed by the common::parallel ShardHooks)
+// and combine shards with `merge_from` after the join — counters sum,
+// histograms merge bucket-wise, rates add their trial totals.
 
 #include <cstddef>
 #include <cstdint>
@@ -81,6 +84,13 @@ class LatencyHistogram {
     return moments_;
   }
 
+  /// Folds another histogram in: bucket counts add element-wise (the
+  /// bucket layout is static, so this is exact), Welford moments combine
+  /// via RunningStats::merge, sums add. Quantiles of the merged histogram
+  /// equal those of the union stream; mean/stddev may differ from the
+  /// sequential stream in the last ulp (Welford is not associative).
+  void merge(const LatencyHistogram& other) noexcept;
+
   // Bucket introspection, used by the boundary tests.
   [[nodiscard]] static std::size_t bucket_index(double value) noexcept;
   /// Inclusive lower edge of bucket `i` (-inf-side buckets report 0).
@@ -99,6 +109,15 @@ class LatencyHistogram {
 
 class Registry {
  public:
+  Registry();
+  /// Copies and moves carry the instruments but the destination gets a
+  /// fresh uid: it is a new registry as far as cached handles go.
+  Registry(const Registry& other);
+  Registry& operator=(const Registry& other);
+  Registry(Registry&& other) noexcept;
+  Registry& operator=(Registry&& other) noexcept;
+  ~Registry() = default;
+
   // ---- Registration (idempotent: re-registering a name returns the
   // existing handle). The slow path: one hash lookup + possible insert.
   CounterHandle counter(std::string_view name);
@@ -164,12 +183,34 @@ class Registry {
   /// print "= 0" lines the lazily-registering legacy Metrics never had.
   [[nodiscard]] std::string report(bool skip_zero_counters = false) const;
 
+  /// Folds `other` into this registry by *name* (slot indices may differ
+  /// between the two): counters add, gauges take the other's last value,
+  /// histograms merge, rate estimators add their totals. Instruments only
+  /// `other` knows are registered here first, so after the merge every
+  /// name in `other` resolves here. Contracts reject self-merge and check
+  /// that shared names resolve to consistent slots.
+  void merge_from(const Registry& other);
+
+  /// Identifier distinguishing registry *instances* (never 0, never
+  /// reused, survives clear()). Cached-handle holders key their caches on
+  /// this so a handle resolved against one registry is never used to
+  /// index another — see PerRegistryCache.
+  [[nodiscard]] std::uint64_t uid() const noexcept { return uid_; }
+
   /// Drops every instrument and name. Handles become invalid; intended
   /// for tests and multi-phase benches that snapshot between phases.
   void clear() noexcept;
 
-  /// The process-wide registry protocol instrumentation feeds.
+  /// The process-wide registry protocol instrumentation feeds — unless
+  /// the calling thread has a shard override installed, in which case
+  /// that shard is returned. parallel_for's telemetry hooks install the
+  /// override for the duration of each chunk.
   static Registry& global();
+
+  /// Installs `reg` as the calling thread's `global()` (nullptr
+  /// restores the process-wide registry). Returns the previous override
+  /// so nested scopes can save/restore.
+  static Registry* set_thread_override(Registry* reg) noexcept;
 
  private:
   // Transparent hashing so string_view lookups never build a std::string.
@@ -192,6 +233,7 @@ class Registry {
     }
   };
 
+  std::uint64_t uid_;
   NameTable counter_names_;
   NameTable gauge_names_;
   NameTable histogram_names_;
@@ -202,6 +244,39 @@ class Registry {
   std::deque<double> gauges_;
   std::deque<LatencyHistogram> histograms_;
   std::deque<common::RateEstimator> rates_;
+};
+
+/// Per-thread cache of resolved handles, keyed on the registry uid.
+///
+/// The old idiom `static const Telemetry t{resolve(Registry::global())};`
+/// pins handles to whichever registry was live at first call — under
+/// shard overrides those handles would index a *different* registry
+/// (out-of-bounds or silently wrong slot). Holders instead keep a
+/// `thread_local PerRegistryCache<Telemetry>` and call `get(make)`,
+/// which re-resolves whenever the thread's effective registry changes:
+///
+///   const PrfTelemetry& prf_telemetry() {
+///     thread_local PerRegistryCache<PrfTelemetry> cache;
+///     return cache.get([](Registry& reg) {
+///       return PrfTelemetry{reg.counter("crypto.prf_calls"), ...};
+///     });
+///   }
+template <typename T>
+class PerRegistryCache {
+ public:
+  template <typename MakeFn>
+  [[nodiscard]] const T& get(MakeFn&& make) {
+    Registry& reg = Registry::global();
+    if (bound_uid_ != reg.uid()) {
+      value_ = make(reg);
+      bound_uid_ = reg.uid();
+    }
+    return value_;
+  }
+
+ private:
+  T value_{};
+  std::uint64_t bound_uid_ = 0;  // 0 never matches a live registry
 };
 
 }  // namespace dap::obs

@@ -83,9 +83,27 @@ void Tracer::clear() noexcept {
   total_ = 0;
 }
 
+void Tracer::append_from(const Tracer& other) {
+  if (!enabled_) return;
+  for (const TraceEvent& e : other.snapshot()) {
+    record(e.kind, e.t, e.id, e.a, e.b);
+  }
+}
+
+namespace {
+thread_local Tracer* tls_tracer_override = nullptr;
+}  // namespace
+
 Tracer& Tracer::global() {
-  static Tracer instance;
+  if (tls_tracer_override != nullptr) return *tls_tracer_override;
+  static Tracer instance;  // dap-lint: allow(global-state)
   return instance;
+}
+
+Tracer* Tracer::set_thread_override(Tracer* tracer) noexcept {
+  Tracer* prev = tls_tracer_override;
+  tls_tracer_override = tracer;
+  return prev;
 }
 
 }  // namespace dap::obs

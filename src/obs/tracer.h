@@ -75,8 +75,19 @@ class Tracer {
 
   void clear() noexcept;
 
-  /// Process-wide tracer (disabled until a caller enables it).
+  /// Replays `other`'s retained events into this tracer (oldest first)
+  /// via record(), so capacity/drop accounting applies as if the events
+  /// had been recorded here. Used by the parallel shard merge.
+  void append_from(const Tracer& other);
+
+  /// Process-wide tracer (disabled until a caller enables it) — unless
+  /// the calling thread has a shard override installed (see
+  /// set_thread_override), in which case that shard is returned.
   static Tracer& global();
+
+  /// Installs `tracer` as the calling thread's `global()` (nullptr
+  /// restores the process-wide tracer). Returns the previous override.
+  static Tracer* set_thread_override(Tracer* tracer) noexcept;
 
  private:
   std::vector<TraceEvent> ring_;

@@ -1,6 +1,8 @@
 #include "tesla/chain_auth.h"
 
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "common/contracts.h"
 
@@ -9,10 +11,13 @@ namespace dap::tesla {
 ChainAuthenticator::ChainAuthenticator(crypto::PrfDomain domain,
                                        std::size_t key_size,
                                        common::Bytes commitment,
-                                       std::uint32_t anchor_index)
+                                       std::uint32_t anchor_index,
+                                       std::uint32_t checkpoint_stride)
     : domain_(domain),
       key_size_(key_size),
+      stride_(checkpoint_stride == 0 ? 1 : checkpoint_stride),
       anchor_index_(anchor_index),
+      floor_index_(anchor_index),
       anchor_key_(std::move(commitment)) {
   if (anchor_key_.empty()) {
     throw std::invalid_argument("ChainAuthenticator: empty commitment");
@@ -25,27 +30,42 @@ ChainAuthenticator::ChainAuthenticator(crypto::PrfDomain domain,
 
 bool ChainAuthenticator::accept(std::uint32_t i, common::ByteView key) {
   if (key.empty()) return false;
-  if (i <= anchor_index_) {
-    const auto it = known_.find(i);
-    return it != known_.end() && common::constant_time_equal(it->second, key);
+  if (i == anchor_index_) {
+    // The anchor survives any prune, so it always verifies directly.
+    return common::constant_time_equal(anchor_key_, key);
   }
-  const common::Bytes walked =
-      crypto::chain_walk(domain_, key, i - anchor_index_, key_size_);
-  if (!common::constant_time_equal(walked, anchor_key_)) {
+  if (i < anchor_index_) {
+    // Below-anchor reveals re-derive the authentic key instead of
+    // looking it up: indices pruned/rebased away (below the floor) stay
+    // unverifiable, exactly as a cache miss did before checkpointing.
+    if (i < floor_index_) return false;
+    return common::constant_time_equal(derive(i), key);
+  }
+  // One downward pass from the candidate to the anchor: verifies the
+  // chain AND collects the checkpoints, where the pre-checkpoint code
+  // paid a second full walk to populate its every-key cache.
+  const std::uint32_t old_anchor = anchor_index_;
+  std::vector<std::pair<std::uint32_t, common::Bytes>> checkpoints;
+  common::Bytes current(key.begin(), key.end());
+  for (std::uint32_t j = i; j > old_anchor; --j) {
+    if (j == i || j % stride_ == 0) {
+      checkpoints.emplace_back(j, current);
+    }
+    current = crypto::chain_walk(domain_, current, 1, key_size_);
+    ++walk_steps_;
+  }
+  if (!common::constant_time_equal(current, anchor_key_)) {
     ++rejected_;
     return false;
   }
-  const std::uint32_t old_anchor = anchor_index_;
-  common::Bytes current(key.begin(), key.end());
-  for (std::uint32_t j = i; j > old_anchor; --j) {
-    known_[j] = current;
-    current = crypto::chain_walk(domain_, current, 1, key_size_);
+  for (auto& [index, checkpoint_key] : checkpoints) {
+    known_[index] = std::move(checkpoint_key);
   }
   anchor_index_ = i;
   anchor_key_ = known_[i];
   ++accepted_;
   // The anchor only ever moves forward, and every interval between the
-  // old and new anchor now has a cached authentic key.
+  // old and new anchor is now derivable from a cached checkpoint.
   DAP_ENSURE(anchor_index_ > old_anchor,
              "ChainAuthenticator: anchor index must advance monotonically");
   DAP_ENSURE(known_.count(anchor_index_) == 1,
@@ -53,10 +73,20 @@ bool ChainAuthenticator::accept(std::uint32_t i, common::ByteView key) {
   return true;
 }
 
+common::Bytes ChainAuthenticator::derive(std::uint32_t i) const {
+  const auto it = known_.lower_bound(i);
+  DAP_INVARIANT(it != known_.end(),
+                "ChainAuthenticator::derive: no checkpoint at or above index");
+  if (it->first == i) return it->second;
+  const std::uint32_t gap = it->first - i;
+  walk_steps_ += gap;
+  return crypto::chain_walk(domain_, it->second, gap, key_size_);
+}
+
 std::optional<common::Bytes> ChainAuthenticator::key(std::uint32_t i) const {
-  const auto it = known_.find(i);
-  if (it == known_.end()) return std::nullopt;
-  return it->second;
+  if (i == anchor_index_) return anchor_key_;
+  if (i < floor_index_ || i > anchor_index_) return std::nullopt;
+  return derive(i);
 }
 
 std::optional<common::Bytes> ChainAuthenticator::mac_key(
@@ -68,12 +98,14 @@ std::optional<common::Bytes> ChainAuthenticator::mac_key(
 
 void ChainAuthenticator::rebase_to_newest() {
   // accept() keeps the anchor at the newest authenticated key, so the
-  // rebase only needs to drop the volatile cache around it.
+  // rebase only needs to drop the volatile checkpoints around it.
   known_.clear();
   known_[anchor_index_] = anchor_key_;
+  floor_index_ = anchor_index_;
 }
 
 void ChainAuthenticator::prune_below(std::uint32_t floor) {
+  if (floor > floor_index_) floor_index_ = floor;
   auto it = known_.begin();
   while (it != known_.end() && it->first < floor) {
     if (it->first == anchor_index_) break;

@@ -5,8 +5,13 @@
 //
 // Holds the newest authentic (index, key) anchor and accepts a candidate
 // K_i by walking the one-way function i - anchor steps ("weak
-// authentication" in the paper's terms). Accepted intermediate keys are
-// cached so the MAC key of any past interval is an O(1) lookup.
+// authentication" in the paper's terms). Instead of caching every
+// intermediate key, the accept walk records a *checkpoint* every
+// `checkpoint_stride` intervals, so verifying a key disclosed after an
+// n-interval gap costs the same n hashes it always did but only
+// O(n / stride) memory — and any key at or below the anchor is
+// re-derivable from the nearest checkpoint above it in at most
+// `stride` hashes instead of being a cache miss after pruning.
 
 #include <cstdint>
 #include <map>
@@ -19,19 +24,27 @@ namespace dap::tesla {
 
 class ChainAuthenticator {
  public:
+  static constexpr std::uint32_t kDefaultCheckpointStride = 16;
+
   /// `commitment` is the authenticated K_0 (or K_anchor with
   /// `anchor_index` > 0 when bootstrapping mid-stream).
+  /// `checkpoint_stride` sets the spacing of cached chain keys: larger
+  /// strides use less memory but make below-anchor key derivation walk
+  /// up to `stride` extra hashes.
   ChainAuthenticator(crypto::PrfDomain domain, std::size_t key_size,
-                     common::Bytes commitment, std::uint32_t anchor_index = 0);
+                     common::Bytes commitment, std::uint32_t anchor_index = 0,
+                     std::uint32_t checkpoint_stride = kDefaultCheckpointStride);
 
   /// Tries to accept `key` as K_i. Returns true if `key` is authentic
   /// (consistent with the anchor). Idempotent for already-known keys.
   bool accept(std::uint32_t i, common::ByteView key);
 
-  /// Authentic key K_i if known.
+  /// Authentic key K_i if derivable (i within [floor, anchor], i.e. not
+  /// pruned/rebased away); derived from the nearest checkpoint at or
+  /// above i in at most `checkpoint_stride` hashes.
   [[nodiscard]] std::optional<common::Bytes> key(std::uint32_t i) const;
 
-  /// Derived MAC key F'(K_i) if K_i is known.
+  /// Derived MAC key F'(K_i) if K_i is derivable.
   [[nodiscard]] std::optional<common::Bytes> mac_key(std::uint32_t i) const;
 
   [[nodiscard]] std::uint32_t anchor_index() const noexcept {
@@ -43,25 +56,49 @@ class ChainAuthenticator {
   [[nodiscard]] std::uint64_t accepted() const noexcept { return accepted_; }
   [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
 
-  /// Drops cached keys with index < `floor` (memory hygiene for
+  [[nodiscard]] std::uint32_t checkpoint_stride() const noexcept {
+    return stride_;
+  }
+  /// Checkpoints currently cached (anchor included).
+  [[nodiscard]] std::size_t cached_keys() const noexcept {
+    return known_.size();
+  }
+  /// One-way-function evaluations spent in accept() walks and
+  /// below-anchor derivations since construction.
+  [[nodiscard]] std::uint64_t walk_steps() const noexcept {
+    return walk_steps_;
+  }
+
+  /// Drops derivability of keys with index < `floor` (memory hygiene for
   /// long-running receivers); the anchor itself is always kept.
   void prune_below(std::uint32_t floor);
 
   /// Collapses state to the newest authenticated key — the persistent
-  /// anchor a crash/restart keeps. All cached intermediate keys are
-  /// dropped, so reveals for intervals at or before the anchor can no
-  /// longer authenticate (their records were volatile anyway); later
-  /// intervals re-authenticate by walking the chain from the anchor.
+  /// anchor a crash/restart keeps. All checkpoints are dropped, so
+  /// reveals for intervals before the anchor can no longer authenticate
+  /// (their records were volatile anyway); later intervals
+  /// re-authenticate by walking the chain from the anchor.
   void rebase_to_newest();
 
  private:
+  /// K_i for i in the derivable range: nearest checkpoint >= i walked
+  /// down (checkpoint_index - i) steps. Precondition: floor <= i <=
+  /// anchor (checked by callers).
+  [[nodiscard]] common::Bytes derive(std::uint32_t i) const;
+
   crypto::PrfDomain domain_;
   std::size_t key_size_;
+  std::uint32_t stride_;
   std::uint32_t anchor_index_;
+  /// Lowest index still derivable; raised by prune_below/rebase.
+  std::uint32_t floor_index_;
   common::Bytes anchor_key_;
+  /// Sparse checkpoint cache: every stride-th index plus accepted tops
+  /// and the anchor.
   std::map<std::uint32_t, common::Bytes> known_;
   std::uint64_t accepted_ = 0;
   std::uint64_t rejected_ = 0;
+  mutable std::uint64_t walk_steps_ = 0;
 };
 
 }  // namespace dap::tesla

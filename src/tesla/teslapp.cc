@@ -93,6 +93,9 @@ TeslaPpReceiver::Telemetry TeslaPpReceiver::make_telemetry() {
       reg.counter("teslapp.unmatched"),
       reg.counter("teslapp.admissions_shed"),
       reg.counter("teslapp.crash_restarts"),
+      reg.counter("teslapp.mac_key_derivations"),
+      reg.counter("teslapp.reveal_batches"),
+      reg.counter("teslapp.batched_reveals"),
       reg.histogram("teslapp.rx_announce_us"),
       reg.histogram("teslapp.rx_reveal_us"),
   };
@@ -160,6 +163,7 @@ void TeslaPpReceiver::tick(sim::SimTime local_now) {
 
 void TeslaPpReceiver::crash_restart(sim::SimTime /*local_now*/) {
   records_.clear();
+  pending_.clear();
   auth_.rebase_to_newest();
   calibration_.reset();
   resync_.invalidate();
@@ -215,11 +219,40 @@ void TeslaPpReceiver::receive(const wire::MacAnnounce& packet,
 
 std::vector<AuthenticatedMessage> TeslaPpReceiver::receive(
     const wire::MessageReveal& packet, sim::SimTime local_now) {
+  return process_reveal(packet, local_now, nullptr);
+}
+
+void TeslaPpReceiver::enqueue(const wire::MessageReveal& packet) {
+  pending_.push_back(packet);
+}
+
+std::vector<std::vector<AuthenticatedMessage>>
+TeslaPpReceiver::drain_pending_batch(sim::SimTime local_now) {
+  std::vector<std::vector<AuthenticatedMessage>> out;
+  out.reserve(pending_.size());
+  if (pending_.empty()) return out;
+  auto& reg = obs::Registry::global();
+  reg.add(telemetry_.reveal_batches);
+  reg.add(telemetry_.batched_reveals, pending_.size());
+  BatchContext batch;
+  while (!pending_.empty()) {
+    const wire::MessageReveal packet = std::move(pending_.front());
+    pending_.pop_front();
+    out.push_back(process_reveal(packet, local_now, &batch));
+  }
+  return out;
+}
+
+std::vector<AuthenticatedMessage> TeslaPpReceiver::process_reveal(
+    const wire::MessageReveal& packet, sim::SimTime local_now,
+    BatchContext* batch) {
   auto& reg = obs::Registry::global();
   const obs::ScopedTimer timer(reg, telemetry_.rx_reveal_latency);
   tick(local_now);
   ++stats_.reveals_received;
   reg.add(telemetry_.reveals_received);
+  // Weak authentication is never cached across a batch: same-interval
+  // reveals can carry different key bytes.
   if (!auth_.accept(packet.interval, packet.key)) {
     ++stats_.keys_rejected;
     reg.add(telemetry_.keys_rejected);
@@ -227,9 +260,26 @@ std::vector<AuthenticatedMessage> TeslaPpReceiver::receive(
     tick(local_now);
     return {};
   }
-  const auto mac_key = auth_.mac_key(packet.interval);
+  // In a batch the interval's MAC key F'(K_i) is derived once and shared
+  // by every reveal of that interval.
+  common::Bytes mac_key;
+  const common::Bytes* cached = nullptr;
+  if (batch != nullptr) {
+    const auto it = batch->mac_keys.find(packet.interval);
+    if (it != batch->mac_keys.end()) cached = &it->second;
+  }
+  if (cached == nullptr) {
+    mac_key = *auth_.mac_key(packet.interval);
+    ++stats_.mac_key_derivations;
+    reg.add(telemetry_.mac_key_derivations);
+    if (batch != nullptr) {
+      cached = &batch->mac_keys.emplace(packet.interval, mac_key).first->second;
+    } else {
+      cached = &mac_key;
+    }
+  }
   const common::Bytes expected_mac =
-      crypto::compute_mac(*mac_key, packet.message, config_.mac_size);
+      crypto::compute_mac(*cached, packet.message, config_.mac_size);
   const common::Bytes expected_record =
       self_mac(packet.interval, expected_mac);
 

@@ -120,6 +120,90 @@ TEST(ChainAuthenticator, RejectsBadConstruction) {
                std::invalid_argument);
 }
 
+// ------------------------------------------------ checkpointed chain cache
+
+TEST(ChainAuthenticator, GapRevealWalksOncePerStep) {
+  const crypto::KeyChain chain(bytes_of("seed"), 64);
+  ChainAuthenticator auth(crypto::PrfDomain::kChainStep, chain.key_size(),
+                          chain.commitment());
+  ASSERT_TRUE(auth.accept(64, chain.key(64)));
+  // Single downward pass: exactly gap hashes, not 2x gap.
+  EXPECT_EQ(auth.walk_steps(), 64u);
+}
+
+TEST(ChainAuthenticator, CheckpointMemoryIsSparse) {
+  const crypto::KeyChain chain(bytes_of("seed"), 64);
+  ChainAuthenticator auth(crypto::PrfDomain::kChainStep, chain.key_size(),
+                          chain.commitment());
+  ASSERT_TRUE(auth.accept(64, chain.key(64)));
+  // Anchor(0) + stride-16 checkpoints {16, 32, 48} + accepted top 64:
+  // O(gap / stride) entries, not one per interval.
+  EXPECT_EQ(auth.checkpoint_stride(),
+            ChainAuthenticator::kDefaultCheckpointStride);
+  EXPECT_LE(auth.cached_keys(), 64u / auth.checkpoint_stride() + 2);
+}
+
+TEST(ChainAuthenticator, BelowAnchorKeysDeriveFromNearestCheckpoint) {
+  const crypto::KeyChain chain(bytes_of("seed"), 64);
+  ChainAuthenticator auth(crypto::PrfDomain::kChainStep, chain.key_size(),
+                          chain.commitment());
+  ASSERT_TRUE(auth.accept(64, chain.key(64)));
+  // Every interval in [1, 64] is still derivable despite the sparse
+  // cache, and re-derivation costs at most `stride` extra hashes.
+  for (const std::uint32_t i : {1u, 15u, 16u, 17u, 31u, 47u, 63u}) {
+    const std::uint64_t before = auth.walk_steps();
+    ASSERT_TRUE(auth.key(i).has_value()) << "key " << i;
+    EXPECT_EQ(*auth.key(i), chain.key(i));
+    // Two key() calls above; each walks <= stride - 1 steps.
+    EXPECT_LE(auth.walk_steps() - before,
+              2 * (auth.checkpoint_stride() - 1ull));
+    EXPECT_TRUE(auth.accept(i, chain.key(i)));
+  }
+}
+
+TEST(ChainAuthenticator, StrideOneCachesEveryKey) {
+  const crypto::KeyChain chain(bytes_of("seed"), 16);
+  ChainAuthenticator auth(crypto::PrfDomain::kChainStep, chain.key_size(),
+                          chain.commitment(), 0, /*checkpoint_stride=*/1);
+  ASSERT_TRUE(auth.accept(16, chain.key(16)));
+  EXPECT_EQ(auth.cached_keys(), 17u);  // anchor + all 16 intermediates
+  const std::uint64_t walked = auth.walk_steps();
+  for (std::uint32_t i = 1; i <= 16; ++i) {
+    ASSERT_TRUE(auth.key(i).has_value());
+    EXPECT_EQ(*auth.key(i), chain.key(i));
+  }
+  EXPECT_EQ(auth.walk_steps(), walked);  // all exact cache hits
+}
+
+TEST(ChainAuthenticator, RebaseDropsHistoryKeepsAnchor) {
+  const crypto::KeyChain chain(bytes_of("seed"), 64);
+  ChainAuthenticator auth(crypto::PrfDomain::kChainStep, chain.key_size(),
+                          chain.commitment());
+  ASSERT_TRUE(auth.accept(40, chain.key(40)));
+  auth.rebase_to_newest();
+  EXPECT_EQ(auth.cached_keys(), 1u);
+  EXPECT_FALSE(auth.key(39).has_value());
+  EXPECT_FALSE(auth.accept(12, chain.key(12)));  // history gone
+  EXPECT_TRUE(auth.accept(40, chain.key(40)));   // anchor still verifies
+  EXPECT_TRUE(auth.accept(55, chain.key(55)));   // forward walk intact
+}
+
+TEST(ChainAuthenticator, PruneRaisesDerivabilityFloor) {
+  const crypto::KeyChain chain(bytes_of("seed"), 64);
+  ChainAuthenticator auth(crypto::PrfDomain::kChainStep, chain.key_size(),
+                          chain.commitment());
+  ASSERT_TRUE(auth.accept(48, chain.key(48)));
+  auth.prune_below(33);
+  EXPECT_FALSE(auth.key(32).has_value());
+  EXPECT_FALSE(auth.accept(20, chain.key(20)));
+  // In-range keys survive even where their checkpoint was pruned.
+  for (const std::uint32_t i : {33u, 40u, 47u}) {
+    ASSERT_TRUE(auth.key(i).has_value()) << "key " << i;
+    EXPECT_EQ(*auth.key(i), chain.key(i));
+  }
+  EXPECT_TRUE(auth.accept(60, chain.key(60)));
+}
+
 // ----------------------------------------------------------- TESLA sender
 
 TEST(TeslaSender, PacketCarriesMacAndDisclosure) {
