@@ -57,14 +57,24 @@ struct Job {
   std::condition_variable join_cv;
 
   void note_chunk_done() {
+    // Decrementing outside join_mu is safe here (unlike in
+    // note_worker_exit): a pool worker running this still holds its
+    // active_workers slot, so run() cannot pass its final wait — and
+    // destroy the job — until the worker reaches note_worker_exit; the
+    // caller's own chunks run on the thread that later destroys the job.
     if (unfinished_chunks.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       const std::lock_guard<std::mutex> lock(join_mu);
       join_cv.notify_all();
     }
   }
   void note_worker_exit() {
-    active_workers.fetch_sub(1, std::memory_order_acq_rel);
+    // The decrement MUST happen under join_mu: run()'s final wait
+    // destroys the job (join_mu and join_cv included) as soon as its
+    // predicate sees active_workers == 0, so dropping the count before
+    // taking the lock would let a spuriously-waking caller free the
+    // condvar this thread is about to lock and notify.
     const std::lock_guard<std::mutex> lock(join_mu);
+    active_workers.fetch_sub(1, std::memory_order_acq_rel);
     join_cv.notify_all();
   }
 };
@@ -172,14 +182,27 @@ class WorkStealingPool {
     {
       std::unique_lock<std::mutex> lock(job.join_mu);
       job.join_cv.wait(lock, [&job] {
-        return job.unfinished_chunks.load(std::memory_order_acquire) == 0 &&
-               job.active_workers.load(std::memory_order_acquire) == 0;
+        return job.unfinished_chunks.load(std::memory_order_acquire) == 0;
       });
     }
+    // Close the claim window BEFORE waiting for workers to leave. Claims
+    // happen under mu_ (including the active_workers increment), so once
+    // current_job_ is cleared here no late-waking worker can attach to
+    // this job, and active_workers already counts every claim that did —
+    // the wait below therefore covers all of them. Waiting on the
+    // combined predicate first instead would let a worker claim after
+    // the caller observed active_workers == 0, touching the
+    // stack-allocated job after run() returned.
     {
       const std::lock_guard<std::mutex> lock(mu_);
       current_job_ = nullptr;
       claims_available_ = 0;
+    }
+    {
+      std::unique_lock<std::mutex> lock(job.join_mu);
+      job.join_cv.wait(lock, [&job] {
+        return job.active_workers.load(std::memory_order_acquire) == 0;
+      });
     }
   }
 

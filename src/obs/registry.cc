@@ -115,6 +115,7 @@ Registry::Registry(const Registry& other)
       rate_names_(other.rate_names_),
       counters_(other.counters_),
       gauges_(other.gauges_),
+      gauge_written_(other.gauge_written_),
       histograms_(other.histograms_),
       rates_(other.rates_) {}
 
@@ -126,6 +127,7 @@ Registry& Registry::operator=(const Registry& other) {
   rate_names_ = other.rate_names_;
   counters_ = other.counters_;
   gauges_ = other.gauges_;
+  gauge_written_ = other.gauge_written_;
   histograms_ = other.histograms_;
   rates_ = other.rates_;
   uid_ = next_registry_uid();  // contents changed: invalidate cached handles
@@ -140,6 +142,7 @@ Registry::Registry(Registry&& other) noexcept
       rate_names_(std::move(other.rate_names_)),
       counters_(std::move(other.counters_)),
       gauges_(std::move(other.gauges_)),
+      gauge_written_(std::move(other.gauge_written_)),
       histograms_(std::move(other.histograms_)),
       rates_(std::move(other.rates_)) {}
 
@@ -151,6 +154,7 @@ Registry& Registry::operator=(Registry&& other) noexcept {
   rate_names_ = std::move(other.rate_names_);
   counters_ = std::move(other.counters_);
   gauges_ = std::move(other.gauges_);
+  gauge_written_ = std::move(other.gauge_written_);
   histograms_ = std::move(other.histograms_);
   rates_ = std::move(other.rates_);
   uid_ = next_registry_uid();
@@ -175,7 +179,10 @@ CounterHandle Registry::counter(std::string_view name) {
 
 GaugeHandle Registry::gauge(std::string_view name) {
   const auto slot = gauge_names_.intern(name, gauges_.size());
-  if (slot == gauges_.size()) gauges_.push_back(0.0);
+  if (slot == gauges_.size()) {
+    gauges_.push_back(0.0);
+    gauge_written_.push_back(false);
+  }
   return GaugeHandle{slot};
 }
 
@@ -280,7 +287,13 @@ void Registry::merge_from(const Registry& other) {
   for (std::uint32_t slot = 0; slot < other.gauge_names_.names.size();
        ++slot) {
     const GaugeHandle h = gauge(other.gauge_names_.names[slot]);
-    gauges_[h.index] = other.gauges_[slot];  // last writer wins
+    // Only a gauge the other registry actually wrote overrides ours: a
+    // shard that merely registered the name (make_telemetry et al.) must
+    // not clobber the destination with its default 0.
+    if (other.gauge_written_[slot]) {
+      gauges_[h.index] = other.gauges_[slot];  // last *writer* wins
+      gauge_written_[h.index] = true;
+    }
   }
   for (std::uint32_t slot = 0; slot < other.histogram_names_.names.size();
        ++slot) {
@@ -306,6 +319,7 @@ void Registry::clear() noexcept {
   rate_names_ = NameTable{};
   counters_.clear();
   gauges_.clear();
+  gauge_written_.clear();
   histograms_.clear();
   rates_.clear();
   uid_ = next_registry_uid();  // handles are invalid now; force re-resolve

@@ -130,7 +130,10 @@ class Registry {
   void add(CounterHandle h, std::uint64_t by = 1) noexcept {
     counters_[h.index] += by;
   }
-  void set(GaugeHandle h, double value) noexcept { gauges_[h.index] = value; }
+  void set(GaugeHandle h, double value) noexcept {
+    gauges_[h.index] = value;
+    gauge_written_[h.index] = true;
+  }
   void observe(HistogramHandle h, double value) noexcept {
     histograms_[h.index].add(value);
   }
@@ -184,11 +187,17 @@ class Registry {
   [[nodiscard]] std::string report(bool skip_zero_counters = false) const;
 
   /// Folds `other` into this registry by *name* (slot indices may differ
-  /// between the two): counters add, gauges take the other's last value,
-  /// histograms merge, rate estimators add their totals. Instruments only
-  /// `other` knows are registered here first, so after the merge every
-  /// name in `other` resolves here. Contracts reject self-merge and check
-  /// that shared names resolve to consistent slots.
+  /// between the two): counters add, gauges take the other's value but
+  /// only when `other` actually set() it (a registered-but-never-written
+  /// gauge never clobbers the destination with its default 0), histograms
+  /// merge, rate estimators add their totals. Instruments only `other`
+  /// knows are registered here first, so after the merge every name in
+  /// `other` resolves here. Contracts reject self-merge and check that
+  /// shared names resolve to consistent slots. Note gauges written by
+  /// several parallel shards still merge in chunk order (the last
+  /// *writing* chunk wins, not the temporally latest set()) — gauges are
+  /// a poor fit for cross-shard aggregation; prefer counters/histograms
+  /// inside parallel regions.
   void merge_from(const Registry& other);
 
   /// Identifier distinguishing registry *instances* (never 0, never
@@ -242,6 +251,9 @@ class Registry {
   // handed out by find_* survive later registrations.
   std::deque<std::uint64_t> counters_;
   std::deque<double> gauges_;
+  /// Parallel to gauges_: whether set() ever ran on the slot, so
+  /// merge_from can skip registered-but-unwritten gauges.
+  std::deque<bool> gauge_written_;
   std::deque<LatencyHistogram> histograms_;
   std::deque<common::RateEstimator> rates_;
 };

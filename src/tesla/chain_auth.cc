@@ -29,17 +29,29 @@ ChainAuthenticator::ChainAuthenticator(crypto::PrfDomain domain,
 }
 
 bool ChainAuthenticator::accept(std::uint32_t i, common::ByteView key) {
+  // rejected_ counts reveals *proven* inconsistent with the chain, on
+  // every mismatch path (anchor, below-anchor, above-anchor walk).
+  // Malformed (empty) keys and pruned indices return false uncounted:
+  // neither is evidence of forgery — one is a framing error, the other
+  // is unverifiable, exactly as a cache miss was before checkpointing.
   if (key.empty()) return false;
   if (i == anchor_index_) {
     // The anchor survives any prune, so it always verifies directly.
-    return common::constant_time_equal(anchor_key_, key);
+    if (!common::constant_time_equal(anchor_key_, key)) {
+      ++rejected_;
+      return false;
+    }
+    return true;
   }
   if (i < anchor_index_) {
     // Below-anchor reveals re-derive the authentic key instead of
-    // looking it up: indices pruned/rebased away (below the floor) stay
-    // unverifiable, exactly as a cache miss did before checkpointing.
+    // looking it up.
     if (i < floor_index_) return false;
-    return common::constant_time_equal(derive(i), key);
+    if (!common::constant_time_equal(derive(i), key)) {
+      ++rejected_;
+      return false;
+    }
+    return true;
   }
   // One downward pass from the candidate to the anchor: verifies the
   // chain AND collects the checkpoints, where the pre-checkpoint code

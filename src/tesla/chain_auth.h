@@ -54,6 +54,9 @@ class ChainAuthenticator {
     return anchor_key_;
   }
   [[nodiscard]] std::uint64_t accepted() const noexcept { return accepted_; }
+  /// Reveals proven inconsistent with the chain (any mismatch path:
+  /// anchor compare, below-anchor re-derivation, above-anchor walk).
+  /// Empty keys and pruned indices are unverifiable, not rejected.
   [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
 
   [[nodiscard]] std::uint32_t checkpoint_stride() const noexcept {

@@ -100,6 +100,22 @@ TEST(ParallelFor, NestedCallsRunInline) {
   EXPECT_EQ(inner_total.load(), 32);
 }
 
+TEST(ParallelFor, RapidSmallJobsJoinSafely) {
+  // Regression for the join race: with tiny bodies the caller often
+  // drains every chunk before the pool workers wake, and a late-waking
+  // worker must not be able to claim (and then touch) a job whose
+  // parallel_for already returned and destroyed its stack frame. Each
+  // iteration writes through the job-local vector so a stale claim
+  // shows up as a TSan race / crash rather than passing silently.
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<std::atomic<int>> hits(4);
+    common::parallel_for(
+        hits.size(), [&hits](std::size_t i) { hits[i].fetch_add(1); },
+        {.threads = 4, .grain = 1});
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
 TEST(ParallelFor, FirstExceptionPropagates) {
   EXPECT_THROW(common::parallel_for(
                    64,
@@ -145,6 +161,22 @@ TEST(RegistryMerge, CountersGaugesRatesHistograms) {
   EXPECT_DOUBLE_EQ(h.sum(), 60.0);
   EXPECT_DOUBLE_EQ(h.min(), 10.0);
   EXPECT_DOUBLE_EQ(h.max(), 30.0);
+}
+
+TEST(RegistryMerge, UnwrittenGaugeDoesNotClobber) {
+  obs::Registry global_like;
+  obs::Registry shard;
+  global_like.set(global_like.gauge("g"), 4.0);
+  // The shard registered the gauge (as make_telemetry-style resolution
+  // does) but never set it: the merge must keep the destination value.
+  shard.gauge("g");
+  shard.add(shard.counter("c"), 1);
+  global_like.merge_from(shard);
+  EXPECT_EQ(global_like.value(global_like.gauge("g")), 4.0);
+  // A written 0 is still a real write and does override.
+  shard.set(shard.gauge("g"), 0.0);
+  global_like.merge_from(shard);
+  EXPECT_EQ(global_like.value(global_like.gauge("g")), 0.0);
 }
 
 TEST(RegistryMerge, HistogramBucketCountsAreExact) {

@@ -79,6 +79,32 @@ TEST(ChainAuthenticator, OldKeyConsistencyCheck) {
   Bytes wrong = chain.key(2);
   wrong[1] ^= 1;
   EXPECT_FALSE(auth.accept(2, wrong));  // mismatch with cache
+  // Proven-forged below-anchor reveals count as rejections, exactly
+  // like above-anchor walk mismatches.
+  EXPECT_EQ(auth.rejected(), 1u);
+}
+
+TEST(ChainAuthenticator, RejectionCounterCoversAllMismatchPaths) {
+  const crypto::KeyChain chain(bytes_of("seed"), 8);
+  ChainAuthenticator auth(crypto::PrfDomain::kChainStep, chain.key_size(),
+                          chain.commitment());
+  ASSERT_TRUE(auth.accept(6, chain.key(6)));
+  Bytes wrong_anchor = chain.key(6);
+  wrong_anchor[0] ^= 1;
+  EXPECT_FALSE(auth.accept(6, wrong_anchor));  // anchor compare
+  Bytes wrong_below = chain.key(3);
+  wrong_below[0] ^= 1;
+  EXPECT_FALSE(auth.accept(3, wrong_below));  // below-anchor derivation
+  Bytes wrong_above = chain.key(8);
+  wrong_above[0] ^= 1;
+  EXPECT_FALSE(auth.accept(8, wrong_above));  // above-anchor walk
+  EXPECT_EQ(auth.rejected(), 3u);
+  // Unverifiable reveals are not rejections: empty keys are malformed,
+  // pruned indices are a cache miss.
+  auth.prune_below(5);
+  EXPECT_FALSE(auth.accept(3, chain.key(3)));
+  EXPECT_FALSE(auth.accept(7, Bytes{}));
+  EXPECT_EQ(auth.rejected(), 3u);
 }
 
 TEST(ChainAuthenticator, RejectsEmptyKeyAndWrongDomain) {
