@@ -22,13 +22,14 @@ set(DAP_BENCH_PLAIN
   ablate_fig5_sender
   population_dynamics
   chaos_soak
+  fleet_scale
 )
 
 foreach(name ${DAP_BENCH_PLAIN})
   add_executable(bench_${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
   target_link_libraries(bench_${name}
     PRIVATE dap_common dap_obs dap_crypto dap_wire dap_sim dap_tesla dap_dap
-            dap_game dap_core dap_analysis dap_warnings)
+            dap_game dap_core dap_analysis dap_fleet dap_warnings)
   set_target_properties(bench_${name} PROPERTIES
     OUTPUT_NAME ${name}
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
@@ -48,3 +49,7 @@ set_target_properties(bench_micro_crypto PROPERTIES
 # non-zero on an invariant violation). The full seeded soak runs in
 # tests/test_chaos_soak.cc under DAP_CHAOS_SOAK_ITERS.
 add_test(NAME chaos_soak_smoke COMMAND bench_chaos_soak --smoke)
+
+# Short fleet sweep with the same contract: exits non-zero when a forged
+# message authenticates or the flagship fleets fall below scale.
+add_test(NAME fleet_scale_smoke COMMAND bench_fleet_scale --smoke)

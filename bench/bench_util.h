@@ -6,8 +6,8 @@
 // percentiles + wall time from the obs registry) in
 // bench_out/<name>.metrics.json — the perf-trajectory baseline future
 // PRs diff against. The summary footer also records the parallel-engine
-// thread count, peak RSS, and per-phase wall times so speedup runs are
-// self-describing.
+// thread count, the host's core count, peak RSS, per-phase wall times,
+// and the scenario id so speedup runs are self-describing across hosts.
 
 #include <chrono>
 #include <cstdio>
@@ -44,7 +44,21 @@ inline std::map<std::string, double>& phase_walls() {
   static std::map<std::string, double> walls;
   return walls;
 }
+
+/// Topology/scenario identifier for the footer (empty until a bench
+/// calls set_run_scenario).
+inline std::string& run_scenario() {
+  static std::string id;
+  return id;
+}
 }  // namespace detail
+
+/// Records a compact scenario/topology identifier in the metrics footer
+/// ("scenario" field), so a BENCH_*.json captured on one host says what
+/// was actually simulated — not just how fast.
+inline void set_run_scenario(const std::string& id) {
+  detail::run_scenario() = id;
+}
 
 inline std::string csv_path(const std::string& name) {
   std::filesystem::create_directories("bench_out");
@@ -144,11 +158,16 @@ inline void banner(const std::string& title, const std::string& paper_ref,
 }
 
 namespace detail {
-/// Renders the run-environment footer fields ("threads", "peak_rss_kb",
-/// "phases") as a JSON fragment for metrics_json's extra_fields slot.
+/// Renders the run-environment footer fields ("threads", "cpu_cores",
+/// "peak_rss_kb", "scenario", "phases") as a JSON fragment for
+/// metrics_json's extra_fields slot. cpu_cores disambiguates speedup
+/// numbers across hosts (a ~1.0 speedup on a 1-core machine is expected,
+/// not a regression); scenario says what the run simulated.
 inline std::string footer_extra_fields() {
   std::string out = "\"threads\": " + std::to_string(common::default_threads());
+  out += ", \"cpu_cores\": " + std::to_string(common::hardware_threads());
   out += ", \"peak_rss_kb\": " + std::to_string(peak_rss_kb());
+  out += ", \"scenario\": \"" + run_scenario() + "\"";
   out += ", \"phases\": {";
   bool first = true;
   for (const auto& [phase, seconds] : phase_walls()) {

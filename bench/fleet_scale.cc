@@ -1,0 +1,220 @@
+// Fleet-scale curves: auth success and defense cost vs fleet size,
+// topology depth, and forged fraction p, across relay topologies (tree,
+// gossip, grid, flood). Every receiver is simulated — >= 100,000 of them
+// in the full run via receiver cohorts — and the whole sweep is bitwise
+// identical at any thread count (the CSV is the determinism contract
+// bench_baseline.py verifies). Exits non-zero when a forged message ever
+// authenticates or the flagship scenarios shrink below fleet scale, so
+// the --smoke run doubles as a ctest.
+
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/parallel.h"
+#include "fleet/fleet.h"
+#include "fleet/scenario.h"
+
+namespace {
+
+dap::fleet::ScenarioSpec base_spec(bool smoke) {
+  dap::fleet::ScenarioSpec spec;
+  spec.seed = 42;
+  spec.buffers = 4;
+  spec.intervals = smoke ? 4 : 8;
+  spec.interval_us = 200 * dap::sim::kMillisecond;
+  spec.hop.latency_us = dap::sim::kMillisecond;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dap;
+  const std::size_t threads = bench::configure_threads(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  bench::banner(
+      std::string("fleet scale — multi-hop relay topologies x receiver "
+                  "cohorts") +
+          (smoke ? " (smoke)" : ""),
+      "crowdsensing setting at fleet scale: every node relays, 10^5 "
+      "receivers verify",
+      "auth rate 1.0 without attack, graceful decay vs forged fraction p, "
+      "zero forged authentications everywhere");
+  std::cout << "[parallel engine: " << threads << " thread(s)]\n";
+
+  std::vector<fleet::ScenarioSpec> specs;
+
+  // Fleet-size flagships: >= 100k receivers behind a distribution tree
+  // and a 2-regular gossip mesh.
+  {
+    fleet::ScenarioSpec tree = base_spec(smoke);
+    tree.name = "tree_flagship";
+    tree.kind = fleet::TopologyKind::kTree;
+    tree.depth = smoke ? 2 : 3;
+    tree.fanout = smoke ? 2 : 4;  // full: 84 cohorts
+    tree.members_per_cohort = smoke ? 40 : 1200;  // full: 100,800 receivers
+    specs.push_back(tree);
+
+    fleet::ScenarioSpec gossip = base_spec(smoke);
+    gossip.name = "gossip_flagship";
+    gossip.kind = fleet::TopologyKind::kGossip;
+    gossip.relays = smoke ? 8 : 128;
+    gossip.fanin = 2;
+    gossip.members_per_cohort = smoke ? 40 : 800;  // full: 102,400 receivers
+    specs.push_back(gossip);
+  }
+
+  // Fleet-size curve: same tree, growing cohorts.
+  for (const std::size_t members :
+       smoke ? std::vector<std::size_t>{10, 20}
+             : std::vector<std::size_t>{50, 200, 600}) {
+    fleet::ScenarioSpec spec = base_spec(smoke);
+    spec.name = "size";
+    spec.kind = fleet::TopologyKind::kTree;
+    spec.depth = 2;
+    spec.fanout = 3;
+    spec.members_per_cohort = members;
+    specs.push_back(spec);
+  }
+
+  // Depth curve: binary tree deepening at fixed per-cohort size.
+  for (const std::uint32_t depth :
+       smoke ? std::vector<std::uint32_t>{1, 2}
+             : std::vector<std::uint32_t>{1, 2, 3, 4}) {
+    fleet::ScenarioSpec spec = base_spec(smoke);
+    spec.name = "depth";
+    spec.kind = fleet::TopologyKind::kTree;
+    spec.depth = depth;
+    spec.fanout = 2;
+    spec.members_per_cohort = smoke ? 20 : 400;
+    specs.push_back(spec);
+  }
+
+  // Forged-fraction curve: per-hop flooding adversary at the root of a
+  // small tree; reservoir buffers are the only defense.
+  for (const double p : smoke ? std::vector<double>{0.0, 0.5}
+                              : std::vector<double>{0.0, 0.5, 0.8, 0.9}) {
+    fleet::ScenarioSpec spec = base_spec(smoke);
+    spec.name = "forged";
+    spec.kind = fleet::TopologyKind::kTree;
+    spec.depth = 2;
+    spec.fanout = 3;
+    spec.members_per_cohort = smoke ? 20 : 500;
+    spec.forged_fraction = p;
+    specs.push_back(spec);
+  }
+
+  // Topology shape spot checks: mesh and single-hop star.
+  {
+    fleet::ScenarioSpec grid = base_spec(smoke);
+    grid.name = "grid";
+    grid.kind = fleet::TopologyKind::kGrid;
+    grid.rows = smoke ? 2 : 6;
+    grid.cols = smoke ? 3 : 6;
+    grid.members_per_cohort = smoke ? 20 : 300;
+    specs.push_back(grid);
+
+    fleet::ScenarioSpec flood = base_spec(smoke);
+    flood.name = "flood";
+    flood.kind = fleet::TopologyKind::kFlood;
+    flood.receivers = smoke ? 8 : 64;
+    flood.members_per_cohort = smoke ? 20 : 500;
+    specs.push_back(flood);
+  }
+
+  const auto reports = [&] {
+    const bench::PhaseTimer phase("fleet");
+    return common::parallel_map<fleet::FleetReport>(
+        specs.size(), [&specs](std::size_t i) {
+          fleet::FleetSim sim(specs[i]);
+          return sim.run();
+        });
+  }();
+
+  common::TextTable table({"scenario", "members", "depth", "p", "auth rate",
+                           "member auth", "forged sent", "forged ok",
+                           "unsafe", "peak records"});
+  common::CsvWriter csv(
+      bench::csv_path("fleet_scale"),
+      {"scenario", "kind", "nodes", "max_depth", "cohorts", "members_total",
+       "forged_fraction", "announces_sent", "forged_announces_sent",
+       "forged_reveals_sent", "member_auths", "sentinel_auths",
+       "forged_accepted", "announces_unsafe", "weak_auth_failures",
+       "dedup_dropped", "stored_records_peak", "defense_bits_peak",
+       "auth_rate"});
+
+  bool ok = true;
+  std::uint64_t largest_tree = 0;
+  std::uint64_t largest_gossip = 0;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const fleet::ScenarioSpec& spec = specs[i];
+    const fleet::FleetReport& report = reports[i];
+    table.add_row({spec.id(), std::to_string(report.total_members),
+                   std::to_string(report.max_depth),
+                   common::format_number(spec.forged_fraction),
+                   common::format_number(report.auth_rate),
+                   std::to_string(report.member_auths),
+                   std::to_string(report.forged_announces_sent),
+                   std::to_string(report.forged_accepted),
+                   std::to_string(report.announces_unsafe),
+                   std::to_string(report.stored_records_peak)});
+    csv.row_text(
+        {spec.id(), fleet::topology_kind_name(spec.kind),
+         std::to_string(spec.build_topology().node_count),
+         std::to_string(report.max_depth),
+         std::to_string(report.cohort_count),
+         std::to_string(report.total_members),
+         common::format_number(spec.forged_fraction),
+         std::to_string(report.announces_sent),
+         std::to_string(report.forged_announces_sent),
+         std::to_string(report.forged_reveals_sent),
+         std::to_string(report.member_auths),
+         std::to_string(report.sentinel_auths),
+         std::to_string(report.forged_accepted),
+         std::to_string(report.announces_unsafe),
+         std::to_string(report.weak_auth_failures),
+         std::to_string(report.dedup_dropped),
+         std::to_string(report.stored_records_peak),
+         std::to_string(report.stored_records_peak * 56),
+         common::format_number(report.auth_rate)});
+    if (!report.zero_forged()) {
+      std::cerr << "INVARIANT VIOLATION: forged message authenticated ("
+                << spec.id() << ")\n";
+      ok = false;
+    }
+    if (spec.forged_fraction == 0.0 && report.auth_rate < 0.999) {
+      std::cerr << "INVARIANT VIOLATION: clean-channel auth rate "
+                << report.auth_rate << " < 1 (" << spec.id() << ")\n";
+      ok = false;
+    }
+    if (spec.kind == fleet::TopologyKind::kTree) {
+      largest_tree = std::max(largest_tree, report.total_members);
+    }
+    if (spec.kind == fleet::TopologyKind::kGossip) {
+      largest_gossip = std::max(largest_gossip, report.total_members);
+    }
+  }
+  const std::uint64_t floor = smoke ? 100 : 100000;
+  if (largest_tree < floor || largest_gossip < floor) {
+    std::cerr << "INVARIANT VIOLATION: flagship fleets below " << floor
+              << " receivers (tree " << largest_tree << ", gossip "
+              << largest_gossip << ")\n";
+    ok = false;
+  }
+
+  std::cout << table.render();
+  std::cout << "\nEvery receiver is simulated: cohorts replay per-member "
+               "reservoir decisions\nwith stateless per-(member, interval, "
+               "offer) draws, so the sweep is bitwise\nidentical at any "
+               "thread count. 'forged ok' must stay 0.\n";
+  bench::set_run_scenario(smoke ? "fleet_scale:smoke" : "fleet_scale:full");
+  bench::footer("fleet_scale");
+  return ok ? 0 : 1;
+}

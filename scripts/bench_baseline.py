@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Serial-vs-parallel bench baseline: runs the experiment binaries at 1
 thread and at N threads, proves the outputs are bitwise identical, and
-records the timing in BENCH_parallel.json (schema dap.bench_parallel.v1).
+records the timing in a JSON report.
 
 Each bench runs twice in its own scratch working directory:
 
@@ -13,12 +13,22 @@ determinism contract of common::parallel_for made observable. Timing uses
 wall clocks around the whole process, so treat the speedup as indicative;
 the CSV identity check is the hard pass/fail signal.
 
+Two suites share the harness:
+
+  --suite parallel   (default) the original engine baseline ->
+                     BENCH_parallel.json, schema dap.bench_parallel.v1
+  --suite fleet      the fleet-scale sweep (full run: >= 100k receivers
+                     per flagship topology, cohort drains sharded across
+                     the pool) -> BENCH_fleet.json, schema
+                     dap.bench_fleet.v1
+
 Stdlib only. Usage:
 
-  scripts/bench_baseline.py [--build BUILD_DIR] [--threads N] [--out FILE]
+  scripts/bench_baseline.py [--suite parallel|fleet] [--build BUILD_DIR]
+                            [--threads N] [--out FILE]
 
 Defaults: --build build, --threads os.cpu_count(), --out
-BENCH_parallel.json in the repo root. Exits 1 when a bench fails or a CSV
+BENCH_<suite>.json in the repo root. Exits 1 when a bench fails or a CSV
 differs between thread counts.
 """
 
@@ -33,12 +43,28 @@ import time
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
-# (bench name, binary relative to the build dir, extra argv)
-BENCHES = [
-    ("montecarlo_dap", "bench/montecarlo_dap", []),
-    ("fig7_optimal_m", "bench/fig7_optimal_m", []),
-    ("chaos_soak", "bench/chaos_soak", ["--smoke"]),
-]
+# suite -> (schema, default report file, [(bench name, binary relative to
+# the build dir, extra argv)])
+SUITES = {
+    "parallel": (
+        "dap.bench_parallel.v1",
+        "BENCH_parallel.json",
+        [
+            ("montecarlo_dap", "bench/montecarlo_dap", []),
+            ("fig7_optimal_m", "bench/fig7_optimal_m", []),
+            ("chaos_soak", "bench/chaos_soak", ["--smoke"]),
+        ],
+    ),
+    "fleet": (
+        "dap.bench_fleet.v1",
+        "BENCH_fleet.json",
+        [
+            # Full sweep (not --smoke): the >= 100k-receiver flagships are
+            # part of what the identity check must cover.
+            ("fleet_scale", "bench/fleet_scale", []),
+        ],
+    ),
+}
 
 
 def run_once(binary, extra_args, threads, scratch):
@@ -72,28 +98,33 @@ def run_once(binary, extra_args, threads, scratch):
 
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--suite", default="parallel", choices=sorted(SUITES),
+                        help="which bench suite to baseline")
     parser.add_argument("--build", default="build",
                         help="CMake build directory holding the benches")
     parser.add_argument("--threads", type=int, default=os.cpu_count() or 1,
                         help="parallel thread count to compare against 1")
-    parser.add_argument("--out", default=str(ROOT / "BENCH_parallel.json"),
-                        help="where to write the JSON report")
+    parser.add_argument("--out", default=None,
+                        help="where to write the JSON report "
+                             "(default: BENCH_<suite>.json in the repo root)")
     args = parser.parse_args(argv)
 
+    schema, default_out, benches = SUITES[args.suite]
+    out = args.out if args.out is not None else str(ROOT / default_out)
     build = pathlib.Path(args.build)
     if not build.is_absolute():
         build = ROOT / build
     threads = max(1, args.threads)
 
     report = {
-        "schema": "dap.bench_parallel.v1",
+        "schema": schema,
         "threads_serial": 1,
         "threads_parallel": threads,
         "cpu_count": os.cpu_count() or 1,
         "benches": [],
     }
     failed = False
-    for name, rel, extra in BENCHES:
+    for name, rel, extra in benches:
         binary = build / rel
         if not binary.exists():
             print(f"[{name}] SKIP: {binary} not built")
@@ -117,6 +148,8 @@ def main(argv):
             if metrics is not None:
                 entry[key + "_reported_threads"] = metrics.get("threads")
                 entry[key + "_peak_rss_kb"] = metrics.get("peak_rss_kb")
+                if metrics.get("scenario"):
+                    entry["scenario"] = metrics["scenario"]
         if s_rc != 0 or p_rc != 0:
             entry["status"] = "bench_failed"
             failed = True
@@ -134,8 +167,8 @@ def main(argv):
               f"(speedup {entry['speedup']}), csv identical: "
               f"{entry['csv_identical']}")
 
-    pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
-    print(f"report written to {args.out}")
+    pathlib.Path(out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report written to {out}")
     if failed:
         print("FAIL: at least one bench failed or diverged across "
               "thread counts")

@@ -45,7 +45,9 @@ cmake -B build-tsan -S . "${GEN[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build build-tsan
 # DAP_THREADS=4 forces real worker threads through the pool even on
 # single-core machines, so TSan sees genuine cross-thread handoff.
+# test_fleet rides along: cohort drains fan reservoir replay across the
+# same pool.
 TSAN_OPTIONS=halt_on_error=1 DAP_THREADS=4 \
-  ctest --test-dir build-tsan -L test_parallel --output-on-failure
+  ctest --test-dir build-tsan -L 'test_parallel|test_fleet' --output-on-failure
 
 echo "== all checks passed =="

@@ -51,7 +51,8 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 SOURCE_SUFFIXES = {".cc", ".h"}
 
-CONSTANT_TIME_DIRS = ("src/crypto", "src/tesla", "src/dap", "src/wire")
+CONSTANT_TIME_DIRS = ("src/crypto", "src/tesla", "src/dap", "src/wire",
+                      "src/fleet")
 DETERMINISM_EXEMPT_DIRS = ("src/obs",)
 GLOBAL_STATE_EXEMPT_DIRS = ("src/obs",)
 

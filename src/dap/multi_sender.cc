@@ -26,10 +26,26 @@ std::size_t MultiSenderReceiver::buffers_per_sender() const noexcept {
   return share == 0 ? 1 : share;
 }
 
+std::size_t MultiSenderReceiver::buffers_for(wire::NodeId id) const noexcept {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? 0 : it->second.buffers();
+}
+
 void MultiSenderReceiver::rebalance() {
-  const std::size_t share = buffers_per_sender();
+  if (nodes_.empty()) return;
+  const std::size_t share = buffer_budget_ / nodes_.size();
+  std::size_t remainder = buffer_budget_ % nodes_.size();
+  // Hand the remainder out one buffer at a time to the lowest ids (the
+  // map iterates in id order), so the whole budget is used; a bare floor
+  // share would strand up to n-1 buffers and, at small budgets, starve
+  // every sender down to the 1-buffer minimum at once.
   for (auto& [id, receiver] : nodes_) {
-    receiver.set_buffers(share);
+    std::size_t buffers = share;
+    if (remainder > 0) {
+      ++buffers;
+      --remainder;
+    }
+    receiver.set_buffers(buffers == 0 ? 1 : buffers);
   }
 }
 

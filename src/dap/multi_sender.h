@@ -38,14 +38,22 @@ class MultiSenderReceiver {
                       common::Rng rng, std::size_t buffer_budget);
 
   /// Registers (or replaces) a sender with its verified commitment.
-  /// The buffer budget is re-divided evenly across all senders, never
-  /// dropping below 1 buffer each.
+  /// The buffer budget is re-divided as evenly as possible across all
+  /// senders: every sender gets floor(budget / n), and the remaining
+  /// budget % n buffers go one each to the lowest sender ids, so no
+  /// buffer in the budget is ever stranded by rounding. Nobody drops
+  /// below 1 buffer even when the budget is smaller than the sender
+  /// count.
   void register_sender(wire::NodeId id, const DapConfig& config,
                        common::Bytes commitment);
 
   [[nodiscard]] bool knows_sender(wire::NodeId id) const noexcept;
   [[nodiscard]] std::size_t senders() const noexcept { return nodes_.size(); }
+  /// The floor share every sender is guaranteed (min 1); senders holding
+  /// a remainder buffer have one more — see buffers_for().
   [[nodiscard]] std::size_t buffers_per_sender() const noexcept;
+  /// Buffers currently assigned to sender `id`; 0 for unknown senders.
+  [[nodiscard]] std::size_t buffers_for(wire::NodeId id) const noexcept;
 
   /// Routed DAP data paths.
   void receive(const wire::MacAnnounce& packet, sim::SimTime local_now);

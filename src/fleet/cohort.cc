@@ -1,0 +1,245 @@
+#include "fleet/cohort.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/contracts.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "crypto/mac.h"
+
+namespace dap::fleet {
+
+namespace {
+
+/// Uniform double in [0, 1) from one stateless 64-bit draw.
+double unit_double(std::uint64_t word) noexcept {
+  return static_cast<double>(word >> 11) * 0x1.0p-53;
+}
+
+common::Rng sentinel_rng(std::uint64_t cohort_seed) {
+  return common::Rng(common::subseed(cohort_seed, 0));
+}
+
+}  // namespace
+
+ReceiverCohort::ReceiverCohort(const CohortConfig& config,
+                               common::Bytes commitment)
+    : config_(config),
+      stat_members_(config.members == 0 ? 0 : config.members - 1),
+      auth_(crypto::PrfDomain::kChainStep, config.dap.key_size, commitment),
+      sentinel_(config.dap, commitment,
+                sentinel_rng(config.seed).bytes(16), config.clock,
+                sentinel_rng(config.seed).fork(1)) {
+  if (config_.members == 0) {
+    throw std::invalid_argument("ReceiverCohort: members must be >= 1");
+  }
+  if (config_.dap.buffers == 0) {
+    throw std::invalid_argument("ReceiverCohort: buffers must be >= 1");
+  }
+}
+
+ReceiverCohort::Round& ReceiverCohort::round_for(std::uint32_t interval) {
+  auto it = rounds_.find(interval);
+  if (it == rounds_.end()) {
+    Round round;
+    round.slots.assign(stat_members_ * config_.dap.buffers, 0);
+    round.counts.assign(stat_members_, 0);
+    it = rounds_.emplace(interval, std::move(round)).first;
+  }
+  return it->second;
+}
+
+void ReceiverCohort::receive_announce(const wire::MacAnnounce& packet,
+                                      sim::SimTime true_now) {
+  const sim::SimTime local_now = config_.clock.local_time(true_now);
+  ++stats_.announces_received;
+  sentinel_.receive(packet, local_now);
+  // Algorithm 2 line 3 for the statistical members: the loose-time
+  // safety check, evaluated once for the whole cohort (shared clock).
+  if (!config_.clock.packet_safe(packet.interval,
+                                 config_.dap.disclosure_delay, local_now,
+                                 config_.dap.schedule)) {
+    ++stats_.announces_unsafe;
+    return;
+  }
+  round_for(packet.interval).macs.push_back(packet.mac);
+}
+
+void ReceiverCohort::enqueue_reveal(const wire::MessageReveal& packet) {
+  sentinel_.enqueue(packet);
+  pending_.push_back(packet);
+}
+
+void ReceiverCohort::replay_member(Round& round, std::uint32_t interval,
+                                   std::size_t mi) const {
+  const std::size_t m = config_.dap.buffers;
+  std::uint32_t* slots = round.slots.data() + mi * m;
+  std::uint16_t& count = round.counts[mi];
+  // Stateless draw chain: (cohort seed, member, interval, offer) fully
+  // determines every reservoir decision, independent of when — and on
+  // which thread — the replay runs.
+  const std::uint64_t member_seed =
+      common::subseed(config_.seed, 1 + static_cast<std::uint64_t>(mi));
+  const std::uint64_t round_seed = common::subseed(member_seed, interval);
+  for (std::uint32_t k = round.replayed;
+       k < static_cast<std::uint32_t>(round.macs.size()); ++k) {
+    const std::uint32_t offer = k + 1;  // 1-based offer index ("the k-th copy")
+    if (count < m) {
+      for (std::size_t j = 0; j < m; ++j) {
+        if (slots[j] == 0) {
+          slots[j] = k + 1;
+          break;
+        }
+      }
+      ++count;
+      continue;
+    }
+    const std::uint64_t keep_word =
+        common::subseed(round_seed, 2ULL * offer);
+    const std::uint64_t victim_word =
+        common::subseed(round_seed, 2ULL * offer + 1);
+    if (unit_double(keep_word) <
+        static_cast<double>(m) / static_cast<double>(offer)) {
+      slots[victim_word % m] = k + 1;
+    }
+  }
+}
+
+std::vector<RevealOutcome> ReceiverCohort::drain(sim::SimTime true_now) {
+  const sim::SimTime local_now = config_.clock.local_time(true_now);
+  const auto sentinel_outcomes = sentinel_.drain_pending_batch(local_now);
+  DAP_INVARIANT(sentinel_outcomes.size() == pending_.size(),
+                "sentinel queue diverged from cohort queue");
+
+  // Serial pre-pass: weak auth (mutates the chain authenticator), one
+  // MAC-key derivation per interval per drain, and the per-reveal match
+  // table over the round's announce arrivals.
+  struct Plan {
+    std::uint32_t interval = 0;
+    bool valid = false;
+    Round* round = nullptr;
+    std::vector<std::uint8_t> is_match;
+  };
+  std::map<std::uint32_t, common::Bytes> drain_mac_keys;
+  std::vector<Plan> plans(pending_.size());
+  for (std::size_t p = 0; p < pending_.size(); ++p) {
+    const wire::MessageReveal& packet = pending_[p];
+    Plan& plan = plans[p];
+    plan.interval = packet.interval;
+    ++stats_.reveals_received;
+    // Never cached across reveals: same-interval reveals can carry
+    // different key bytes and each candidate is judged on its own.
+    if (!auth_.accept(packet.interval, packet.key)) {
+      ++stats_.weak_auth_failures;
+      continue;
+    }
+    auto key_it = drain_mac_keys.find(packet.interval);
+    if (key_it == drain_mac_keys.end()) {
+      auto mac_key = auth_.mac_key(packet.interval);
+      if (!mac_key) continue;  // pruned below the chain floor
+      ++stats_.mac_key_derivations;
+      key_it =
+          drain_mac_keys.emplace(packet.interval, std::move(*mac_key)).first;
+    }
+    plan.valid = true;
+    const common::Bytes expected_mac = crypto::compute_mac(
+        key_it->second, packet.message, config_.dap.mac_size);
+    const auto round_it = rounds_.find(packet.interval);
+    if (round_it == rounds_.end()) continue;
+    plan.round = &round_it->second;
+    plan.is_match.resize(plan.round->macs.size(), 0);
+    for (std::size_t a = 0; a < plan.round->macs.size(); ++a) {
+      plan.is_match[a] =
+          common::constant_time_equal(plan.round->macs[a], expected_mac) ? 1
+                                                                         : 0;
+    }
+  }
+
+  // Parallel phase over statistical members: lazy reservoir replay for
+  // every live round, then matching each valid plan in queue order. All
+  // writes are index-addressed per member (slots, counts, flags), and
+  // every random decision comes from the stateless draw chain, so the
+  // result is bitwise identical at any thread count.
+  std::vector<std::pair<std::uint32_t, Round*>> live_rounds;
+  live_rounds.reserve(rounds_.size());
+  for (auto& [interval, round] : rounds_) {
+    live_rounds.emplace_back(interval, &round);
+  }
+  std::vector<std::uint8_t> flags(plans.size() * stat_members_, 0);
+  const std::size_t m = config_.dap.buffers;
+  common::parallel_for(stat_members_, [&](std::size_t mi) {
+    for (auto& [interval, round] : live_rounds) {
+      replay_member(*round, interval, mi);
+    }
+    for (std::size_t p = 0; p < plans.size(); ++p) {
+      const Plan& plan = plans[p];
+      if (!plan.valid || plan.round == nullptr) continue;
+      std::uint32_t* slots = plan.round->slots.data() + mi * m;
+      for (std::size_t j = 0; j < m; ++j) {
+        const std::uint32_t v = slots[j];
+        if (v != 0 && plan.is_match[v - 1] != 0) {
+          // Strong auth: consume only the matched record, like
+          // RecordBuffer::take_matching.
+          slots[j] = 0;
+          --plan.round->counts[mi];
+          flags[p * stat_members_ + mi] = 1;
+          break;
+        }
+      }
+    }
+  });
+  for (auto& [interval, round] : live_rounds) {
+    (void)interval;
+    round->replayed = static_cast<std::uint32_t>(round->macs.size());
+  }
+
+  // Serial aggregation in queue order.
+  std::vector<RevealOutcome> outcomes(plans.size());
+  for (std::size_t p = 0; p < plans.size(); ++p) {
+    RevealOutcome& outcome = outcomes[p];
+    outcome.interval = plans[p].interval;
+    outcome.message = pending_[p].message;
+    outcome.sentinel_authenticated = sentinel_outcomes[p].has_value();
+    if (outcome.sentinel_authenticated) ++stats_.sentinel_auths;
+    if (!plans[p].valid) continue;
+    std::uint64_t matched = 0;
+    for (std::size_t mi = 0; mi < stat_members_; ++mi) {
+      matched += flags[p * stat_members_ + mi];
+    }
+    outcome.members_authenticated = matched;
+    stats_.member_auths += matched;
+    stats_.member_auth_misses += stat_members_ - matched;
+  }
+  pending_.clear();
+
+  std::uint64_t stored = 0;
+  for (const auto& [interval, round] : rounds_) {
+    (void)interval;
+    for (const std::uint16_t c : round.counts) stored += c;
+  }
+  stats_.stored_records = stored;
+  stats_.stored_records_peak = std::max(stats_.stored_records_peak, stored);
+
+  prune_rounds(config_.dap.schedule.interval_at(local_now));
+  return outcomes;
+}
+
+void ReceiverCohort::prune_rounds(std::uint32_t current_interval) {
+  while (!rounds_.empty() &&
+         rounds_.begin()->first + config_.dap.disclosure_delay <
+             current_interval) {
+    rounds_.erase(rounds_.begin());
+  }
+}
+
+std::uint64_t ReceiverCohort::stored_for_interval(std::uint32_t i) const {
+  const auto it = rounds_.find(i);
+  if (it == rounds_.end()) return 0;
+  std::uint64_t stored = 0;
+  for (const std::uint16_t c : it->second.counts) stored += c;
+  return stored;
+}
+
+}  // namespace dap::fleet

@@ -1,0 +1,155 @@
+#pragma once
+// Receiver cohorts: N statistically-identical DAP receivers behind one
+// topology leaf, cheap enough that 10^5..10^6 of them fit in one run.
+//
+// Member 0 is a *sentinel*: a full protocol::DapReceiver that executes
+// every byte of Algorithm 2 (μMAC re-MAC, reservoir buffers, batched
+// reveal verification via drain_pending_batch). The remaining N-1
+// members are modelled at reservoir *identity* level: each member keeps
+// m slots holding the arrival index of the announce it stored, and the
+// reservoir decisions (keep the k-th copy with probability m/k, evict a
+// uniform slot) are replayed with stateless SplitMix64 draws keyed on
+// (cohort seed, member, interval, offer). The per-member streams are
+// therefore independent, reproducible, and — crucially — independent of
+// both thread count and replay batching, so a fleet run is bitwise
+// identical at any DAP_THREADS.
+//
+// The identity-level model treats two distinct announce MACs as distinct
+// records, i.e. it neglects 24-bit μMAC collisions between a forged MAC
+// and the authentic one (probability ~2^-24 per stored forged record;
+// the sentinel member keeps full crypto fidelity as a cross-check).
+// Strong authentication for a statistical member is then "some stored
+// slot holds an announce whose MAC equals MAC_{K_i}(M_i)", evaluated
+// with a constant-time compare against the recomputed MAC, and a match
+// consumes the slot exactly like RecordBuffer::take_matching.
+//
+// Reservoir replay is *lazy*: announces only append to the round's
+// arrival list; member slots are brought up to date at drain time with
+// one parallel_for over members (index-addressed state only), which is
+// where the 10^5-member cost is paid and sharded.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "dap/dap.h"
+#include "sim/clock_model.h"
+#include "sim/time.h"
+#include "wire/packet.h"
+
+namespace dap::fleet {
+
+struct CohortConfig {
+  /// Total receivers represented, sentinel included (>= 1).
+  std::size_t members = 1;
+  /// Protocol parameters shared by every member (buffers = m, disclosure
+  /// delay, schedule, MAC sizes, sender id).
+  protocol::DapConfig dap{};
+  /// Root of the cohort's per-member randomness; distinct cohorts must
+  /// use distinct seeds.
+  std::uint64_t seed = 1;
+  /// The leaf's oscillator; all members share it (they are co-located
+  /// behind the same hop — per-member skew is below the model's
+  /// resolution).
+  sim::LooseClock clock{0, 5 * sim::kMillisecond};
+};
+
+struct CohortStats {
+  std::uint64_t announces_received = 0;
+  std::uint64_t announces_unsafe = 0;  // failed the loose-time safety check
+  std::uint64_t reveals_received = 0;
+  std::uint64_t weak_auth_failures = 0;
+  /// Strong-auth successes across statistical members (sentinel excluded).
+  std::uint64_t member_auths = 0;
+  std::uint64_t sentinel_auths = 0;
+  /// Reveals that weak-authenticated but matched no slot of a given
+  /// member, summed over members (the memory-DoS loss signal).
+  std::uint64_t member_auth_misses = 0;
+  /// MAC keys F'(K_i) derived by the identity-level core (once per
+  /// interval per drain — the batching KPI).
+  std::uint64_t mac_key_derivations = 0;
+  /// Statistical-member records stored after the latest drain, and the
+  /// maximum over drains (occupancy is sampled at drains because replay
+  /// is lazy).
+  std::uint64_t stored_records = 0;
+  std::uint64_t stored_records_peak = 0;
+};
+
+/// Outcome of one reveal processed by drain(), in queue order.
+struct RevealOutcome {
+  std::uint32_t interval = 0;
+  common::Bytes message;
+  /// Statistical members whose reservoir still held the matching
+  /// announce (out of members() - 1).
+  std::uint64_t members_authenticated = 0;
+  bool sentinel_authenticated = false;
+};
+
+class ReceiverCohort {
+ public:
+  /// `commitment` is the authenticated K_0 shared by all members.
+  /// Throws std::invalid_argument for zero members.
+  ReceiverCohort(const CohortConfig& config, common::Bytes commitment);
+
+  /// Ingress for a MAC announcement at true time `true_now`: applies the
+  /// cohort clock, gates on the TESLA safety check, appends to the
+  /// round's arrival list, and forwards to the sentinel.
+  void receive_announce(const wire::MacAnnounce& packet,
+                        sim::SimTime true_now);
+
+  /// Queues a reveal for the next drain (sentinel's queue + cohort core).
+  void enqueue_reveal(const wire::MessageReveal& packet);
+
+  /// Replays pending reservoir offers for every member, then verifies
+  /// every queued reveal in arrival order (weak auth once per reveal,
+  /// MAC key derivation once per interval per drain). Returns one
+  /// outcome per queued reveal. Rounds whose key is long public are
+  /// pruned afterwards.
+  std::vector<RevealOutcome> drain(sim::SimTime true_now);
+
+  [[nodiscard]] std::size_t members() const noexcept {
+    return config_.members;
+  }
+  [[nodiscard]] const CohortStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const protocol::DapReceiver& sentinel() const noexcept {
+    return sentinel_;
+  }
+  /// Statistical-member records currently stored for interval i
+  /// (post-replay counts; test introspection).
+  [[nodiscard]] std::uint64_t stored_for_interval(std::uint32_t i) const;
+
+ private:
+  /// Per-interval shared state: the announce arrival list plus every
+  /// statistical member's reservoir over it.
+  struct Round {
+    /// Announce MACs in arrival order; slot values index this list + 1.
+    std::vector<common::Bytes> macs;
+    /// Flattened member slots: member mi owns [mi*m, mi*m + m); value 0
+    /// is empty, value k+1 means "stored announce k".
+    std::vector<std::uint32_t> slots;
+    /// Records currently held per member.
+    std::vector<std::uint16_t> counts;
+    /// Offers already replayed into the slots (prefix of macs).
+    std::uint32_t replayed = 0;
+  };
+
+  /// Replays offers [round.replayed, macs.size()) for member `mi` using
+  /// the stateless per-(member, interval, offer) draws.
+  void replay_member(Round& round, std::uint32_t interval,
+                     std::size_t mi) const;
+
+  [[nodiscard]] Round& round_for(std::uint32_t interval);
+  void prune_rounds(std::uint32_t current_interval);
+
+  CohortConfig config_;
+  std::size_t stat_members_;  // members - 1 (sentinel excluded)
+  tesla::ChainAuthenticator auth_;
+  protocol::DapReceiver sentinel_;
+  std::map<std::uint32_t, Round> rounds_;
+  std::vector<wire::MessageReveal> pending_;
+  CohortStats stats_;
+};
+
+}  // namespace dap::fleet

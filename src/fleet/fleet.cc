@@ -1,0 +1,331 @@
+#include "fleet/fleet.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/parallel.h"
+#include "obs/registry.h"
+#include "sim/adversary.h"
+
+namespace dap::fleet {
+
+namespace {
+
+constexpr char kForgedTag[] = "FORGED";
+
+std::uint64_t fnv1a64(common::ByteView data) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t byte : data) {
+    hash ^= byte;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+bool is_forged_payload(common::ByteView message) noexcept {
+  const std::size_t tag_len = sizeof(kForgedTag) - 1;
+  if (message.size() < tag_len) return false;
+  for (std::size_t i = 0; i < tag_len; ++i) {
+    if (message[i] != static_cast<std::uint8_t>(kForgedTag[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+FleetSim::FleetSim(const ScenarioSpec& spec)
+    : spec_(spec),
+      topo_(spec.build_topology()),
+      rng_(common::subseed(spec.seed, 0xf1ee7)) {
+  spec_.validate();
+  depths_ = topo_.depths();
+  adjacency_ = topo_.adjacency();
+
+  dap_config_.sender_id = 1;
+  dap_config_.chain_length = spec_.intervals + 8;
+  dap_config_.disclosure_delay = 1;
+  dap_config_.buffers = spec_.buffers;
+  dap_config_.schedule = sim::IntervalSchedule(0, spec_.interval_us);
+}
+
+void FleetSim::set_channel_factory(ChannelFactory factory) {
+  if (ran_) throw std::logic_error("FleetSim: factories must precede run()");
+  channel_factory_ = std::move(factory);
+}
+
+void FleetSim::set_latency_factory(LatencyFactory factory) {
+  if (ran_) throw std::logic_error("FleetSim: factories must precede run()");
+  latency_factory_ = std::move(factory);
+}
+
+void FleetSim::build_network(const common::Bytes& commitment) {
+  const std::uint32_t nodes = topo_.node_count;
+  media_.resize(nodes);
+  cohorts_.resize(nodes);
+  traffic_.assign(nodes, NodeTraffic{});
+  seen_.assign(nodes, {});
+
+  if (!channel_factory_) {
+    channel_factory_ = [this](std::uint32_t, std::uint32_t) {
+      std::unique_ptr<sim::Channel> channel;
+      if (spec_.hop.loss > 0.0) {
+        channel = std::make_unique<sim::BernoulliChannel>(spec_.hop.loss);
+      } else {
+        channel = std::make_unique<sim::PerfectChannel>();
+      }
+      if (spec_.hop.duplicate_probability > 0.0) {
+        // Outermost, so duplication composes over whatever is inside.
+        channel = std::make_unique<sim::DuplicateChannel>(
+            std::move(channel), spec_.hop.duplicate_probability);
+      }
+      return channel;
+    };
+  }
+  if (!latency_factory_) {
+    latency_factory_ = [this](std::uint32_t, std::uint32_t) {
+      std::unique_ptr<sim::LatencyModel> latency;
+      if (spec_.hop.jitter_us > 0) {
+        latency = std::make_unique<sim::JitterLink>(spec_.hop.latency_us,
+                                                    spec_.hop.jitter_us);
+      } else {
+        latency = std::make_unique<sim::FixedLatency>(spec_.hop.latency_us);
+      }
+      return latency;
+    };
+  }
+
+  // Cohorts behind every non-root node, or just the leaves.
+  std::vector<bool> hosts_cohort(nodes, false);
+  if (spec_.cohorts_at_leaves_only) {
+    for (const std::uint32_t v : topo_.leaves()) {
+      if (v != 0) hosts_cohort[v] = true;
+    }
+  } else {
+    for (std::uint32_t v = 1; v < nodes; ++v) hosts_cohort[v] = true;
+  }
+
+  for (std::uint32_t v = 0; v < nodes; ++v) {
+    if (hosts_cohort[v]) {
+      CohortConfig cohort;
+      cohort.members = spec_.members_per_cohort;
+      cohort.dap = dap_config_;
+      cohort.seed = common::subseed(spec_.seed, 2000 + v);
+      // Per-node oscillator skew, derived statelessly so the fleet is
+      // reproducible at any thread count.
+      const sim::SimTime max_off = spec_.interval_us / 40 + 1;
+      const std::int64_t span = 2 * static_cast<std::int64_t>(max_off) + 1;
+      const std::int64_t offset =
+          static_cast<std::int64_t>(common::subseed(spec_.seed, 5000 + v) %
+                                    static_cast<std::uint64_t>(span)) -
+          static_cast<std::int64_t>(max_off);
+      cohort.clock = sim::LooseClock(offset, max_off);
+      cohorts_[v] = std::make_unique<ReceiverCohort>(cohort, commitment);
+    }
+  }
+
+  // One medium per relay node; each out-edge is one attached link whose
+  // ingress callback delivers locally and forwards downstream.
+  for (std::uint32_t v = 0; v < nodes; ++v) {
+    if (adjacency_[v].empty()) continue;
+    common::Rng medium_rng = rng_.fork(0x3e0 + v);
+    media_[v] = std::make_unique<sim::Medium>(queue_, medium_rng);
+    for (const std::uint32_t to : adjacency_[v]) {
+      media_[v]->attach(
+          [this, to](const wire::Packet& packet, sim::SimTime now) {
+            on_packet(to, packet, now);
+          },
+          channel_factory_(v, to), latency_factory_(v, to));
+    }
+  }
+
+  const std::uint32_t max_depth = topo_.depth();
+  announces_in_by_depth_.assign(max_depth + 1, 0);
+  hop_latency_by_depth_.assign(max_depth + 1, {});
+  member_auth_by_depth_.assign(max_depth + 1, 0);
+  sentinel_auth_by_depth_.assign(max_depth + 1, 0);
+}
+
+void FleetSim::on_packet(std::uint32_t node, const wire::Packet& packet,
+                         sim::SimTime now) {
+  NodeTraffic& traffic = traffic_[node];
+  ++traffic.packets_in;
+  if (spec_.relay_dedup) {
+    const std::uint64_t hash = fnv1a64(wire::encode(packet));
+    if (!seen_[node].insert(hash).second) {
+      ++traffic.deduped;
+      return;
+    }
+  }
+  if (const auto* announce = std::get_if<wire::MacAnnounce>(&packet)) {
+    const auto sent = announce_sent_at_.find(fnv1a64(announce->mac));
+    if (sent != announce_sent_at_.end()) {
+      const std::uint32_t d = depths_[node];
+      ++announces_in_by_depth_[d];
+      hop_latency_by_depth_[d].push_back(
+          static_cast<double>(now - sent->second));
+    }
+    if (cohorts_[node]) cohorts_[node]->receive_announce(*announce, now);
+  } else if (const auto* reveal = std::get_if<wire::MessageReveal>(&packet)) {
+    if (cohorts_[node]) cohorts_[node]->enqueue_reveal(*reveal);
+  }
+  if (media_[node]) {
+    media_[node]->broadcast(packet);
+    ++traffic.forwarded;
+  }
+}
+
+void FleetSim::drain_all() {
+  for (std::uint32_t v = 0; v < topo_.node_count; ++v) {
+    if (!cohorts_[v]) continue;
+    const std::uint32_t d = depths_[v];
+    for (const RevealOutcome& outcome : cohorts_[v]->drain(queue_.now())) {
+      if (is_forged_payload(outcome.message)) {
+        report_.forged_accepted += outcome.members_authenticated +
+                                   (outcome.sentinel_authenticated ? 1 : 0);
+        continue;
+      }
+      report_.member_auths += outcome.members_authenticated;
+      member_auth_by_depth_[d] += outcome.members_authenticated;
+      if (outcome.sentinel_authenticated) {
+        ++report_.sentinel_auths;
+        ++sentinel_auth_by_depth_[d];
+      }
+    }
+  }
+}
+
+FleetReport FleetSim::run() {
+  if (ran_) throw std::logic_error("FleetSim: run() is single-shot");
+  ran_ = true;
+
+  const common::Bytes sender_seed = rng_.fork(0x5eed).bytes(16);
+  protocol::DapSender sender(dap_config_, sender_seed);
+  build_network(sender.chain().commitment());
+
+  sim::FloodingForger forger(dap_config_.sender_id, dap_config_.mac_size,
+                             rng_.fork(0xf04));
+  sim::KeyGuessForger key_forger(dap_config_.sender_id, dap_config_.key_size,
+                                 rng_.fork(0x6e5));
+  std::vector<std::uint32_t> attacker_nodes = spec_.attackers;
+  if (attacker_nodes.empty() && spec_.forged_fraction > 0.0) {
+    attacker_nodes.push_back(0);
+  }
+  const std::size_t forged_per_attacker =
+      spec_.forged_fraction > 0.0
+          ? sim::FloodingForger::copies_for_fraction(1, spec_.forged_fraction)
+          : 0;
+
+  const sim::IntervalSchedule& sched = dap_config_.schedule;
+  const sim::SimTime interval = spec_.interval_us;
+  for (std::uint32_t i = 1; i <= spec_.intervals; ++i) {
+    const sim::SimTime t_announce = sched.interval_start(i) + interval / 2;
+    queue_.schedule_at(t_announce, [this, &sender, i] {
+      const std::string payload = "m" + std::to_string(i);
+      const wire::MacAnnounce announce =
+          sender.announce(i, common::bytes_of(payload));
+      announce_sent_at_.emplace(fnv1a64(announce.mac), queue_.now());
+      ++report_.announces_sent;
+      media_[0]->broadcast(announce);
+    });
+    if (forged_per_attacker > 0) {
+      queue_.schedule_at(
+          t_announce + sim::kMillisecond,
+          [this, &forger, i, forged_per_attacker, attacker_nodes] {
+            for (const std::uint32_t a : attacker_nodes) {
+              forger.flood(*media_[a], i, forged_per_attacker);
+              report_.forged_announces_sent += forged_per_attacker;
+            }
+          });
+    }
+    const sim::SimTime t_reveal = sched.interval_start(i + 1) + interval / 8;
+    queue_.schedule_at(t_reveal, [this, &sender, i] {
+      media_[0]->broadcast(sender.reveal(i));
+    });
+    if (!attacker_nodes.empty()) {
+      // Forged reveal with a tagged payload and a guessed key: only weak
+      // authentication stands between it and acceptance.
+      queue_.schedule_at(t_reveal + sim::kMillisecond,
+                         [this, &key_forger, i, attacker_nodes] {
+                           const wire::MessageReveal forged =
+                               key_forger.forge_reveal(
+                                   i, common::bytes_of("FORGED"));
+                           for (const std::uint32_t a : attacker_nodes) {
+                             media_[a]->broadcast(forged);
+                             ++report_.forged_reveals_sent;
+                           }
+                         });
+    }
+    queue_.schedule_at(sched.interval_start(i + 1) + interval * 3 / 4,
+                       [this] { drain_all(); });
+  }
+
+  queue_.run();
+  drain_all();  // catch reveals still queued after the last sweep
+  rollup();
+  return report_;
+}
+
+void FleetSim::rollup() {
+  report_.intervals = spec_.intervals;
+  report_.max_depth = topo_.depth();
+  for (std::uint32_t v = 0; v < topo_.node_count; ++v) {
+    if (!cohorts_[v]) continue;
+    ++report_.cohort_count;
+    report_.total_members += cohorts_[v]->members();
+    const CohortStats& stats = cohorts_[v]->stats();
+    report_.announces_unsafe += stats.announces_unsafe;
+    report_.weak_auth_failures += stats.weak_auth_failures;
+    report_.stored_records_peak += stats.stored_records_peak;
+  }
+  for (std::uint32_t v = 0; v < topo_.node_count; ++v) {
+    report_.dedup_dropped += traffic_[v].deduped;
+    if (media_[v]) {
+      report_.duplicated_frames += media_[v]->duplicated_frames();
+      report_.total_bits += media_[v]->total_bits();
+    }
+  }
+  const double opportunities = static_cast<double>(report_.total_members) *
+                               static_cast<double>(report_.intervals);
+  report_.auth_rate =
+      opportunities > 0.0
+          ? static_cast<double>(report_.member_auths +
+                                report_.sentinel_auths) /
+                opportunities
+          : 0.0;
+
+  // Per-depth rollup in topology order; handles resolve against the
+  // ambient registry (the calling shard under parallel fan-out).
+  auto& reg = obs::Registry::global();
+  reg.add(reg.counter("fleet.announces_sent"), report_.announces_sent);
+  reg.add(reg.counter("fleet.forged_announces_sent"),
+          report_.forged_announces_sent);
+  reg.add(reg.counter("fleet.forged_accepted"), report_.forged_accepted);
+  reg.add(reg.counter("fleet.members"), report_.total_members);
+  reg.add(reg.counter("fleet.dedup_dropped"), report_.dedup_dropped);
+  for (std::uint32_t d = 1; d <= report_.max_depth; ++d) {
+    const std::string prefix = "fleet.d" + std::to_string(d) + ".";
+    reg.add(reg.counter(prefix + "announces_in"), announces_in_by_depth_[d]);
+    reg.add(reg.counter(prefix + "member_auths"), member_auth_by_depth_[d]);
+    reg.add(reg.counter(prefix + "sentinel_auths"),
+            sentinel_auth_by_depth_[d]);
+    const auto hist = reg.histogram(prefix + "hop_latency_us");
+    for (const double sample : hop_latency_by_depth_[d]) {
+      reg.observe(hist, sample);
+    }
+  }
+}
+
+const NodeTraffic& FleetSim::node_traffic(std::uint32_t v) const {
+  if (v >= traffic_.size()) {
+    throw std::out_of_range("FleetSim::node_traffic: node out of range");
+  }
+  return traffic_[v];
+}
+
+const ReceiverCohort* FleetSim::cohort_at(std::uint32_t v) const {
+  if (v >= cohorts_.size()) return nullptr;
+  return cohorts_[v].get();
+}
+
+}  // namespace dap::fleet

@@ -1,0 +1,141 @@
+#pragma once
+// Fleet-scale multi-hop broadcast simulation.
+//
+// FleetSim instantiates a ScenarioSpec: one DapSender at the topology
+// root, a sim::Medium per relay node (one link per out-edge, each with
+// its own channel + latency model built from the hop spec or a
+// test-supplied factory), and a ReceiverCohort behind every non-root
+// node (or every leaf). Relays re-frame and forward packets hop by hop
+// through the shared EventQueue; an optional per-relay dedup drops
+// packets a node has already forwarded so multi-parent topologies
+// (gossip, grid) do not amplify traffic combinatorially — switch it off
+// to observe exactly that amplification.
+//
+// Per interval the script mirrors the chaos harness: the root announces
+// (MAC_i, i) mid-interval, per-hop flooding adversaries inject forged
+// announce copies, the reveal (M_i, K_i, i) follows one interval later,
+// a forged reveal with a tagged payload rides behind it (weak auth must
+// reject it), and every cohort drains late in the interval. Telemetry
+// rolls up per topology depth into the ambient obs registry in
+// topology order, so runs fanned out by common::parallel merge
+// deterministically.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "fleet/cohort.h"
+#include "fleet/scenario.h"
+#include "fleet/topology.h"
+#include "sim/event_queue.h"
+#include "sim/faults.h"
+#include "sim/medium.h"
+
+namespace dap::fleet {
+
+/// Per-node relay accounting (test introspection).
+struct NodeTraffic {
+  std::uint64_t packets_in = 0;   // deliveries reaching this node's ingress
+  std::uint64_t deduped = 0;      // dropped as already-forwarded
+  std::uint64_t forwarded = 0;    // broadcasts re-issued downstream
+};
+
+struct FleetReport {
+  std::uint64_t total_members = 0;
+  std::uint64_t cohort_count = 0;
+  std::uint32_t intervals = 0;
+  std::uint32_t max_depth = 0;
+  std::uint64_t announces_sent = 0;
+  std::uint64_t forged_announces_sent = 0;
+  std::uint64_t forged_reveals_sent = 0;
+  /// Strong-auth successes: statistical members / sentinels, authentic
+  /// payloads only.
+  std::uint64_t member_auths = 0;
+  std::uint64_t sentinel_auths = 0;
+  /// Authentications whose payload carried the forged tag. MUST be 0.
+  std::uint64_t forged_accepted = 0;
+  std::uint64_t announces_unsafe = 0;
+  std::uint64_t weak_auth_failures = 0;
+  std::uint64_t dedup_dropped = 0;
+  std::uint64_t duplicated_frames = 0;
+  std::uint64_t total_bits = 0;
+  /// Peak statistical-member records stored across all cohorts
+  /// (x 56 bits = the defense-cost memory bound, Fig. 8's quantity).
+  std::uint64_t stored_records_peak = 0;
+  /// (member_auths + sentinel_auths) / (total_members * intervals).
+  double auth_rate = 0.0;
+  [[nodiscard]] bool zero_forged() const noexcept {
+    return forged_accepted == 0;
+  }
+};
+
+class FleetSim {
+ public:
+  using ChannelFactory = std::function<std::unique_ptr<sim::Channel>(
+      std::uint32_t from, std::uint32_t to)>;
+  using LatencyFactory = std::function<std::unique_ptr<sim::LatencyModel>(
+      std::uint32_t from, std::uint32_t to)>;
+
+  /// Validates the spec and builds the topology; media/cohorts are
+  /// created by run() so factories installed after construction apply.
+  explicit FleetSim(const ScenarioSpec& spec);
+
+  /// Overrides the per-edge channel model (default: the hop spec's
+  /// loss + duplication stack). Must be called before run().
+  void set_channel_factory(ChannelFactory factory);
+  /// Overrides the per-edge latency model (default: hop spec's fixed
+  /// latency or jitter link). Must be called before run().
+  void set_latency_factory(LatencyFactory factory);
+
+  /// Executes the full scenario. Callable once; throws std::logic_error
+  /// on a second call.
+  FleetReport run();
+
+  /// The simulation clock — exposed so tests can wire schedule-driven
+  /// fault decorators (BlackoutChannel needs the queue as its clock).
+  [[nodiscard]] sim::EventQueue& queue() noexcept { return queue_; }
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+  /// Valid after run().
+  [[nodiscard]] const NodeTraffic& node_traffic(std::uint32_t v) const;
+  /// Cohort behind node v, nullptr when the node hosts none (root, or
+  /// relays under cohorts_at_leaves_only). Valid after run().
+  [[nodiscard]] const ReceiverCohort* cohort_at(std::uint32_t v) const;
+
+ private:
+  void build_network(const common::Bytes& commitment);
+  void on_packet(std::uint32_t node, const wire::Packet& packet,
+                 sim::SimTime now);
+  void drain_all();
+  void rollup();
+
+  ScenarioSpec spec_;
+  Topology topo_;
+  std::vector<std::uint32_t> depths_;
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+  sim::EventQueue queue_;
+  common::Rng rng_;
+  ChannelFactory channel_factory_;
+  LatencyFactory latency_factory_;
+  bool ran_ = false;
+
+  protocol::DapConfig dap_config_;
+  std::vector<std::unique_ptr<sim::Medium>> media_;       // by node
+  std::vector<std::unique_ptr<ReceiverCohort>> cohorts_;  // by node
+  std::vector<NodeTraffic> traffic_;                      // by node
+  std::vector<std::unordered_set<std::uint64_t>> seen_;   // relay dedup
+  /// Authentic announce MACs (hashed) -> root send time, for per-depth
+  /// hop-latency accounting of the genuine control stream.
+  std::unordered_map<std::uint64_t, sim::SimTime> announce_sent_at_;
+  std::vector<std::uint64_t> announces_in_by_depth_;
+  std::vector<std::vector<double>> hop_latency_by_depth_;
+
+  FleetReport report_;
+  std::vector<std::uint64_t> member_auth_by_depth_;
+  std::vector<std::uint64_t> sentinel_auth_by_depth_;
+};
+
+}  // namespace dap::fleet

@@ -1,0 +1,495 @@
+#include "fleet/scenario.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <utility>
+#include <variant>
+
+#include "common/csv.h"
+
+namespace dap::fleet {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON: objects, arrays, strings (\" and \\ escapes), numbers,
+// booleans. Enough to round-trip ScenarioSpec; anything else is an error.
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<bool, double, std::string, JsonArray, JsonObject> value;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("scenario json: " + why + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return JsonValue{parse_string()};
+    if (c == 't' || c == 'f') return parse_bool();
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    fail("unexpected character");
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonObject object;
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue{std::move(object)};
+    }
+    while (true) {
+      const std::string key = parse_string_at();
+      expect(':');
+      if (!object.emplace(key, parse_value()).second) {
+        fail("duplicate key \"" + key + "\"");
+      }
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue{std::move(object)};
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonArray array;
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue{std::move(array)};
+    }
+    while (true) {
+      array.push_back(parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue{std::move(array)};
+    }
+  }
+
+  std::string parse_string_at() {
+    if (peek() != '"') fail("expected string");
+    return parse_string();
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        if (e == '"' || e == '\\') {
+          out.push_back(e);
+        } else {
+          fail("unsupported escape sequence");
+        }
+        continue;
+      }
+      out.push_back(c);
+    }
+    fail("unterminated string");
+  }
+
+  JsonValue parse_bool() {
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return JsonValue{true};
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return JsonValue{false};
+    }
+    fail("expected 'true' or 'false'");
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("malformed number");
+    return JsonValue{parsed};
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Typed accessors with strict error messages.
+
+const JsonObject& as_object(const JsonValue& v, const std::string& where) {
+  const auto* obj = std::get_if<JsonObject>(&v.value);
+  if (obj == nullptr) {
+    throw std::invalid_argument("scenario json: " + where +
+                                " must be an object");
+  }
+  return *obj;
+}
+
+double as_number(const JsonValue& v, const std::string& where) {
+  const auto* num = std::get_if<double>(&v.value);
+  if (num == nullptr) {
+    throw std::invalid_argument("scenario json: " + where +
+                                " must be a number");
+  }
+  return *num;
+}
+
+std::uint64_t as_uint(const JsonValue& v, const std::string& where) {
+  const double num = as_number(v, where);
+  if (num < 0 || std::floor(num) != num) {
+    throw std::invalid_argument("scenario json: " + where +
+                                " must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(num);
+}
+
+bool as_bool(const JsonValue& v, const std::string& where) {
+  const auto* b = std::get_if<bool>(&v.value);
+  if (b == nullptr) {
+    throw std::invalid_argument("scenario json: " + where +
+                                " must be a boolean");
+  }
+  return *b;
+}
+
+const std::string& as_string(const JsonValue& v, const std::string& where) {
+  const auto* s = std::get_if<std::string>(&v.value);
+  if (s == nullptr) {
+    throw std::invalid_argument("scenario json: " + where +
+                                " must be a string");
+  }
+  return *s;
+}
+
+/// Rejects keys the schema does not know, naming the first offender.
+void reject_unknown_keys(const JsonObject& object,
+                         std::initializer_list<const char*> known,
+                         const std::string& where) {
+  for (const auto& [key, value] : object) {
+    (void)value;
+    bool ok = false;
+    for (const char* k : known) {
+      if (key == k) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      throw std::invalid_argument("scenario json: unknown key \"" + key +
+                                  "\" in " + where);
+    }
+  }
+}
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+Topology ScenarioSpec::build_topology() const {
+  switch (kind) {
+    case TopologyKind::kTree:
+      return tree_topology(depth, fanout);
+    case TopologyKind::kGrid:
+      return grid_topology(rows, cols);
+    case TopologyKind::kGossip:
+      return gossip_topology(relays, fanin, seed);
+    case TopologyKind::kFlood:
+      return flood_topology(receivers);
+  }
+  throw std::invalid_argument("ScenarioSpec: unknown topology kind");
+}
+
+std::uint64_t ScenarioSpec::total_members() const {
+  const Topology topo = build_topology();
+  const std::uint64_t cohorts =
+      cohorts_at_leaves_only
+          ? static_cast<std::uint64_t>(topo.leaves().size())
+          : static_cast<std::uint64_t>(topo.node_count) - 1;
+  return cohorts * members_per_cohort;
+}
+
+std::string ScenarioSpec::id() const {
+  std::string shape;
+  switch (kind) {
+    case TopologyKind::kTree:
+      shape = "d" + std::to_string(depth) + "f" + std::to_string(fanout);
+      break;
+    case TopologyKind::kGrid:
+      shape = std::to_string(rows) + "x" + std::to_string(cols);
+      break;
+    case TopologyKind::kGossip:
+      shape = "n" + std::to_string(relays) + "k" + std::to_string(fanin);
+      break;
+    case TopologyKind::kFlood:
+      shape = "n" + std::to_string(receivers);
+      break;
+  }
+  return std::string(topology_kind_name(kind)) + "_" + shape + "_m" +
+         std::to_string(members_per_cohort) + "_p" +
+         common::format_number(forged_fraction);
+}
+
+std::string ScenarioSpec::to_json() const {
+  std::string topo = "{\"kind\": " +
+                     quote(topology_kind_name(kind));
+  switch (kind) {
+    case TopologyKind::kTree:
+      topo += ", \"depth\": " + std::to_string(depth) +
+              ", \"fanout\": " + std::to_string(fanout);
+      break;
+    case TopologyKind::kGrid:
+      topo += ", \"rows\": " + std::to_string(rows) +
+              ", \"cols\": " + std::to_string(cols);
+      break;
+    case TopologyKind::kGossip:
+      topo += ", \"relays\": " + std::to_string(relays) +
+              ", \"fanin\": " + std::to_string(fanin);
+      break;
+    case TopologyKind::kFlood:
+      topo += ", \"receivers\": " + std::to_string(receivers);
+      break;
+  }
+  topo += "}";
+
+  std::string attacker_list = "[";
+  for (std::size_t i = 0; i < attackers.size(); ++i) {
+    attacker_list += (i == 0 ? "" : ", ") + std::to_string(attackers[i]);
+  }
+  attacker_list += "]";
+
+  return "{\"name\": " + quote(name) +
+         ", \"seed\": " + std::to_string(seed) +
+         ", \"topology\": " + topo +
+         ", \"members_per_cohort\": " + std::to_string(members_per_cohort) +
+         ", \"buffers\": " + std::to_string(buffers) +
+         ", \"cohorts_at_leaves_only\": " +
+         (cohorts_at_leaves_only ? "true" : "false") +
+         ", \"intervals\": " + std::to_string(intervals) +
+         ", \"interval_us\": " + std::to_string(interval_us) +
+         ", \"forged_fraction\": " + common::format_number(forged_fraction) +
+         ", \"attackers\": " + attacker_list +
+         ", \"relay_dedup\": " + (relay_dedup ? "true" : "false") +
+         ", \"hop\": {\"loss\": " + common::format_number(hop.loss) +
+         ", \"duplicate_probability\": " +
+         common::format_number(hop.duplicate_probability) +
+         ", \"latency_us\": " + std::to_string(hop.latency_us) +
+         ", \"jitter_us\": " + std::to_string(hop.jitter_us) + "}}";
+}
+
+ScenarioSpec ScenarioSpec::parse(const std::string& json) {
+  const JsonValue root = JsonParser(json).parse();
+  const JsonObject& object = as_object(root, "document");
+  reject_unknown_keys(object,
+                      {"name", "seed", "topology", "members_per_cohort",
+                       "buffers", "cohorts_at_leaves_only", "intervals",
+                       "interval_us", "forged_fraction", "attackers",
+                       "relay_dedup", "hop"},
+                      "document");
+
+  ScenarioSpec spec;
+  if (const auto it = object.find("name"); it != object.end()) {
+    spec.name = as_string(it->second, "name");
+  }
+  if (const auto it = object.find("seed"); it != object.end()) {
+    spec.seed = as_uint(it->second, "seed");
+  }
+
+  const auto topo_it = object.find("topology");
+  if (topo_it == object.end()) {
+    throw std::invalid_argument("scenario json: missing \"topology\"");
+  }
+  const JsonObject& topo = as_object(topo_it->second, "topology");
+  const auto kind_it = topo.find("kind");
+  if (kind_it == topo.end()) {
+    throw std::invalid_argument("scenario json: topology missing \"kind\"");
+  }
+  spec.kind = topology_kind_from_name(as_string(kind_it->second, "kind"));
+  const auto topo_uint = [&topo](const char* key, std::uint32_t fallback) {
+    const auto it = topo.find(key);
+    if (it == topo.end()) return fallback;
+    return static_cast<std::uint32_t>(as_uint(it->second, key));
+  };
+  switch (spec.kind) {
+    case TopologyKind::kTree:
+      reject_unknown_keys(topo, {"kind", "depth", "fanout"}, "topology");
+      spec.depth = topo_uint("depth", spec.depth);
+      spec.fanout = topo_uint("fanout", spec.fanout);
+      break;
+    case TopologyKind::kGrid:
+      reject_unknown_keys(topo, {"kind", "rows", "cols"}, "topology");
+      spec.rows = topo_uint("rows", spec.rows);
+      spec.cols = topo_uint("cols", spec.cols);
+      break;
+    case TopologyKind::kGossip:
+      reject_unknown_keys(topo, {"kind", "relays", "fanin"}, "topology");
+      spec.relays = topo_uint("relays", spec.relays);
+      spec.fanin = topo_uint("fanin", spec.fanin);
+      break;
+    case TopologyKind::kFlood:
+      reject_unknown_keys(topo, {"kind", "receivers"}, "topology");
+      spec.receivers = topo_uint("receivers", spec.receivers);
+      break;
+  }
+
+  if (const auto it = object.find("members_per_cohort"); it != object.end()) {
+    spec.members_per_cohort =
+        static_cast<std::size_t>(as_uint(it->second, "members_per_cohort"));
+  }
+  if (const auto it = object.find("buffers"); it != object.end()) {
+    spec.buffers = static_cast<std::size_t>(as_uint(it->second, "buffers"));
+  }
+  if (const auto it = object.find("cohorts_at_leaves_only");
+      it != object.end()) {
+    spec.cohorts_at_leaves_only =
+        as_bool(it->second, "cohorts_at_leaves_only");
+  }
+  if (const auto it = object.find("intervals"); it != object.end()) {
+    spec.intervals = static_cast<std::uint32_t>(as_uint(it->second, "intervals"));
+  }
+  if (const auto it = object.find("interval_us"); it != object.end()) {
+    spec.interval_us = as_uint(it->second, "interval_us");
+  }
+  if (const auto it = object.find("forged_fraction"); it != object.end()) {
+    spec.forged_fraction = as_number(it->second, "forged_fraction");
+  }
+  if (const auto it = object.find("attackers"); it != object.end()) {
+    const auto* array = std::get_if<JsonArray>(&it->second.value);
+    if (array == nullptr) {
+      throw std::invalid_argument(
+          "scenario json: attackers must be an array");
+    }
+    for (const JsonValue& v : *array) {
+      spec.attackers.push_back(
+          static_cast<std::uint32_t>(as_uint(v, "attackers[]")));
+    }
+  }
+  if (const auto it = object.find("relay_dedup"); it != object.end()) {
+    spec.relay_dedup = as_bool(it->second, "relay_dedup");
+  }
+  if (const auto it = object.find("hop"); it != object.end()) {
+    const JsonObject& hop = as_object(it->second, "hop");
+    reject_unknown_keys(
+        hop, {"loss", "duplicate_probability", "latency_us", "jitter_us"},
+        "hop");
+    if (const auto h = hop.find("loss"); h != hop.end()) {
+      spec.hop.loss = as_number(h->second, "loss");
+    }
+    if (const auto h = hop.find("duplicate_probability"); h != hop.end()) {
+      spec.hop.duplicate_probability =
+          as_number(h->second, "duplicate_probability");
+    }
+    if (const auto h = hop.find("latency_us"); h != hop.end()) {
+      spec.hop.latency_us = as_uint(h->second, "latency_us");
+    }
+    if (const auto h = hop.find("jitter_us"); h != hop.end()) {
+      spec.hop.jitter_us = as_uint(h->second, "jitter_us");
+    }
+  }
+
+  spec.validate();
+  return spec;
+}
+
+void ScenarioSpec::validate() const {
+  if (members_per_cohort == 0) {
+    throw std::invalid_argument(
+        "ScenarioSpec: members_per_cohort must be >= 1");
+  }
+  if (buffers == 0) {
+    throw std::invalid_argument("ScenarioSpec: buffers must be >= 1");
+  }
+  if (intervals == 0) {
+    throw std::invalid_argument("ScenarioSpec: intervals must be >= 1");
+  }
+  if (interval_us == 0) {
+    throw std::invalid_argument("ScenarioSpec: interval_us must be >= 1");
+  }
+  if (forged_fraction < 0.0 || forged_fraction >= 1.0) {
+    throw std::invalid_argument(
+        "ScenarioSpec: forged_fraction must be in [0, 1)");
+  }
+  if (hop.loss < 0.0 || hop.loss >= 1.0) {
+    throw std::invalid_argument("ScenarioSpec: hop.loss must be in [0, 1)");
+  }
+  if (hop.duplicate_probability < 0.0 || hop.duplicate_probability > 1.0) {
+    throw std::invalid_argument(
+        "ScenarioSpec: hop.duplicate_probability must be in [0, 1]");
+  }
+  const Topology topo = build_topology();  // validates the shape itself
+  const auto adjacency = topo.adjacency();
+  for (const std::uint32_t a : attackers) {
+    if (a >= topo.node_count) {
+      throw std::invalid_argument("ScenarioSpec: attacker node out of range");
+    }
+    if (adjacency[a].empty()) {
+      throw std::invalid_argument(
+          "ScenarioSpec: attacker node has no out-edges to inject into");
+    }
+  }
+}
+
+}  // namespace dap::fleet

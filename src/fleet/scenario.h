@@ -1,0 +1,92 @@
+#pragma once
+// Declarative fleet scenarios.
+//
+// A ScenarioSpec captures everything a fleet run needs — topology shape,
+// cohort sizing, traffic length, hop fault model, adversary placement —
+// as one value that round-trips through a small JSON dialect (objects,
+// arrays, strings, numbers, booleans; no nulls, no comments). Benches
+// and tests build specs in code; operators can also load them from a
+// file, and unknown keys are rejected so a typo never silently runs the
+// default scenario.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/topology.h"
+#include "sim/time.h"
+
+namespace dap::fleet {
+
+/// Per-edge link model applied to every relay hop (tests can override
+/// individual hops through FleetSim's channel/latency factories).
+struct HopSpec {
+  /// Independent frame-loss probability.
+  double loss = 0.0;
+  /// Probability each delivered frame spawns one extra copy.
+  double duplicate_probability = 0.0;
+  /// Fixed one-way hop latency in microseconds.
+  sim::SimTime latency_us = sim::kMillisecond;
+  /// Uniform extra delay in [0, jitter_us] on top of latency_us.
+  sim::SimTime jitter_us = 0;
+};
+
+struct ScenarioSpec {
+  std::string name = "fleet";
+  std::uint64_t seed = 1;
+
+  TopologyKind kind = TopologyKind::kFlood;
+  // Shape parameters; which ones apply depends on `kind`.
+  std::uint32_t depth = 1;       // tree
+  std::uint32_t fanout = 2;      // tree
+  std::uint32_t rows = 1;        // grid
+  std::uint32_t cols = 2;        // grid
+  std::uint32_t relays = 1;      // gossip
+  std::uint32_t fanin = 1;       // gossip
+  std::uint32_t receivers = 1;   // flood
+
+  /// Receivers represented per cohort (sentinel included).
+  std::size_t members_per_cohort = 1;
+  /// DAP reservoir size m at every member.
+  std::size_t buffers = 4;
+  /// Place cohorts only at leaf nodes (default: every non-root node).
+  bool cohorts_at_leaves_only = false;
+
+  std::uint32_t intervals = 8;
+  sim::SimTime interval_us = 200 * sim::kMillisecond;
+
+  /// Target forged fraction p among announce copies at a cohort fed by
+  /// one authentic copy (0 disables the flooding adversary).
+  double forged_fraction = 0.0;
+  /// Nodes whose egress medium the adversary injects into; each must
+  /// have out-edges. Empty + forged_fraction > 0 means the root.
+  std::vector<std::uint32_t> attackers;
+
+  /// Drop packets a relay has already forwarded (hash of the encoded
+  /// packet). Keeps multi-parent topologies from amplifying traffic.
+  bool relay_dedup = true;
+
+  HopSpec hop{};
+
+  /// Builds the relay graph this spec describes (validated).
+  [[nodiscard]] Topology build_topology() const;
+
+  /// Total receivers the scenario simulates (cohort count x members).
+  [[nodiscard]] std::uint64_t total_members() const;
+
+  /// Compact identifier for CSV rows and the bench metrics footer, e.g.
+  /// "tree_d3f4_m1200_p0.5".
+  [[nodiscard]] std::string id() const;
+
+  /// Serializes to the JSON dialect parse() accepts (round-trips).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Parses a spec; throws std::invalid_argument on malformed JSON,
+  /// unknown keys, or values that fail validation (e.g. zero members).
+  [[nodiscard]] static ScenarioSpec parse(const std::string& json);
+
+  /// Throws std::invalid_argument when fields are out of range.
+  void validate() const;
+};
+
+}  // namespace dap::fleet

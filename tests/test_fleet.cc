@@ -1,0 +1,587 @@
+// Tests for the fleet subsystem: relay topologies, scenario JSON,
+// receiver cohorts (statistical members + sentinel), and the end-to-end
+// FleetSim — including the headline guarantees that a fleet run is
+// bitwise identical at any thread count and that forged messages never
+// authenticate. The multi-hop fault-composition cases (duplicates
+// multiply across hops, blackouts compose with clean hops) live here
+// too. The TSan CI job runs this binary via `ctest -L test_fleet`.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "dap/dap.h"
+#include "fleet/cohort.h"
+#include "fleet/fleet.h"
+#include "fleet/scenario.h"
+#include "fleet/topology.h"
+#include "obs/registry.h"
+#include "sim/adversary.h"
+#include "sim/channel.h"
+#include "sim/faults.h"
+#include "sim/time.h"
+
+namespace dap {
+namespace {
+
+// Pins the process default thread count for one test body, restoring
+// the unpinned default afterwards.
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(std::size_t n) { common::set_default_threads(n); }
+  ~ThreadGuard() { common::set_default_threads(0); }
+};
+
+// ------------------------------------------------------------- topologies
+
+TEST(Topology, TreeShape) {
+  const fleet::Topology topo = fleet::tree_topology(3, 2);
+  EXPECT_EQ(topo.node_count, 15u);  // 1 + 2 + 4 + 8
+  EXPECT_EQ(topo.depth(), 3u);
+  EXPECT_EQ(topo.leaves().size(), 8u);
+  EXPECT_NO_THROW(topo.validate());
+  for (const auto& [from, to] : topo.edges) {
+    EXPECT_LT(from, to);
+  }
+  const auto depths = topo.depths();
+  EXPECT_EQ(depths[0], 0u);
+  EXPECT_EQ(depths[1], 1u);
+  EXPECT_EQ(depths[14], 3u);
+}
+
+TEST(Topology, ChainIsDegenerateTree) {
+  const fleet::Topology topo = fleet::tree_topology(2, 1);
+  EXPECT_EQ(topo.node_count, 3u);
+  ASSERT_EQ(topo.edges.size(), 2u);
+  EXPECT_EQ(topo.edges[0], (std::pair<std::uint32_t, std::uint32_t>{0, 1}));
+  EXPECT_EQ(topo.edges[1], (std::pair<std::uint32_t, std::uint32_t>{1, 2}));
+}
+
+TEST(Topology, GridShape) {
+  const fleet::Topology topo = fleet::grid_topology(3, 4);
+  EXPECT_EQ(topo.node_count, 12u);
+  EXPECT_EQ(topo.depth(), 5u);  // Manhattan distance to the far corner
+  EXPECT_NO_THROW(topo.validate());
+  // Exactly one pure sink: the bottom-right corner.
+  const auto leaves = topo.leaves();
+  ASSERT_EQ(leaves.size(), 1u);
+  EXPECT_EQ(leaves[0], 11u);
+}
+
+TEST(Topology, GossipIsSeedDeterministic) {
+  const fleet::Topology a = fleet::gossip_topology(32, 2, 7);
+  const fleet::Topology b = fleet::gossip_topology(32, 2, 7);
+  const fleet::Topology c = fleet::gossip_topology(32, 2, 8);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_NE(a.edges, c.edges);
+  EXPECT_NO_THROW(a.validate());
+  // Node i has min(fanin, i) parents.
+  std::vector<std::size_t> parents(a.node_count, 0);
+  for (const auto& [from, to] : a.edges) {
+    (void)from;
+    ++parents[to];
+  }
+  EXPECT_EQ(parents[1], 1u);
+  for (std::uint32_t v = 2; v < a.node_count; ++v) {
+    EXPECT_EQ(parents[v], 2u) << "node " << v;
+  }
+}
+
+TEST(Topology, FloodShape) {
+  const fleet::Topology topo = fleet::flood_topology(9);
+  EXPECT_EQ(topo.node_count, 10u);
+  EXPECT_EQ(topo.depth(), 1u);
+  EXPECT_EQ(topo.leaves().size(), 9u);
+  EXPECT_NO_THROW(topo.validate());
+}
+
+TEST(Topology, ValidateRejectsMalformedGraphs) {
+  fleet::Topology backward;
+  backward.node_count = 3;
+  backward.edges = {{0, 1}, {2, 1}};  // violates from < to
+  EXPECT_THROW(backward.validate(), std::invalid_argument);
+
+  fleet::Topology out_of_range;
+  out_of_range.node_count = 2;
+  out_of_range.edges = {{0, 1}, {1, 5}};
+  EXPECT_THROW(out_of_range.validate(), std::invalid_argument);
+
+  fleet::Topology duplicate;
+  duplicate.node_count = 2;
+  duplicate.edges = {{0, 1}, {0, 1}};
+  EXPECT_THROW(duplicate.validate(), std::invalid_argument);
+
+  fleet::Topology unreachable;
+  unreachable.node_count = 3;
+  unreachable.edges = {{0, 1}};  // node 2 never receives anything
+  EXPECT_THROW(unreachable.validate(), std::invalid_argument);
+}
+
+TEST(Topology, KindNamesRoundTrip) {
+  for (const fleet::TopologyKind kind :
+       {fleet::TopologyKind::kTree, fleet::TopologyKind::kGrid,
+        fleet::TopologyKind::kGossip, fleet::TopologyKind::kFlood}) {
+    EXPECT_EQ(fleet::topology_kind_from_name(fleet::topology_kind_name(kind)),
+              kind);
+  }
+  EXPECT_THROW((void)fleet::topology_kind_from_name("mesh"),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------- scenarios
+
+fleet::ScenarioSpec sample_spec() {
+  fleet::ScenarioSpec spec;
+  spec.name = "roundtrip";
+  spec.seed = 99;
+  spec.kind = fleet::TopologyKind::kTree;
+  spec.depth = 2;
+  spec.fanout = 3;
+  spec.members_per_cohort = 25;
+  spec.buffers = 6;
+  spec.intervals = 5;
+  spec.interval_us = 100 * sim::kMillisecond;
+  spec.forged_fraction = 0.5;
+  spec.attackers = {0, 1};
+  spec.relay_dedup = false;
+  spec.hop.loss = 0.125;
+  spec.hop.duplicate_probability = 0.25;
+  spec.hop.latency_us = 2 * sim::kMillisecond;
+  spec.hop.jitter_us = 500;
+  return spec;
+}
+
+TEST(Scenario, JsonRoundTrips) {
+  const fleet::ScenarioSpec spec = sample_spec();
+  const fleet::ScenarioSpec parsed = fleet::ScenarioSpec::parse(spec.to_json());
+  // Serialization is canonical, so round-trip equality of the JSON form
+  // implies field equality.
+  EXPECT_EQ(parsed.to_json(), spec.to_json());
+  EXPECT_EQ(parsed.name, "roundtrip");
+  EXPECT_EQ(parsed.kind, fleet::TopologyKind::kTree);
+  EXPECT_EQ(parsed.depth, 2u);
+  EXPECT_EQ(parsed.fanout, 3u);
+  EXPECT_EQ(parsed.members_per_cohort, 25u);
+  EXPECT_EQ(parsed.attackers, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_FALSE(parsed.relay_dedup);
+  EXPECT_DOUBLE_EQ(parsed.hop.duplicate_probability, 0.25);
+}
+
+TEST(Scenario, ParseRejectsBadInput) {
+  // Malformed documents.
+  EXPECT_THROW(fleet::ScenarioSpec::parse("{"), std::invalid_argument);
+  EXPECT_THROW(fleet::ScenarioSpec::parse("not json"), std::invalid_argument);
+  EXPECT_THROW(fleet::ScenarioSpec::parse(
+                   "{\"topology\": {\"kind\": \"flood\"}} trailing"),
+               std::invalid_argument);
+  // Unknown keys never silently run the default scenario.
+  EXPECT_THROW(fleet::ScenarioSpec::parse(
+                   "{\"topology\": {\"kind\": \"flood\"}, \"typo\": 1}"),
+               std::invalid_argument);
+  // Shape keys from the wrong kind are unknown too.
+  EXPECT_THROW(fleet::ScenarioSpec::parse(
+                   "{\"topology\": {\"kind\": \"flood\", \"depth\": 2}}"),
+               std::invalid_argument);
+  // Missing topology, bad kinds, bad values.
+  EXPECT_THROW(fleet::ScenarioSpec::parse("{\"seed\": 1}"),
+               std::invalid_argument);
+  EXPECT_THROW(fleet::ScenarioSpec::parse(
+                   "{\"topology\": {\"kind\": \"mesh\"}}"),
+               std::invalid_argument);
+  EXPECT_THROW(fleet::ScenarioSpec::parse(
+                   "{\"topology\": {\"kind\": \"flood\"}, "
+                   "\"members_per_cohort\": 0}"),
+               std::invalid_argument);
+  EXPECT_THROW(fleet::ScenarioSpec::parse(
+                   "{\"topology\": {\"kind\": \"flood\"}, "
+                   "\"forged_fraction\": 1.5}"),
+               std::invalid_argument);
+}
+
+TEST(Scenario, ValidateRejectsSinkAttacker) {
+  fleet::ScenarioSpec spec;
+  spec.kind = fleet::TopologyKind::kFlood;
+  spec.receivers = 4;
+  spec.attackers = {3};  // a leaf: no egress medium to inject into
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.attackers = {0};
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(Scenario, IdAndTotals) {
+  const fleet::ScenarioSpec spec = sample_spec();
+  EXPECT_EQ(spec.id(), "tree_d2f3_m25_p0.5");
+  // Tree with depth 2, fanout 3: 13 nodes, 12 cohorts by default.
+  EXPECT_EQ(spec.total_members(), 12u * 25u);
+  fleet::ScenarioSpec leaves_only = spec;
+  leaves_only.cohorts_at_leaves_only = true;
+  EXPECT_EQ(leaves_only.total_members(), 9u * 25u);
+}
+
+// --------------------------------------------------------------- cohorts
+
+protocol::DapConfig cohort_dap_config() {
+  protocol::DapConfig config;
+  config.sender_id = 1;
+  config.chain_length = 16;
+  config.disclosure_delay = 1;
+  config.buffers = 4;
+  config.schedule = sim::IntervalSchedule(0, 200 * sim::kMillisecond);
+  return config;
+}
+
+fleet::CohortConfig cohort_config(std::size_t members, std::uint64_t seed) {
+  fleet::CohortConfig config;
+  config.members = members;
+  config.dap = cohort_dap_config();
+  config.seed = seed;
+  config.clock = sim::LooseClock(0, sim::kMillisecond);
+  return config;
+}
+
+sim::SimTime announce_time(const protocol::DapConfig& config,
+                           std::uint32_t i) {
+  return config.schedule.interval_start(i) + config.schedule.duration() / 2;
+}
+
+sim::SimTime drain_time(const protocol::DapConfig& config, std::uint32_t i) {
+  return config.schedule.interval_start(i + 1) +
+         config.schedule.duration() * 3 / 4;
+}
+
+TEST(Cohort, EveryMemberAuthenticatesOnCleanDelivery) {
+  const fleet::CohortConfig config = cohort_config(33, 5);
+  protocol::DapSender sender(config.dap, common::Rng(1).bytes(16));
+  fleet::ReceiverCohort cohort(config, sender.chain().commitment());
+
+  for (std::uint32_t i = 1; i <= 3; ++i) {
+    cohort.receive_announce(sender.announce(i, common::bytes_of("m")),
+                            announce_time(config.dap, i));
+    cohort.enqueue_reveal(sender.reveal(i));
+    const auto outcomes = cohort.drain(drain_time(config.dap, i));
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0].interval, i);
+    EXPECT_EQ(outcomes[0].members_authenticated, 32u);
+    EXPECT_TRUE(outcomes[0].sentinel_authenticated);
+  }
+  EXPECT_EQ(cohort.stats().member_auths, 3u * 32u);
+  EXPECT_EQ(cohort.stats().sentinel_auths, 3u);
+  EXPECT_EQ(cohort.stats().member_auth_misses, 0u);
+  EXPECT_EQ(cohort.stats().weak_auth_failures, 0u);
+}
+
+TEST(Cohort, StaleAnnounceFailsSafetyCheck) {
+  const fleet::CohortConfig config = cohort_config(8, 5);
+  protocol::DapSender sender(config.dap, common::Rng(1).bytes(16));
+  fleet::ReceiverCohort cohort(config, sender.chain().commitment());
+
+  // Interval 1's announce arriving during interval 4: i + d < x, the key
+  // is long public, so nothing may be stored (replay defense).
+  cohort.receive_announce(sender.announce(1, common::bytes_of("m")),
+                          announce_time(config.dap, 4));
+  EXPECT_EQ(cohort.stats().announces_unsafe, 1u);
+  EXPECT_EQ(cohort.stored_for_interval(1), 0u);
+}
+
+TEST(Cohort, MacKeyDerivedOncePerIntervalPerDrain) {
+  const fleet::CohortConfig config = cohort_config(16, 5);
+  protocol::DapSender sender(config.dap, common::Rng(1).bytes(16));
+  fleet::ReceiverCohort cohort(config, sender.chain().commitment());
+
+  // Three messages announced in interval 1 and revealed together: the
+  // batched drain derives F'(K_1) once, for the core and the sentinel.
+  const sim::SimTime t = announce_time(config.dap, 1);
+  for (const char* msg : {"a", "b", "c"}) {
+    cohort.receive_announce(sender.announce(1, common::bytes_of(msg)), t);
+  }
+  for (std::size_t k = 0; k < 3; ++k) {
+    cohort.enqueue_reveal(sender.reveal(1, k));
+  }
+  const auto outcomes = cohort.drain(drain_time(config.dap, 1));
+  ASSERT_EQ(outcomes.size(), 3u);
+  for (const auto& outcome : outcomes) {
+    EXPECT_EQ(outcome.members_authenticated, 15u);
+    EXPECT_TRUE(outcome.sentinel_authenticated);
+  }
+  EXPECT_EQ(cohort.stats().mac_key_derivations, 1u);
+  EXPECT_EQ(cohort.sentinel().stats().mac_key_derivations, 1u);
+}
+
+TEST(Cohort, FloodFillsReservoirsButForgesNeverAuthenticate) {
+  const fleet::CohortConfig config = cohort_config(64, 5);
+  protocol::DapSender sender(config.dap, common::Rng(1).bytes(16));
+  fleet::ReceiverCohort cohort(config, sender.chain().commitment());
+  sim::FloodingForger forger(config.dap.sender_id, config.dap.mac_size,
+                             common::Rng(77));
+  sim::KeyGuessForger key_forger(config.dap.sender_id, config.dap.key_size,
+                                 common::Rng(78));
+
+  const sim::SimTime t = announce_time(config.dap, 1);
+  cohort.receive_announce(sender.announce(1, common::bytes_of("m")), t);
+  for (int n = 0; n < 36; ++n) {  // forged fraction ~0.97 per cohort
+    cohort.receive_announce(forger.forge(1), t);
+  }
+  cohort.enqueue_reveal(sender.reveal(1));
+  cohort.enqueue_reveal(key_forger.forge_reveal(1, common::bytes_of("F")));
+  const auto outcomes = cohort.drain(drain_time(config.dap, 1));
+  ASSERT_EQ(outcomes.size(), 2u);
+
+  // Authentic reveal: some members lost the record to the flood, none
+  // gained a forged acceptance. 37 offers into 4 slots keeps the
+  // authentic MAC with probability ~4/37 per member.
+  EXPECT_GT(outcomes[0].members_authenticated, 0u);
+  EXPECT_LT(outcomes[0].members_authenticated, 63u);
+  EXPECT_EQ(outcomes[0].members_authenticated +
+                cohort.stats().member_auth_misses,
+            63u);
+  // Forged reveal: the guessed key fails weak authentication outright.
+  EXPECT_EQ(outcomes[1].members_authenticated, 0u);
+  EXPECT_FALSE(outcomes[1].sentinel_authenticated);
+  EXPECT_EQ(cohort.stats().weak_auth_failures, 1u);
+  // Reservoirs are full of garbage — exactly the memory-DoS picture.
+  EXPECT_GE(cohort.stats().stored_records_peak, 63u * 3u);
+}
+
+TEST(Cohort, DrainIsBitwiseIdenticalAcrossThreadCounts) {
+  const auto run = [](std::size_t threads) {
+    ThreadGuard guard(threads);
+    const fleet::CohortConfig config = cohort_config(128, 9);
+    protocol::DapSender sender(config.dap, common::Rng(1).bytes(16));
+    fleet::ReceiverCohort cohort(config, sender.chain().commitment());
+    sim::FloodingForger forger(config.dap.sender_id, config.dap.mac_size,
+                               common::Rng(77));
+    std::vector<std::uint64_t> trace;
+    for (std::uint32_t i = 1; i <= 4; ++i) {
+      const sim::SimTime t = announce_time(config.dap, i);
+      cohort.receive_announce(sender.announce(i, common::bytes_of("m")), t);
+      for (int n = 0; n < 11; ++n) cohort.receive_announce(forger.forge(i), t);
+      cohort.enqueue_reveal(sender.reveal(i));
+      for (const auto& outcome : cohort.drain(drain_time(config.dap, i))) {
+        trace.push_back(outcome.members_authenticated);
+        trace.push_back(outcome.sentinel_authenticated ? 1 : 0);
+      }
+      trace.push_back(cohort.stats().stored_records);
+    }
+    trace.push_back(cohort.stats().member_auths);
+    trace.push_back(cohort.stats().member_auth_misses);
+    trace.push_back(cohort.stats().stored_records_peak);
+    return trace;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(run(4), serial);
+  EXPECT_EQ(run(7), serial);
+}
+
+TEST(Cohort, RejectsZeroMembers) {
+  const fleet::CohortConfig config = cohort_config(0, 5);
+  protocol::DapSender sender(cohort_dap_config(), common::Rng(1).bytes(16));
+  EXPECT_THROW(fleet::ReceiverCohort(config, sender.chain().commitment()),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------- fleet sim
+
+fleet::ScenarioSpec small_tree_spec() {
+  fleet::ScenarioSpec spec;
+  spec.name = "unit";
+  spec.seed = 21;
+  spec.kind = fleet::TopologyKind::kTree;
+  spec.depth = 2;
+  spec.fanout = 2;
+  spec.members_per_cohort = 5;
+  spec.intervals = 3;
+  spec.interval_us = 200 * sim::kMillisecond;
+  return spec;
+}
+
+TEST(FleetSim, CleanTreeAuthenticatesEveryMemberEveryInterval) {
+  fleet::FleetSim sim(small_tree_spec());
+  const fleet::FleetReport report = sim.run();
+  EXPECT_EQ(report.cohort_count, 6u);
+  EXPECT_EQ(report.total_members, 30u);
+  EXPECT_EQ(report.announces_sent, 3u);
+  EXPECT_EQ(report.member_auths, 3u * 6u * 4u);
+  EXPECT_EQ(report.sentinel_auths, 3u * 6u);
+  EXPECT_DOUBLE_EQ(report.auth_rate, 1.0);
+  EXPECT_TRUE(report.zero_forged());
+  EXPECT_EQ(report.announces_unsafe, 0u);
+}
+
+TEST(FleetSim, ReportIsIdenticalAcrossThreadCounts) {
+  const auto run = [](std::size_t threads) {
+    ThreadGuard guard(threads);
+    fleet::ScenarioSpec spec = small_tree_spec();
+    spec.members_per_cohort = 50;
+    spec.forged_fraction = 0.8;
+    fleet::FleetSim sim(spec);
+    return sim.run();
+  };
+  const fleet::FleetReport a = run(1);
+  const fleet::FleetReport b = run(4);
+  EXPECT_EQ(a.member_auths, b.member_auths);
+  EXPECT_EQ(a.sentinel_auths, b.sentinel_auths);
+  EXPECT_EQ(a.forged_accepted, b.forged_accepted);
+  EXPECT_EQ(a.forged_announces_sent, b.forged_announces_sent);
+  EXPECT_EQ(a.weak_auth_failures, b.weak_auth_failures);
+  EXPECT_EQ(a.stored_records_peak, b.stored_records_peak);
+  EXPECT_EQ(a.total_bits, b.total_bits);
+  EXPECT_EQ(a.auth_rate, b.auth_rate);
+  EXPECT_EQ(a.forged_accepted, 0u);
+}
+
+TEST(FleetSim, FloodedFleetNeverAcceptsForgeries) {
+  fleet::ScenarioSpec spec = small_tree_spec();
+  spec.members_per_cohort = 20;
+  spec.forged_fraction = 0.9;
+  fleet::FleetSim sim(spec);
+  const fleet::FleetReport report = sim.run();
+  EXPECT_GT(report.forged_announces_sent, 0u);
+  EXPECT_GT(report.forged_reveals_sent, 0u);
+  EXPECT_TRUE(report.zero_forged());
+  EXPECT_GT(report.weak_auth_failures, 0u);
+  // The flood degrades availability, never integrity.
+  EXPECT_LT(report.auth_rate, 1.0);
+  EXPECT_GT(report.auth_rate, 0.0);
+}
+
+TEST(FleetSim, CohortPlacementFollowsSpec) {
+  fleet::ScenarioSpec spec = small_tree_spec();
+  spec.cohorts_at_leaves_only = true;
+  fleet::FleetSim sim(spec);
+  const fleet::FleetReport report = sim.run();
+  EXPECT_EQ(report.cohort_count, 4u);  // the 4 leaves of the depth-2 tree
+  EXPECT_EQ(sim.cohort_at(0), nullptr);
+  EXPECT_EQ(sim.cohort_at(1), nullptr);  // interior relay
+  EXPECT_NE(sim.cohort_at(3), nullptr);
+  EXPECT_DOUBLE_EQ(report.auth_rate, 1.0);
+}
+
+TEST(FleetSim, RunIsSingleShotAndFactoriesLockAfterRun) {
+  fleet::FleetSim sim(small_tree_spec());
+  (void)sim.run();
+  EXPECT_THROW((void)sim.run(), std::logic_error);
+  EXPECT_THROW(sim.set_channel_factory([](std::uint32_t, std::uint32_t) {
+    return std::make_unique<sim::PerfectChannel>();
+  }),
+               std::logic_error);
+}
+
+TEST(FleetSim, RollupFeedsPerDepthRegistryCounters) {
+  auto& reg = obs::Registry::global();
+  const auto counter_value = [&reg](const char* name) {
+    const std::uint64_t* v = reg.find_counter(name);
+    return v == nullptr ? 0 : *v;
+  };
+  const std::uint64_t d1_before = counter_value("fleet.d1.announces_in");
+  const std::uint64_t d2_before = counter_value("fleet.d2.announces_in");
+  const std::uint64_t members_before = counter_value("fleet.members");
+
+  fleet::ScenarioSpec spec = small_tree_spec();
+  spec.kind = fleet::TopologyKind::kTree;
+  spec.depth = 2;
+  spec.fanout = 1;  // chain 0 -> 1 -> 2: one node per depth
+  fleet::FleetSim sim(spec);
+  const fleet::FleetReport report = sim.run();
+
+  EXPECT_EQ(counter_value("fleet.d1.announces_in") - d1_before, 3u);
+  EXPECT_EQ(counter_value("fleet.d2.announces_in") - d2_before, 3u);
+  EXPECT_EQ(counter_value("fleet.members") - members_before,
+            report.total_members);
+  const obs::LatencyHistogram* hops =
+      reg.find_histogram("fleet.d2.hop_latency_us");
+  ASSERT_NE(hops, nullptr);
+  // Two 1 ms hops to depth 2.
+  EXPECT_GE(hops->max(), 2000.0);
+}
+
+// ------------------------------------------- multi-hop fault composition
+
+TEST(FleetSim, DuplicatesMultiplyAcrossHopsWithoutDedup) {
+  // Chain 0 -> 1 -> 2 with every hop duplicating every frame: copies
+  // multiply hop over hop (2x then 4x) rather than resetting per hop.
+  fleet::ScenarioSpec spec = small_tree_spec();
+  spec.depth = 2;
+  spec.fanout = 1;
+  spec.relay_dedup = false;
+  fleet::FleetSim sim(spec);
+  sim.set_channel_factory([](std::uint32_t, std::uint32_t) {
+    return std::make_unique<sim::DuplicateChannel>(
+        std::make_unique<sim::PerfectChannel>(), 1.0);
+  });
+  const fleet::FleetReport report = sim.run();
+  // 3 announces + 3 reveals leave the root.
+  EXPECT_EQ(sim.node_traffic(1).packets_in, 12u);   // 6 x 2
+  EXPECT_EQ(sim.node_traffic(1).forwarded, 12u);
+  EXPECT_EQ(sim.node_traffic(2).packets_in, 24u);   // 6 x 2 x 2
+  EXPECT_EQ(report.dedup_dropped, 0u);
+  EXPECT_TRUE(report.zero_forged());
+}
+
+TEST(FleetSim, RelayDedupStopsDuplicateAmplification) {
+  fleet::ScenarioSpec spec = small_tree_spec();
+  spec.depth = 2;
+  spec.fanout = 1;
+  spec.relay_dedup = true;
+  fleet::FleetSim sim(spec);
+  sim.set_channel_factory([](std::uint32_t, std::uint32_t) {
+    return std::make_unique<sim::DuplicateChannel>(
+        std::make_unique<sim::PerfectChannel>(), 1.0);
+  });
+  const fleet::FleetReport report = sim.run();
+  // Each relay forwards each distinct packet once, so amplification is
+  // capped at the per-hop factor instead of compounding.
+  EXPECT_EQ(sim.node_traffic(1).packets_in, 12u);
+  EXPECT_EQ(sim.node_traffic(1).deduped, 6u);
+  EXPECT_EQ(sim.node_traffic(1).forwarded, 6u);
+  EXPECT_EQ(sim.node_traffic(2).packets_in, 12u);
+  EXPECT_EQ(sim.node_traffic(2).deduped, 6u);
+  EXPECT_EQ(report.dedup_dropped, 12u);
+  // With duplicates suppressed at relays, every member still
+  // authenticates every interval exactly once.
+  EXPECT_DOUBLE_EQ(report.auth_rate, 1.0);
+}
+
+TEST(FleetSim, BlackoutOnOneHopComposesWithCleanHops) {
+  // Chain 0 -> 1 -> 2; hop (0,1) blacks out around interval 2's
+  // announce. Both cohorts lose exactly that interval (node 2 sits
+  // behind the faulted hop), and every other interval authenticates.
+  fleet::ScenarioSpec spec = small_tree_spec();
+  spec.depth = 2;
+  spec.fanout = 1;
+  spec.members_per_cohort = 5;
+  fleet::FleetSim sim(spec);
+  auto schedule = std::make_shared<sim::FaultSchedule>();
+  // Interval 2 spans [200ms, 400ms); its announce leaves at 300ms.
+  schedule->add_window(290 * sim::kMillisecond, 310 * sim::kMillisecond);
+  sim.set_channel_factory(
+      [&sim, schedule](std::uint32_t from, std::uint32_t) {
+        std::unique_ptr<sim::Channel> channel =
+            std::make_unique<sim::PerfectChannel>();
+        if (from == 0) {
+          channel = std::make_unique<sim::BlackoutChannel>(
+              std::move(channel), schedule, sim.queue());
+        }
+        return channel;
+      });
+  const fleet::FleetReport report = sim.run();
+  // One of six root broadcasts (3 announces + 3 reveals) was dropped on
+  // the first hop; the second hop relays everything that survived.
+  EXPECT_EQ(sim.node_traffic(1).packets_in, 5u);
+  EXPECT_EQ(sim.node_traffic(2).packets_in, 5u);
+  // 2 cohorts x 2 surviving intervals x 4 statistical members.
+  EXPECT_EQ(report.member_auths, 2u * 2u * 4u);
+  EXPECT_EQ(report.sentinel_auths, 2u * 2u);
+  EXPECT_NEAR(report.auth_rate, 2.0 / 3.0, 1e-12);
+  EXPECT_TRUE(report.zero_forged());
+}
+
+}  // namespace
+}  // namespace dap

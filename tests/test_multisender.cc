@@ -104,6 +104,70 @@ TEST(MultiSender, BudgetNeverBelowOneBuffer) {
     receiver.register_sender(id, s.config(), s.chain().commitment());
   }
   EXPECT_EQ(receiver.buffers_per_sender(), 1u);
+  // Budget 2 over 5 senders: the 2 real buffers land on the lowest ids,
+  // the rest hold the 1-buffer floor.
+  EXPECT_EQ(receiver.buffers_for(1), 1u);
+  EXPECT_EQ(receiver.buffers_for(5), 1u);
+}
+
+TEST(MultiSender, BudgetRemainderIsNotStranded) {
+  // Budget 10 over 3 senders must hand out 4+3+3, not floor to 3+3+3
+  // and strand a buffer the node agreed to spend.
+  protocol::MultiSenderReceiver receiver(bytes_of("local"),
+                                         sim::LooseClock(0, 0), Rng(11), 10);
+  for (wire::NodeId id = 1; id <= 3; ++id) {
+    protocol::DapSender s({.sender_id = id, .chain_length = 4},
+                          Rng(id).bytes(8));
+    receiver.register_sender(id, s.config(), s.chain().commitment());
+  }
+  EXPECT_EQ(receiver.buffers_per_sender(), 3u);  // the guaranteed floor
+  EXPECT_EQ(receiver.buffers_for(1), 4u);        // remainder goes low-id first
+  EXPECT_EQ(receiver.buffers_for(2), 3u);
+  EXPECT_EQ(receiver.buffers_for(3), 3u);
+  EXPECT_EQ(receiver.buffers_for(1) + receiver.buffers_for(2) +
+                receiver.buffers_for(3),
+            10u);
+  EXPECT_EQ(receiver.buffers_for(99), 0u);  // unknown sender
+}
+
+TEST(MultiSender, BudgetRemainderFollowsRegistrationChanges) {
+  protocol::MultiSenderReceiver receiver(bytes_of("local"),
+                                         sim::LooseClock(0, 0), Rng(12), 7);
+  protocol::DapSender s1({.sender_id = 1, .chain_length = 4}, bytes_of("a"));
+  protocol::DapSender s2({.sender_id = 2, .chain_length = 4}, bytes_of("b"));
+  receiver.register_sender(2, s2.config(), s2.chain().commitment());
+  EXPECT_EQ(receiver.buffers_for(2), 7u);  // sole sender takes the lot
+  receiver.register_sender(1, s1.config(), s1.chain().commitment());
+  // 7 over 2: the lower id gets the odd buffer, and that holds no matter
+  // which sender registered first.
+  EXPECT_EQ(receiver.buffers_for(1), 4u);
+  EXPECT_EQ(receiver.buffers_for(2), 3u);
+}
+
+TEST(MultiSender, RemainderBufferImprovesFloodSurvival) {
+  // The extra buffer is real capacity: a sender holding share+1 keeps
+  // more records under identical load than it would at the bare floor.
+  protocol::MultiSenderReceiver receiver(bytes_of("local"),
+                                         sim::LooseClock(0, 0), Rng(13), 7);
+  protocol::DapSender alice({.sender_id = 10, .chain_length = 8},
+                            bytes_of("alice"));
+  protocol::DapSender bob({.sender_id = 20, .chain_length = 8},
+                          bytes_of("bob"));
+  receiver.register_sender(10, alice.config(), alice.chain().commitment());
+  receiver.register_sender(20, bob.config(), bob.chain().commitment());
+  ASSERT_EQ(receiver.buffers_for(10), 4u);
+  // Four distinct messages announced in one interval: all four fit in
+  // Alice's 4 slots, which a floor-share of 3 could never hold.
+  for (const char* msg : {"w", "x", "y", "z"}) {
+    receiver.receive(alice.announce(1, bytes_of(msg)), mid(1));
+  }
+  const auto* stats = receiver.sender_stats(10);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->records_stored, 4u);
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_TRUE(receiver.receive(alice.reveal(1, k), mid(2)).has_value())
+        << "message " << k;
+  }
 }
 
 TEST(MultiSender, FloodAgainstOneSenderDoesNotAffectAnother) {
