@@ -7,15 +7,28 @@
 // bench_out/<name>.metrics.json — the perf-trajectory baseline future
 // PRs diff against. The summary footer also records the parallel-engine
 // thread count, the host's core count, peak RSS, per-phase wall times,
-// and the scenario id so speedup runs are self-describing across hosts.
+// the scenario id, and the tracer's event/span drop accounting so
+// speedup runs are self-describing across hosts.
+//
+// Every footer() additionally materialises the run registry: a
+// bench_out/runs/<run_id>/ directory holding manifest.json (schema
+// dap.run_manifest.v1: bench, scenario, command line, threads, cores,
+// git rev, wall time), the metrics footer, the CSV series, any
+// registered snapshot streams (snapshots.jsonl) and — when tracing is
+// enabled — the trace as JSONL and Chrome trace_event JSON. The run id
+// comes from $DAP_RUN_ID when set (CI pins it to locate artifacts),
+// else <name>-<utc-stamp>-<pid>.
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/ascii_chart.h"
 #include "common/csv.h"
@@ -24,6 +37,12 @@
 #include "obs/export.h"
 #include "obs/registry.h"
 #include "obs/scoped_timer.h"
+#include "obs/snapshot.h"
+#include "obs/tracer.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
@@ -51,6 +70,19 @@ inline std::string& run_scenario() {
   static std::string id;
   return id;
 }
+
+/// Command line captured by configure_threads, for the run manifest.
+inline std::vector<std::string>& run_args() {
+  static std::vector<std::string> args;
+  return args;
+}
+
+/// Snapshot streams registered for the run registry, in registration
+/// order (one Snapshotter per scenario; streams concatenate as JSONL).
+inline std::string& snapshot_stream() {
+  static std::string stream;
+  return stream;
+}
 }  // namespace detail
 
 /// Records a compact scenario/topology identifier in the metrics footer
@@ -76,6 +108,7 @@ inline std::string metrics_path(const std::string& name) {
 /// the thread count now in effect. Unrelated arguments are ignored so
 /// benches can mix this with their own flags (e.g. --smoke).
 inline std::size_t configure_threads(int argc, char** argv) {
+  detail::run_args().assign(argv, argv + argc);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string value;
@@ -157,17 +190,32 @@ inline void banner(const std::string& title, const std::string& paper_ref,
             << "================================================================\n";
 }
 
+/// Appends one scenario's snapshot stream to the run registry's
+/// snapshots.jsonl (written by footer() when non-empty). Call in a
+/// deterministic order — typically spec order after a parallel fan-out.
+inline void append_snapshots(const obs::Snapshotter& snapshotter) {
+  detail::snapshot_stream() += snapshotter.stream();
+}
+
 namespace detail {
 /// Renders the run-environment footer fields ("threads", "cpu_cores",
-/// "peak_rss_kb", "scenario", "phases") as a JSON fragment for
-/// metrics_json's extra_fields slot. cpu_cores disambiguates speedup
-/// numbers across hosts (a ~1.0 speedup on a 1-core machine is expected,
-/// not a regression); scenario says what the run simulated.
+/// "peak_rss_kb", "scenario", "phases", trace drop accounting) as a
+/// JSON fragment for metrics_json's extra_fields slot. cpu_cores
+/// disambiguates speedup numbers across hosts (a ~1.0 speedup on a
+/// 1-core machine is expected, not a regression); scenario says what
+/// the run simulated; the trace totals make silent ring-buffer event
+/// loss visible (smoke suites assert the dropped fields are zero).
 inline std::string footer_extra_fields() {
   std::string out = "\"threads\": " + std::to_string(common::default_threads());
   out += ", \"cpu_cores\": " + std::to_string(common::hardware_threads());
   out += ", \"peak_rss_kb\": " + std::to_string(peak_rss_kb());
   out += ", \"scenario\": \"" + run_scenario() + "\"";
+  const obs::Tracer& tracer = obs::Tracer::global();
+  out += ", \"trace_events_total\": " + std::to_string(tracer.total_recorded());
+  out += ", \"trace_events_dropped\": " + std::to_string(tracer.dropped());
+  out += ", \"trace_spans_total\": " +
+         std::to_string(tracer.spans_total_recorded());
+  out += ", \"trace_spans_dropped\": " + std::to_string(tracer.spans_dropped());
   out += ", \"phases\": {";
   bool first = true;
   for (const auto& [phase, seconds] : phase_walls()) {
@@ -178,6 +226,95 @@ inline std::string footer_extra_fields() {
   }
   out += "}";
   return out;
+}
+
+/// Run id for the run registry: $DAP_RUN_ID (CI pins it) or
+/// <name>-<utc-stamp>-<pid>.
+inline std::string run_id(const std::string& name) {
+  if (const char* pinned = std::getenv("DAP_RUN_ID");
+      pinned != nullptr && *pinned != '\0') {
+    return pinned;
+  }
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+#if defined(_WIN32)
+  gmtime_s(&utc, &now);
+#else
+  gmtime_r(&now, &utc);
+#endif
+  char stamp[32];
+  std::strftime(stamp, sizeof stamp, "%Y%m%dT%H%M%SZ", &utc);
+  long pid = 0;
+#if defined(__unix__) || defined(__APPLE__)
+  pid = static_cast<long>(getpid());
+#endif
+  return name + "-" + stamp + "-" + std::to_string(pid);
+}
+
+/// Commit the binary was built from: $DAP_GIT_REV, else $GITHUB_SHA,
+/// else the .git/HEAD walk from the working directory; "unknown" when
+/// none resolves.
+inline std::string git_rev() {
+  for (const char* var : {"DAP_GIT_REV", "GITHUB_SHA"}) {
+    if (const char* rev = std::getenv(var); rev != nullptr && *rev != '\0') {
+      return rev;
+    }
+  }
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (fs::path dir = fs::current_path(ec); !ec && !dir.empty();
+       dir = dir.parent_path()) {
+    const fs::path head = dir / ".git" / "HEAD";
+    if (fs::exists(head, ec)) {
+      std::ifstream in(head);
+      std::string line;
+      if (std::getline(in, line)) {
+        if (line.rfind("ref: ", 0) == 0) {
+          std::ifstream ref(dir / ".git" / line.substr(5));
+          std::string sha;
+          if (std::getline(ref, sha) && !sha.empty()) return sha;
+          return line.substr(5);  // unborn branch: name is the best we have
+        }
+        if (!line.empty()) return line;  // detached HEAD holds the sha
+      }
+      break;
+    }
+    if (dir == dir.root_path()) break;
+  }
+  return "unknown";
+}
+
+/// Renders and writes manifest.json (schema dap.run_manifest.v1).
+inline void write_manifest(const std::string& dir, const std::string& id,
+                           const std::string& name, double wall_seconds) {
+  std::string out = "{\n  \"schema\": \"dap.run_manifest.v1\"";
+  out += ",\n  \"run_id\": " + obs::detail::json_string(id);
+  out += ",\n  \"bench\": " + obs::detail::json_string(name);
+  out += ",\n  \"scenario\": " + obs::detail::json_string(run_scenario());
+  out += ",\n  \"args\": [";
+  bool first = true;
+  for (const std::string& arg : run_args()) {
+    out += std::string(first ? "" : ", ") + obs::detail::json_string(arg);
+    first = false;
+  }
+  out += "]";
+  out += ",\n  \"threads\": " + std::to_string(common::default_threads());
+  out += ",\n  \"cpu_cores\": " + std::to_string(common::hardware_threads());
+  out += ",\n  \"peak_rss_kb\": " + std::to_string(peak_rss_kb());
+  out += ",\n  \"wall_seconds\": " + obs::detail::json_number(wall_seconds);
+  out += ",\n  \"git_rev\": " + obs::detail::json_string(git_rev());
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+#if defined(_WIN32)
+  gmtime_s(&utc, &now);
+#else
+  gmtime_r(&now, &utc);
+#endif
+  char stamp[32];
+  std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &utc);
+  out += ",\n  \"created_utc\": " + obs::detail::json_string(stamp);
+  out += "\n}\n";
+  std::ofstream(dir + "/manifest.json") << out;
 }
 }  // namespace detail
 
@@ -195,10 +332,47 @@ inline void write_run_summary(const std::string& name) {
                           detail::footer_extra_fields());
 }
 
+/// Materialises bench_out/runs/<run_id>/: manifest, metrics footer, the
+/// CSV series (copied from the legacy flat path), any registered
+/// snapshot streams, and the trace exports when tracing is enabled.
+/// Returns the run directory path.
+inline std::string write_run_registry(const std::string& name,
+                                      double wall_seconds) {
+  const std::string id = detail::run_id(name);
+  const std::string dir = "bench_out/runs/" + id;
+  std::filesystem::create_directories(dir);
+  detail::write_manifest(dir, id, name, wall_seconds);
+  obs::write_metrics_json(obs::Registry::global(), dir + "/metrics.json",
+                          wall_seconds, detail::footer_extra_fields());
+  std::error_code ec;
+  const std::string flat_csv = csv_path(name);
+  if (std::filesystem::exists(flat_csv, ec)) {
+    std::filesystem::copy_file(
+        flat_csv, dir + "/" + name + ".csv",
+        std::filesystem::copy_options::overwrite_existing, ec);
+  }
+  if (!detail::snapshot_stream().empty()) {
+    std::ofstream(dir + "/snapshots.jsonl") << detail::snapshot_stream();
+  }
+  const obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled() &&
+      (tracer.total_recorded() > 0 || tracer.spans_total_recorded() > 0)) {
+    obs::write_trace_jsonl(tracer, dir + "/trace.jsonl");
+    obs::write_chrome_trace(tracer, dir + "/trace.json");
+  }
+  return dir;
+}
+
 inline void footer(const std::string& name) {
   write_run_summary(name);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    detail::run_start())
+          .count();
+  const std::string run_dir = write_run_registry(name, wall_seconds);
   std::cout << "[series written to " << csv_path(name) << "]\n"
-            << "[run summary written to " << metrics_path(name) << "]\n\n";
+            << "[run summary written to " << metrics_path(name) << "]\n"
+            << "[run registry written to " << run_dir << "]\n\n";
 }
 
 }  // namespace dap::bench

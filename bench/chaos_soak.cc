@@ -120,6 +120,7 @@ int main(int argc, char** argv) {
                "completed across all\nreceivers and both stacks; 'exhausted' "
                "counts retry budgets spent against an\nunreachable timesync "
                "responder (step mix).\n";
+  bench::set_run_scenario(smoke ? "chaos_soak:smoke" : "chaos_soak:full");
   bench::footer("chaos_soak");
   return ok ? 0 : 1;
 }

@@ -11,12 +11,15 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/parallel.h"
 #include "fleet/fleet.h"
 #include "fleet/scenario.h"
+#include "obs/snapshot.h"
+#include "obs/tracer.h"
 
 namespace {
 
@@ -28,6 +31,47 @@ dap::fleet::ScenarioSpec base_spec(bool smoke) {
   spec.interval_us = 200 * dap::sim::kMillisecond;
   spec.hop.latency_us = dap::sim::kMillisecond;
   return spec;
+}
+
+/// Restores the calling thread's registry/tracer overrides on scope
+/// exit (each scenario runs against its own local pair so snapshot
+/// streams are isolated per spec regardless of chunking/thread count).
+struct ScopedObsOverride {
+  ScopedObsOverride(dap::obs::Registry* registry, dap::obs::Tracer* tracer)
+      : prev_registry(dap::obs::Registry::set_thread_override(registry)),
+        prev_tracer(dap::obs::Tracer::set_thread_override(tracer)) {}
+  ~ScopedObsOverride() {
+    dap::obs::Registry::set_thread_override(prev_registry);
+    dap::obs::Tracer::set_thread_override(prev_tracer);
+  }
+  dap::obs::Registry* prev_registry;
+  dap::obs::Tracer* prev_tracer;
+};
+
+/// True when some auth-ok verify span chains through >= 2 relay hops
+/// back to an announce-send root — the cross-hop causality contract.
+bool has_cross_hop_chain(const std::vector<dap::obs::SpanEvent>& spans) {
+  std::unordered_map<std::uint64_t, const dap::obs::SpanEvent*> by_uid;
+  by_uid.reserve(spans.size());
+  for (const auto& s : spans) by_uid.emplace(s.uid, &s);
+  for (const auto& s : spans) {
+    if (s.kind != dap::obs::SpanKind::kVerify ||
+        s.tag != dap::obs::SpanTag::kAuthOk) {
+      continue;
+    }
+    int hops = 0;
+    const dap::obs::SpanEvent* cur = &s;
+    while (cur->parent != 0) {
+      const auto it = by_uid.find(cur->parent);
+      if (it == by_uid.end()) break;
+      cur = it->second;
+      if (cur->kind == dap::obs::SpanKind::kRelayHop) ++hops;
+    }
+    if (hops >= 2 && cur->kind == dap::obs::SpanKind::kAnnounceSend) {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace
@@ -48,6 +92,11 @@ int main(int argc, char** argv) {
       "auth rate 1.0 without attack, graceful decay vs forged fraction p, "
       "zero forged authentications everywhere");
   std::cout << "[parallel engine: " << threads << " thread(s)]\n";
+
+  // Flight recorder on for the whole sweep, sized so smoke AND full
+  // runs retain every event/span (the footer's drop counters prove it).
+  obs::Tracer::global().set_capacity(std::size_t{1} << 17);
+  obs::Tracer::global().enable(true);
 
   std::vector<fleet::ScenarioSpec> specs;
 
@@ -129,14 +178,51 @@ int main(int argc, char** argv) {
     specs.push_back(flood);
   }
 
+  // One snapshotter per scenario, sampling at interval cadence; built
+  // before the fan-out so pointers stay stable across the run.
+  // Only sim-time histograms enter the stream: wall-clock timer
+  // quantiles (crypto.*_us etc.) vary run to run and would break the
+  // snapshots.jsonl byte-identity contract.
+  const obs::Snapshotter::HistogramFilter sim_time_only =
+      [](std::string_view name) {
+        return name.find("hop_latency") != std::string_view::npos;
+      };
+  std::vector<obs::Snapshotter> snapshotters;
+  snapshotters.reserve(specs.size());
+  for (const fleet::ScenarioSpec& spec : specs) {
+    snapshotters.emplace_back(spec.id(), spec.interval_us, sim_time_only);
+  }
+
   const auto reports = [&] {
     const bench::PhaseTimer phase("fleet");
     return common::parallel_map<fleet::FleetReport>(
-        specs.size(), [&specs](std::size_t i) {
-          fleet::FleetSim sim(specs[i]);
-          return sim.run();
+        specs.size(), [&specs, &snapshotters](std::size_t i) {
+          // Each scenario records into a private registry/tracer pair,
+          // merged into the ambient shard afterwards: snapshots then
+          // see exactly one scenario's counters, independent of how
+          // specs share shards — the 1-vs-N-thread byte-identity
+          // contract for snapshots.jsonl and trace.json.
+          obs::Registry local;
+          obs::Tracer local_tracer(std::size_t{1} << 16);
+          local_tracer.enable(obs::Tracer::global().enabled());
+          fleet::FleetReport report;
+          {
+            const ScopedObsOverride scope(&local, &local_tracer);
+            fleet::FleetSim sim(specs[i]);
+            sim.set_snapshotter(&snapshotters[i]);
+            report = sim.run();
+          }
+          obs::Registry::global().merge_from(local);
+          obs::Tracer::global().append_from(local_tracer);
+          return report;
         });
   }();
+
+  // Snapshot streams concatenate in spec order (deterministic at any
+  // thread count) for the run registry's snapshots.jsonl.
+  for (const obs::Snapshotter& snap : snapshotters) {
+    bench::append_snapshots(snap);
+  }
 
   common::TextTable table({"scenario", "members", "depth", "p", "auth rate",
                            "member auth", "forged sent", "forged ok",
@@ -207,6 +293,33 @@ int main(int argc, char** argv) {
               << " receivers (tree " << largest_tree << ", gossip "
               << largest_gossip << ")\n";
     ok = false;
+  }
+
+  // Observability invariants (smoke doubles as the ctest for them):
+  // the flight recorder must have lost nothing, every scenario must
+  // yield a genuine time series, and at least one announce's spans must
+  // chain across >= 2 relay hops into an auth-ok verify span.
+  if (smoke) {
+    const obs::Tracer& tracer = obs::Tracer::global();
+    if (tracer.dropped() != 0 || tracer.spans_dropped() != 0) {
+      std::cerr << "INVARIANT VIOLATION: tracer dropped "
+                << tracer.dropped() << " events / " << tracer.spans_dropped()
+                << " spans (ring too small)\n";
+      ok = false;
+    }
+    for (std::size_t i = 0; i < snapshotters.size(); ++i) {
+      if (snapshotters[i].samples() < 3) {
+        std::cerr << "INVARIANT VIOLATION: only " << snapshotters[i].samples()
+                  << " registry snapshots for " << specs[i].id()
+                  << " (need >= 3)\n";
+        ok = false;
+      }
+    }
+    if (!has_cross_hop_chain(tracer.span_snapshot())) {
+      std::cerr << "INVARIANT VIOLATION: no verify span chains across >= 2 "
+                   "relay hops to an announce send\n";
+      ok = false;
+    }
   }
 
   std::cout << table.render();

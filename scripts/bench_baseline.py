@@ -9,18 +9,27 @@ Each bench runs twice in its own scratch working directory:
   DAP_THREADS=N <bench> ...      # the parallel engine
 
 and the two bench_out/<name>.csv files are compared byte for byte — the
-determinism contract of common::parallel_for made observable. Timing uses
-wall clocks around the whole process, so treat the speedup as indicative;
-the CSV identity check is the hard pass/fail signal.
+determinism contract of common::parallel_for made observable. The same
+identity check covers the run registry's time-series artifacts when the
+bench produces them: snapshots.jsonl and trace.json from
+bench_out/runs/<run_id>/ must also match across thread counts ($DAP_RUN_ID
+is pinned per run so the directory is findable). Timing uses wall clocks
+around the whole process, so treat the speedup as indicative; the
+artifact identity checks are the hard pass/fail signal.
+
+Each entry additionally records a "trajectory" object — the serial
+reference run's counters, rates and histogram p99s — which
+scripts/bench_trend.py diffs future runs against (auth-rate drops,
+forged authentications, p99 regressions).
 
 Two suites share the harness:
 
   --suite parallel   (default) the original engine baseline ->
-                     BENCH_parallel.json, schema dap.bench_parallel.v1
+                     BENCH_parallel.json, schema dap.bench_parallel.v2
   --suite fleet      the fleet-scale sweep (full run: >= 100k receivers
                      per flagship topology, cohort drains sharded across
-                     the pool) -> BENCH_fleet.json, schema
-                     dap.bench_fleet.v1
+                     the pool, plus the --smoke pass CI gates on) ->
+                     BENCH_fleet.json, schema dap.bench_fleet.v2
 
 Stdlib only. Usage:
 
@@ -47,7 +56,7 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 # the build dir, extra argv)])
 SUITES = {
     "parallel": (
-        "dap.bench_parallel.v1",
+        "dap.bench_parallel.v2",
         "BENCH_parallel.json",
         [
             ("montecarlo_dap", "bench/montecarlo_dap", []),
@@ -56,22 +65,50 @@ SUITES = {
         ],
     ),
     "fleet": (
-        "dap.bench_fleet.v1",
+        "dap.bench_fleet.v2",
         "BENCH_fleet.json",
         [
             # Full sweep (not --smoke): the >= 100k-receiver flagships are
             # part of what the identity check must cover.
             ("fleet_scale", "bench/fleet_scale", []),
+            # The smoke pass is what CI runs and gates with bench_trend.py,
+            # so its trajectory must be a first-class baseline entry.
+            ("fleet_scale_smoke", "bench/fleet_scale", ["--smoke"]),
         ],
     ),
 }
 
+# Run-registry artifacts that must be bitwise identical across thread
+# counts when the bench produces them (sim-time snapshot streams and the
+# causal trace are part of the determinism contract).
+RUN_DIR_ARTIFACTS = ("snapshots.jsonl", "trace.json")
+
+
+def trajectory_of(metrics):
+    """Extracts the bench_trend.py gating trajectory from a metrics
+    footer: counters verbatim, rate estimates, and histogram p99s."""
+    return {
+        "counters": metrics.get("counters", {}),
+        "rates": {
+            name: rate.get("rate")
+            for name, rate in metrics.get("rates", {}).items()
+        },
+        "histogram_p99": {
+            name: hist.get("p99")
+            for name, hist in metrics.get("histograms", {}).items()
+            if hist.get("count", 0) > 0
+        },
+    }
+
 
 def run_once(binary, extra_args, threads, scratch):
-    """Runs one bench in `scratch` with DAP_THREADS pinned; returns
-    (wall_seconds, csv_bytes, metrics_dict_or_None, returncode)."""
+    """Runs one bench in `scratch` with DAP_THREADS pinned and
+    $DAP_RUN_ID fixed to "baseline"; returns (wall_seconds, csv_bytes,
+    metrics_dict_or_None, run_artifacts, returncode). run_artifacts maps
+    each RUN_DIR_ARTIFACTS name the bench produced to its bytes."""
     env = dict(os.environ)
     env["DAP_THREADS"] = str(threads)
+    env["DAP_RUN_ID"] = "baseline"
     start = time.perf_counter()
     proc = subprocess.run(
         [str(binary)] + extra_args,
@@ -91,9 +128,15 @@ def run_once(binary, extra_args, threads, scratch):
             metrics = json.loads(metrics_path.read_text())
         except json.JSONDecodeError:
             pass
+    run_artifacts = {}
+    run_dir = pathlib.Path(scratch) / "bench_out" / "runs" / "baseline"
+    for artifact in RUN_DIR_ARTIFACTS:
+        path = run_dir / artifact
+        if path.exists():
+            run_artifacts[artifact] = path.read_bytes()
     if proc.returncode != 0:
         sys.stderr.write(proc.stdout.decode(errors="replace"))
-    return wall, csv_bytes, metrics, proc.returncode
+    return wall, csv_bytes, metrics, run_artifacts, proc.returncode
 
 
 def main(argv):
@@ -132,10 +175,16 @@ def main(argv):
             continue
         with tempfile.TemporaryDirectory() as serial_dir, \
                 tempfile.TemporaryDirectory() as parallel_dir:
-            s_wall, s_csv, s_metrics, s_rc = run_once(
+            s_wall, s_csv, s_metrics, s_artifacts, s_rc = run_once(
                 binary, extra, 1, serial_dir)
-            p_wall, p_csv, p_metrics, p_rc = run_once(
+            p_wall, p_csv, p_metrics, p_artifacts, p_rc = run_once(
                 binary, extra, threads, parallel_dir)
+        # Every artifact either side produced must exist AND match on the
+        # other side — a bench that only snapshots at one thread count is
+        # itself a determinism bug.
+        artifact_mismatches = sorted(
+            a for a in set(s_artifacts) | set(p_artifacts)
+            if s_artifacts.get(a) != p_artifacts.get(a))
         entry = {
             "name": name,
             "args": extra,
@@ -143,6 +192,8 @@ def main(argv):
             "parallel_wall_seconds": round(p_wall, 4),
             "speedup": round(s_wall / p_wall, 3) if p_wall > 0 else None,
             "csv_identical": s_csv is not None and s_csv == p_csv,
+            "run_artifacts_checked": sorted(set(s_artifacts) | set(p_artifacts)),
+            "run_artifacts_identical": not artifact_mismatches,
         }
         for metrics, key in ((s_metrics, "serial"), (p_metrics, "parallel")):
             if metrics is not None:
@@ -150,6 +201,10 @@ def main(argv):
                 entry[key + "_peak_rss_kb"] = metrics.get("peak_rss_kb")
                 if metrics.get("scenario"):
                     entry["scenario"] = metrics["scenario"]
+        if s_metrics is not None:
+            # The serial run is the bit-exact reference, so its counters,
+            # rates and p99s become the bench_trend.py gating trajectory.
+            entry["trajectory"] = trajectory_of(s_metrics)
         if s_rc != 0 or p_rc != 0:
             entry["status"] = "bench_failed"
             failed = True
@@ -159,13 +214,19 @@ def main(argv):
         elif not entry["csv_identical"]:
             entry["status"] = "csv_mismatch"
             failed = True
+        elif artifact_mismatches:
+            entry["status"] = ("artifact_mismatch: "
+                               + ", ".join(artifact_mismatches))
+            failed = True
         else:
             entry["status"] = "ok"
         report["benches"].append(entry)
         print(f"[{name}] {entry['status']}: serial {s_wall:.2f}s, "
               f"{threads}-thread {p_wall:.2f}s "
               f"(speedup {entry['speedup']}), csv identical: "
-              f"{entry['csv_identical']}")
+              f"{entry['csv_identical']}, run artifacts identical: "
+              f"{entry['run_artifacts_identical']} "
+              f"({len(entry['run_artifacts_checked'])} checked)")
 
     pathlib.Path(out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"report written to {out}")

@@ -35,6 +35,16 @@ Rules (each finding prints `path:line: [rule] message`):
                   (e.g. a Meyers singleton guarded by its own mutex) with
                   `// dap-lint: allow(global-state)`.
 
+  metric-name     Instrument names registered on the obs registry
+                  (`.counter("...")`, `.gauge(`, `.histogram(`, `.rate(`)
+                  must be dot-namespaced lowercase identifiers
+                  (`subsystem.metric`, e.g. "fleet.hop_latency_us"):
+                  flat or mixed-case names break the snapshot/trend
+                  tooling's subsystem grouping and sort unstably across
+                  exporters. Names built from a runtime prefix
+                  (`reg.counter(prefix + ".x")`) are out of scope. Suppress
+                  with `// dap-lint: allow(metric-name)`.
+
 Usage:
   scripts/lint.py              # lint src/ (exit 1 on any finding)
   scripts/lint.py PATH...      # lint specific files/directories
@@ -101,9 +111,15 @@ BARE_ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
 STATIC_DECL_RE = re.compile(
     r"^\s*(?:inline\s+)?static\s+(?!const\b|constexpr\b|thread_local\b)(.*)$")
 
+# A registry instrument registration whose first argument is a string
+# literal; group 2 is the name the rule validates.
+METRIC_CALL_RE = re.compile(r'\.(counter|gauge|histogram|rate)\(\s*"([^"]*)"')
+METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+
 ALLOW_VARIABLE_TIME = "dap-lint: allow(variable-time)"
 ALLOW_NONDETERMINISM = "dap-lint: allow(nondeterminism)"
 ALLOW_GLOBAL_STATE = "dap-lint: allow(global-state)"
+ALLOW_METRIC_NAME = "dap-lint: allow(metric-name)"
 
 
 def is_mutable_static_variable(code):
@@ -178,6 +194,17 @@ def lint_file(path, rel, findings):
                 "parallel engine — use a thread_local, pass state "
                 "explicitly, or annotate a deliberate singleton "
                 f"'// {ALLOW_GLOBAL_STATE}'"))
+
+        if in_src and ALLOW_METRIC_NAME not in raw:
+            for call in METRIC_CALL_RE.finditer(code):
+                name = call.group(2)
+                if not METRIC_NAME_RE.match(name):
+                    findings.append((
+                        rel, lineno, "metric-name",
+                        f'instrument name "{name}" must be dot-namespaced '
+                        'lowercase ("subsystem.metric", [a-z0-9_.]) so the '
+                        "snapshot/trend tooling can group it (or annotate "
+                        f"'// {ALLOW_METRIC_NAME}')"))
 
         include = INCLUDE_RE.match(raw)
         if include:
@@ -292,6 +319,24 @@ def self_test():
         ("src/game/clean.cc",
          '#include "game/clean.h"\n'
          "int f() { return 1; }\n",
+         set()),
+        ("src/fleet/bad_metric.cc",
+         '#include "fleet/bad_metric.h"\n'
+         '#include "obs/registry.h"\n'
+         "auto f(dap::obs::Registry& reg) {\n"
+         '  return reg.counter("announcesSent");\n'
+         "}\n",
+         {"metric-name"}),
+        ("src/fleet/ok_metric.cc",
+         '#include "fleet/ok_metric.h"\n'
+         '#include "obs/registry.h"\n'
+         "auto f(dap::obs::Registry& reg, const std::string& prefix) {\n"
+         '  auto a = reg.counter("fleet.announces_sent");\n'
+         '  auto b = reg.histogram("fleet.hop_latency_us");\n'
+         '  auto c = reg.counter(prefix + ".resync_attempts");\n'
+         '  auto d = reg.gauge("Legacy");  // dap-lint: allow(metric-name)\n'
+         "  return a.slot + b.slot + c.slot + d.slot;\n"
+         "}\n",
          set()),
     ]
     failures = 0

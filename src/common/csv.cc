@@ -31,6 +31,7 @@ void CsvWriter::row(const std::vector<double>& values) {
     out_ << format_number(values[i]);
   }
   out_ << '\n';
+  flush();
 }
 
 void CsvWriter::row_text(const std::vector<std::string>& cells) {
@@ -42,6 +43,11 @@ void CsvWriter::row_text(const std::vector<std::string>& cells) {
     out_ << cells[i];
   }
   out_ << '\n';
+  flush();
+}
+
+void CsvWriter::flush() {
+  out_.flush();
 }
 
 std::string format_number(double v) {

@@ -20,6 +20,11 @@ class CsvWriter {
   /// Mixed-type row (already formatted cells).
   void row_text(const std::vector<std::string>& cells);
 
+  /// Pushes buffered rows to disk. The run registry copies the CSV
+  /// while the writer may still be alive, so rows must be visible to
+  /// other readers of the file before destruction.
+  void flush();
+
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
  private:

@@ -301,15 +301,18 @@ std::vector<std::optional<tesla::AuthenticatedMessage>>
 DapReceiver::drain_pending_batch(sim::SimTime local_now) {
   std::vector<std::optional<tesla::AuthenticatedMessage>> out;
   out.reserve(pending_.size());
+  last_drain_verdicts_.clear();
   if (pending_.empty()) return out;
   auto& reg = obs::Registry::global();
   reg.add(telemetry_.reveal_batches);
   reg.add(telemetry_.batched_reveals, pending_.size());
   BatchContext batch;
+  last_drain_verdicts_.reserve(pending_.size());
   while (!pending_.empty()) {
     const wire::MessageReveal packet = std::move(pending_.front());
     pending_.pop_front();
     out.push_back(process_reveal(packet, local_now, &batch));
+    last_drain_verdicts_.push_back(last_verdict_);
   }
   return out;
 }
@@ -332,6 +335,7 @@ std::optional<tesla::AuthenticatedMessage> DapReceiver::process_reveal(
     reg.add(telemetry_.weak_auth_failures);
     obs::Tracer::global().record(obs::TraceKind::kWeakAuthFail, local_now,
                                  packet.interval);
+    last_verdict_ = tesla::RevealVerdict::kWeakAuthFail;
     resync_.note_suspect(local_now);
     tick(local_now);
     return std::nullopt;
@@ -347,7 +351,18 @@ std::optional<tesla::AuthenticatedMessage> DapReceiver::process_reveal(
     if (it != batch->mac_keys.end()) cached = &it->second;
   }
   if (cached == nullptr) {
-    mac_key = *auth_.mac_key(packet.interval);
+    auto derived = auth_.mac_key(packet.interval);
+    if (!derived.has_value()) {
+      // accept() passed, so the key chain reached this interval once,
+      // but the retained window has since been pruned/rebased past it.
+      ++stats_.strong_auth_failures;
+      reg.add(telemetry_.strong_auth_failures);
+      obs::Tracer::global().record(obs::TraceKind::kAuthFail, local_now,
+                                   packet.interval);
+      last_verdict_ = tesla::RevealVerdict::kKeyPruned;
+      return std::nullopt;
+    }
+    mac_key = *std::move(derived);
     ++stats_.mac_key_derivations;
     reg.add(telemetry_.mac_key_derivations);
     if (batch != nullptr) {
@@ -373,12 +388,14 @@ std::optional<tesla::AuthenticatedMessage> DapReceiver::process_reveal(
     reg.add(telemetry_.strong_auth_failures);
     obs::Tracer::global().record(obs::TraceKind::kAuthFail, local_now,
                                  packet.interval);
+    last_verdict_ = tesla::RevealVerdict::kNoRecord;
     return std::nullopt;
   }
   ++stats_.strong_auth_success;
   reg.add(telemetry_.strong_auth_success);
   obs::Tracer::global().record(obs::TraceKind::kAuthSuccess, local_now,
                                packet.interval);
+  last_verdict_ = tesla::RevealVerdict::kAccepted;
   resync_.note_healthy();
   return tesla::AuthenticatedMessage{packet.interval, packet.message,
                                      local_now};

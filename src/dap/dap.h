@@ -33,6 +33,7 @@
 #include "tesla/chain_auth.h"
 #include "tesla/resync.h"
 #include "tesla/tesla.h"
+#include "tesla/verdict.h"
 #include "wire/packet.h"
 
 namespace dap::protocol {
@@ -143,6 +144,19 @@ class DapReceiver {
   /// packet.
   std::vector<std::optional<tesla::AuthenticatedMessage>> drain_pending_batch(
       sim::SimTime local_now);
+
+  /// Verdict of the most recent reveal processed (via either receive()
+  /// or a drain); lets callers tag verify spans with the reject reason.
+  [[nodiscard]] tesla::RevealVerdict last_verdict() const noexcept {
+    return last_verdict_;
+  }
+
+  /// Per-reveal verdicts of the last drain_pending_batch() call, in the
+  /// same order as its return value.
+  [[nodiscard]] const std::vector<tesla::RevealVerdict>& last_drain_verdicts()
+      const noexcept {
+    return last_drain_verdicts_;
+  }
 
   [[nodiscard]] const DapStats& stats() const noexcept { return stats_; }
 
@@ -289,6 +303,8 @@ class DapReceiver {
   tesla::ResyncController resync_;
   std::optional<tesla::SyncCalibration> calibration_;
   std::size_t effective_buffers_;
+  tesla::RevealVerdict last_verdict_ = tesla::RevealVerdict::kAccepted;
+  std::vector<tesla::RevealVerdict> last_drain_verdicts_;
 };
 
 }  // namespace dap::protocol

@@ -196,12 +196,16 @@ std::vector<RevealOutcome> ReceiverCohort::drain(sim::SimTime true_now) {
   }
 
   // Serial aggregation in queue order.
+  const auto& sentinel_verdicts = sentinel_.last_drain_verdicts();
+  DAP_INVARIANT(sentinel_verdicts.size() == pending_.size(),
+                "sentinel verdicts diverged from cohort queue");
   std::vector<RevealOutcome> outcomes(plans.size());
   for (std::size_t p = 0; p < plans.size(); ++p) {
     RevealOutcome& outcome = outcomes[p];
     outcome.interval = plans[p].interval;
     outcome.message = pending_[p].message;
     outcome.sentinel_authenticated = sentinel_outcomes[p].has_value();
+    outcome.verdict = sentinel_verdicts[p];
     if (outcome.sentinel_authenticated) ++stats_.sentinel_auths;
     if (!plans[p].valid) continue;
     std::uint64_t matched = 0;

@@ -85,6 +85,9 @@ struct RevealOutcome {
   /// announce (out of members() - 1).
   std::uint64_t members_authenticated = 0;
   bool sentinel_authenticated = false;
+  /// The sentinel's verdict on this reveal (reject reason when it did
+  /// not authenticate); feeds the verify-span tags in the fleet tracer.
+  tesla::RevealVerdict verdict = tesla::RevealVerdict::kAccepted;
 };
 
 class ReceiverCohort {

@@ -34,10 +34,30 @@ bool is_forged_payload(common::ByteView message) noexcept {
 
 }  // namespace
 
+namespace {
+
+obs::SpanTag span_tag_of(tesla::RevealVerdict verdict) noexcept {
+  switch (verdict) {
+    case tesla::RevealVerdict::kAccepted:
+      return obs::SpanTag::kAuthOk;
+    case tesla::RevealVerdict::kWeakAuthFail:
+      return obs::SpanTag::kWeakAuthFail;
+    case tesla::RevealVerdict::kNoRecord:
+      return obs::SpanTag::kNoRecord;
+    case tesla::RevealVerdict::kKeyPruned:
+      return obs::SpanTag::kKeyPruned;
+  }
+  return obs::SpanTag::kNone;
+}
+
+}  // namespace
+
 FleetSim::FleetSim(const ScenarioSpec& spec)
     : spec_(spec),
       topo_(spec.build_topology()),
-      rng_(common::subseed(spec.seed, 0xf1ee7)) {
+      rng_(common::subseed(spec.seed, 0xf1ee7)),
+      trace_base_(common::subseed(spec.seed,
+                                  fnv1a64(common::bytes_of(spec.id())))) {
   spec_.validate();
   depths_ = topo_.depths();
   adjacency_ = topo_.adjacency();
@@ -57,6 +77,13 @@ void FleetSim::set_channel_factory(ChannelFactory factory) {
 void FleetSim::set_latency_factory(LatencyFactory factory) {
   if (ran_) throw std::logic_error("FleetSim: factories must precede run()");
   latency_factory_ = std::move(factory);
+}
+
+void FleetSim::set_snapshotter(obs::Snapshotter* snapshotter) {
+  if (ran_) {
+    throw std::logic_error("FleetSim: set_snapshotter must precede run()");
+  }
+  snapshotter_ = snapshotter;
 }
 
 void FleetSim::build_network(const common::Bytes& commitment) {
@@ -132,8 +159,8 @@ void FleetSim::build_network(const common::Bytes& commitment) {
     media_[v] = std::make_unique<sim::Medium>(queue_, medium_rng);
     for (const std::uint32_t to : adjacency_[v]) {
       media_[v]->attach(
-          [this, to](const wire::Packet& packet, sim::SimTime now) {
-            on_packet(to, packet, now);
+          [this, v, to](const wire::Packet& packet, sim::SimTime now) {
+            on_packet(v, to, packet, now);
           },
           channel_factory_(v, to), latency_factory_(v, to));
     }
@@ -146,8 +173,8 @@ void FleetSim::build_network(const common::Bytes& commitment) {
   sentinel_auth_by_depth_.assign(max_depth + 1, 0);
 }
 
-void FleetSim::on_packet(std::uint32_t node, const wire::Packet& packet,
-                         sim::SimTime now) {
+void FleetSim::on_packet(std::uint32_t from, std::uint32_t node,
+                         const wire::Packet& packet, sim::SimTime now) {
   NodeTraffic& traffic = traffic_[node];
   ++traffic.packets_in;
   if (spec_.relay_dedup) {
@@ -164,9 +191,40 @@ void FleetSim::on_packet(std::uint32_t node, const wire::Packet& packet,
       ++announces_in_by_depth_[d];
       hop_latency_by_depth_[d].push_back(
           static_cast<double>(now - sent->second));
+      // First arrival of the authentic announce at this node: one
+      // relay-hop span, chained to the upstream node's announce-path
+      // span so chrome://tracing shows the cross-hop route.
+      const auto ctx_it = trace_by_interval_.find(announce->interval);
+      if (ctx_it != trace_by_interval_.end() &&
+          ctx_it->second.announce_arrived[node] == 0) {
+        TraceCtx& ctx = ctx_it->second;
+        ctx.announce_arrived[node] = now;
+        const sim::SimTime begin = (from == 0 || ctx.announce_arrived[from] == 0)
+                                       ? sent->second
+                                       : ctx.announce_arrived[from];
+        obs::SpanEvent span;
+        span.uid = common::subseed(ctx.trace_id, ++ctx.seq);
+        span.trace = ctx.trace_id;
+        span.parent = ctx.span_at[from] != 0 ? ctx.span_at[from]
+                                             : ctx.span_at[0];
+        span.t_begin = begin;
+        span.t_end = now;
+        span.node = node;
+        span.id = announce->interval;
+        span.kind = obs::SpanKind::kRelayHop;
+        obs::Tracer::global().record_span(span);
+        ctx.span_at[node] = span.uid;
+      }
     }
     if (cohorts_[node]) cohorts_[node]->receive_announce(*announce, now);
   } else if (const auto* reveal = std::get_if<wire::MessageReveal>(&packet)) {
+    if (!is_forged_payload(reveal->message)) {
+      const auto ctx_it = trace_by_interval_.find(reveal->interval);
+      if (ctx_it != trace_by_interval_.end() &&
+          ctx_it->second.reveal_arrived[node] == 0) {
+        ctx_it->second.reveal_arrived[node] = now;
+      }
+    }
     if (cohorts_[node]) cohorts_[node]->enqueue_reveal(*reveal);
   }
   if (media_[node]) {
@@ -176,11 +234,32 @@ void FleetSim::on_packet(std::uint32_t node, const wire::Packet& packet,
 }
 
 void FleetSim::drain_all() {
+  const sim::SimTime now = queue_.now();
   for (std::uint32_t v = 0; v < topo_.node_count; ++v) {
     if (!cohorts_[v]) continue;
     const std::uint32_t d = depths_[v];
-    for (const RevealOutcome& outcome : cohorts_[v]->drain(queue_.now())) {
-      if (is_forged_payload(outcome.message)) {
+    for (const RevealOutcome& outcome : cohorts_[v]->drain(now)) {
+      const bool forged = is_forged_payload(outcome.message);
+      // Verify span: closes this announce's causal chain at this node,
+      // tagged with the sentinel's verdict (reject reason on failure).
+      const auto ctx_it = trace_by_interval_.find(outcome.interval);
+      if (ctx_it != trace_by_interval_.end()) {
+        TraceCtx& ctx = ctx_it->second;
+        obs::SpanEvent span;
+        span.uid = common::subseed(ctx.trace_id, ++ctx.seq);
+        span.trace = ctx.trace_id;
+        span.parent = forged ? 0 : ctx.span_at[v];
+        span.t_begin = (!forged && ctx.reveal_arrived[v] != 0)
+                           ? ctx.reveal_arrived[v]
+                           : now;
+        span.t_end = now;
+        span.node = v;
+        span.id = outcome.interval;
+        span.kind = obs::SpanKind::kVerify;
+        span.tag = span_tag_of(outcome.verdict);
+        obs::Tracer::global().record_span(span);
+      }
+      if (forged) {
         report_.forged_accepted += outcome.members_authenticated +
                                    (outcome.sentinel_authenticated ? 1 : 0);
         continue;
@@ -192,6 +271,10 @@ void FleetSim::drain_all() {
         ++sentinel_auth_by_depth_[d];
       }
     }
+  }
+  flush_live_telemetry();
+  if (snapshotter_ != nullptr) {
+    snapshotter_->maybe_sample(obs::Registry::global(), now);
   }
 }
 
@@ -226,6 +309,25 @@ FleetReport FleetSim::run() {
           sender.announce(i, common::bytes_of(payload));
       announce_sent_at_.emplace(fnv1a64(announce.mac), queue_.now());
       ++report_.announces_sent;
+      // Open this announce's trace: the root send span is the parent
+      // every downstream relay-hop/verify span chains back to.
+      TraceCtx ctx;
+      ctx.trace_id = common::subseed(trace_base_, i);
+      ctx.span_at.assign(topo_.node_count, 0);
+      ctx.announce_arrived.assign(topo_.node_count, 0);
+      ctx.reveal_arrived.assign(topo_.node_count, 0);
+      obs::SpanEvent span;
+      span.uid = common::subseed(ctx.trace_id, ++ctx.seq);
+      span.trace = ctx.trace_id;
+      span.parent = 0;
+      span.t_begin = queue_.now();
+      span.t_end = queue_.now();
+      span.node = 0;
+      span.id = i;
+      span.kind = obs::SpanKind::kAnnounceSend;
+      obs::Tracer::global().record_span(span);
+      ctx.span_at[0] = span.uid;
+      trace_by_interval_.insert_or_assign(i, std::move(ctx));
       media_[0]->broadcast(announce);
     });
     if (forged_per_attacker > 0) {
@@ -240,6 +342,20 @@ FleetReport FleetSim::run() {
     }
     const sim::SimTime t_reveal = sched.interval_start(i + 1) + interval / 8;
     queue_.schedule_at(t_reveal, [this, &sender, i] {
+      const auto ctx_it = trace_by_interval_.find(i);
+      if (ctx_it != trace_by_interval_.end()) {
+        TraceCtx& ctx = ctx_it->second;
+        obs::SpanEvent span;
+        span.uid = common::subseed(ctx.trace_id, ++ctx.seq);
+        span.trace = ctx.trace_id;
+        span.parent = ctx.span_at[0];
+        span.t_begin = queue_.now();
+        span.t_end = queue_.now();
+        span.node = 0;
+        span.id = i;
+        span.kind = obs::SpanKind::kRevealSend;
+        obs::Tracer::global().record_span(span);
+      }
       media_[0]->broadcast(sender.reveal(i));
     });
     if (!attacker_nodes.empty()) {
@@ -264,6 +380,49 @@ FleetReport FleetSim::run() {
   drain_all();  // catch reveals still queued after the last sweep
   rollup();
   return report_;
+}
+
+void FleetSim::flush_live_telemetry() {
+  auto& reg = obs::Registry::global();
+  const auto flush_counter = [&reg](const std::string& name,
+                                    std::uint64_t current,
+                                    std::uint64_t& flushed) {
+    if (current > flushed) {
+      reg.add(reg.counter(name), current - flushed);
+      flushed = current;
+    }
+  };
+  flush_counter("fleet.announces_sent", report_.announces_sent,
+                flushed_.announces_sent);
+  flush_counter("fleet.forged_announces_sent", report_.forged_announces_sent,
+                flushed_.forged_announces_sent);
+  flush_counter("fleet.forged_accepted", report_.forged_accepted,
+                flushed_.forged_accepted);
+  std::uint64_t deduped = 0;
+  for (const NodeTraffic& t : traffic_) deduped += t.deduped;
+  flush_counter("fleet.dedup_dropped", deduped, flushed_.dedup_dropped);
+
+  const std::uint32_t max_depth = topo_.depth();
+  flushed_.announces_in_by_depth.resize(max_depth + 1, 0);
+  flushed_.member_auth_by_depth.resize(max_depth + 1, 0);
+  flushed_.sentinel_auth_by_depth.resize(max_depth + 1, 0);
+  flushed_.hop_latency_flushed.resize(max_depth + 1, 0);
+  for (std::uint32_t d = 1; d <= max_depth; ++d) {
+    const std::string prefix = "fleet.d" + std::to_string(d) + ".";
+    flush_counter(prefix + "announces_in", announces_in_by_depth_[d],
+                  flushed_.announces_in_by_depth[d]);
+    flush_counter(prefix + "member_auths", member_auth_by_depth_[d],
+                  flushed_.member_auth_by_depth[d]);
+    flush_counter(prefix + "sentinel_auths", sentinel_auth_by_depth_[d],
+                  flushed_.sentinel_auth_by_depth[d]);
+    std::size_t& consumed = flushed_.hop_latency_flushed[d];
+    if (consumed < hop_latency_by_depth_[d].size()) {
+      const auto hist = reg.histogram(prefix + "hop_latency_us");
+      for (; consumed < hop_latency_by_depth_[d].size(); ++consumed) {
+        reg.observe(hist, hop_latency_by_depth_[d][consumed]);
+      }
+    }
+  }
 }
 
 void FleetSim::rollup() {
@@ -294,25 +453,22 @@ void FleetSim::rollup() {
                 opportunities
           : 0.0;
 
-  // Per-depth rollup in topology order; handles resolve against the
-  // ambient registry (the calling shard under parallel fan-out).
+  // Per-depth telemetry flows out incrementally at every drain sweep
+  // (flush_live_telemetry), so the snapshot stream carries live curves;
+  // this final flush picks up anything after the last sweep, then the
+  // run-scoped aggregates land. Handles resolve against the ambient
+  // registry (the calling shard under parallel fan-out).
+  flush_live_telemetry();
   auto& reg = obs::Registry::global();
-  reg.add(reg.counter("fleet.announces_sent"), report_.announces_sent);
-  reg.add(reg.counter("fleet.forged_announces_sent"),
-          report_.forged_announces_sent);
-  reg.add(reg.counter("fleet.forged_accepted"), report_.forged_accepted);
   reg.add(reg.counter("fleet.members"), report_.total_members);
-  reg.add(reg.counter("fleet.dedup_dropped"), report_.dedup_dropped);
-  for (std::uint32_t d = 1; d <= report_.max_depth; ++d) {
-    const std::string prefix = "fleet.d" + std::to_string(d) + ".";
-    reg.add(reg.counter(prefix + "announces_in"), announces_in_by_depth_[d]);
-    reg.add(reg.counter(prefix + "member_auths"), member_auth_by_depth_[d]);
-    reg.add(reg.counter(prefix + "sentinel_auths"),
-            sentinel_auth_by_depth_[d]);
-    const auto hist = reg.histogram(prefix + "hop_latency_us");
-    for (const double sample : hop_latency_by_depth_[d]) {
-      reg.observe(hist, sample);
-    }
+  // Auth-rate numerator/denominator as plain counters so downstream
+  // trend gating can recompute the rate from any merged registry.
+  reg.add(reg.counter("fleet.auths"),
+          report_.member_auths + report_.sentinel_auths);
+  reg.add(reg.counter("fleet.auth_opportunities"),
+          report_.total_members * report_.intervals);
+  if (snapshotter_ != nullptr) {
+    snapshotter_->sample(reg, queue_.now());
   }
 }
 

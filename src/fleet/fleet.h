@@ -30,6 +30,8 @@
 #include "fleet/cohort.h"
 #include "fleet/scenario.h"
 #include "fleet/topology.h"
+#include "obs/snapshot.h"
+#include "obs/tracer.h"
 #include "sim/event_queue.h"
 #include "sim/faults.h"
 #include "sim/medium.h"
@@ -90,6 +92,12 @@ class FleetSim {
   /// latency or jitter link). Must be called before run().
   void set_latency_factory(LatencyFactory factory);
 
+  /// Attaches a snapshotter that samples the ambient registry at every
+  /// drain sweep (sim-time cadence applies) plus once at rollup, turning
+  /// the run's telemetry into a time series. Must precede run(); the
+  /// snapshotter must outlive it. nullptr detaches.
+  void set_snapshotter(obs::Snapshotter* snapshotter);
+
   /// Executes the full scenario. Callable once; throws std::logic_error
   /// on a second call.
   FleetReport run();
@@ -107,10 +115,14 @@ class FleetSim {
 
  private:
   void build_network(const common::Bytes& commitment);
-  void on_packet(std::uint32_t node, const wire::Packet& packet,
-                 sim::SimTime now);
+  void on_packet(std::uint32_t from, std::uint32_t node,
+                 const wire::Packet& packet, sim::SimTime now);
   void drain_all();
   void rollup();
+  /// Adds the counters/samples accrued since the previous flush to the
+  /// ambient registry; called at every drain sweep and once at rollup so
+  /// snapshots see live totals while end-of-run values stay exact.
+  void flush_live_telemetry();
 
   ScenarioSpec spec_;
   Topology topo_;
@@ -136,6 +148,37 @@ class FleetSim {
   FleetReport report_;
   std::vector<std::uint64_t> member_auth_by_depth_;
   std::vector<std::uint64_t> sentinel_auth_by_depth_;
+
+  obs::Snapshotter* snapshotter_ = nullptr;
+
+  /// Causal tracing: each authentic announce gets one trace id at the
+  /// sender; spans chain send -> relay hops -> verify across the
+  /// topology. Pure sim-side metadata — no protocol bytes change.
+  struct TraceCtx {
+    std::uint64_t trace_id = 0;
+    std::uint64_t seq = 0;  // per-trace span uid sequence
+    /// Last announce-path span uid per node (0 = announce never seen).
+    std::vector<std::uint64_t> span_at;
+    /// First announce arrival time per node (0 = not yet).
+    std::vector<sim::SimTime> announce_arrived;
+    /// First authentic-reveal arrival time per node (0 = not yet).
+    std::vector<sim::SimTime> reveal_arrived;
+  };
+  std::unordered_map<std::uint32_t, TraceCtx> trace_by_interval_;
+  std::uint64_t trace_base_ = 0;
+
+  /// Counters already flushed to the registry (delta bookkeeping).
+  struct FlushState {
+    std::uint64_t announces_sent = 0;
+    std::uint64_t forged_announces_sent = 0;
+    std::uint64_t forged_accepted = 0;
+    std::uint64_t dedup_dropped = 0;
+    std::vector<std::uint64_t> announces_in_by_depth;
+    std::vector<std::uint64_t> member_auth_by_depth;
+    std::vector<std::uint64_t> sentinel_auth_by_depth;
+    std::vector<std::size_t> hop_latency_flushed;  // samples consumed
+  };
+  FlushState flushed_;
 };
 
 }  // namespace dap::fleet

@@ -9,7 +9,7 @@
 
 namespace dap::obs {
 
-namespace {
+namespace detail {
 
 std::string json_number(double v) {
   if (!std::isfinite(v)) return "null";  // JSON has no inf/nan literals
@@ -44,6 +44,13 @@ std::string json_string(std::string_view s) {
   return out;
 }
 
+}  // namespace detail
+
+namespace {
+
+using detail::json_number;
+using detail::json_string;
+
 std::ofstream open_for_write(const std::string& path) {
   const std::filesystem::path p(path);
   if (p.has_parent_path()) {
@@ -65,7 +72,7 @@ std::string metrics_json(const Registry& registry, double wall_seconds) {
 std::string metrics_json(const Registry& registry, double wall_seconds,
                          const std::string& extra_fields) {
   std::ostringstream out;
-  out << "{\n  \"schema\": \"dap.metrics.v1\"";
+  out << "{\n  \"schema\": \"dap.metrics.v2\"";
   if (wall_seconds >= 0.0) {
     out << ",\n  \"wall_seconds\": " << json_number(wall_seconds);
   }
@@ -117,7 +124,20 @@ std::string metrics_json(const Registry& registry, double wall_seconds,
         << ", \"max\": " << json_number(h.max())
         << ", \"p50\": " << json_number(h.p50())
         << ", \"p90\": " << json_number(h.p90())
-        << ", \"p99\": " << json_number(h.p99()) << "}";
+        << ", \"p99\": " << json_number(h.p99()) << ", \"buckets\": [";
+    // Only non-empty buckets appear: [lower, upper, count] triples in
+    // bucket order. 514 mostly-zero entries would swamp the document.
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+      const std::uint64_t n = h.bucket_count(i);
+      if (n == 0) continue;
+      out << (first_bucket ? "" : ", ") << "["
+          << json_number(LatencyHistogram::bucket_lower(i)) << ", "
+          << json_number(LatencyHistogram::bucket_upper(i)) << ", " << n
+          << "]";
+      first_bucket = false;
+    }
+    out << "]}";
     first = false;
   }
   out << (first ? "" : "\n  ") << "}";

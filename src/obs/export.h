@@ -2,18 +2,28 @@
 // Machine-readable telemetry exports.
 //
 // `metrics_json` renders a Registry snapshot as a stable JSON document
-// (schema "dap.metrics.v1"): counters, gauges, rate estimators with
-// Wilson intervals, and histograms with exact moments plus p50/p90/p99.
+// (schema "dap.metrics.v2"): counters, gauges, rate estimators with
+// Wilson intervals, and histograms with exact moments plus p50/p90/p99
+// and the non-empty bucket boundaries (so downstream trend tooling can
+// compare full distributions, not just summary quantiles).
 // `write_metrics_json` writes it next to a bench's CSV output so every
 // run leaves a perf-trajectory data point behind. Trace file helpers
 // wrap the Tracer's stream exporters.
 
 #include <string>
+#include <string_view>
 
 #include "obs/registry.h"
 #include "obs/tracer.h"
 
 namespace dap::obs {
+
+namespace detail {
+/// Finite doubles render with %.12g; inf/nan render as JSON null.
+[[nodiscard]] std::string json_number(double v);
+/// Quotes + escapes `s` as a JSON string literal.
+[[nodiscard]] std::string json_string(std::string_view s);
+}  // namespace detail
 
 /// JSON snapshot of every instrument in `registry`. `wall_seconds` < 0
 /// omits the wall-time field.

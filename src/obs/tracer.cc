@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <ostream>
+#include <stdexcept>
+#include <unordered_map>
 
 #include "common/csv.h"
 
@@ -29,7 +31,50 @@ std::string_view trace_kind_name(TraceKind kind) noexcept {
   return "unknown";
 }
 
-Tracer::Tracer(std::size_t capacity) : ring_(capacity == 0 ? 1 : capacity) {}
+std::string_view span_kind_name(SpanKind kind) noexcept {
+  switch (kind) {
+    case SpanKind::kAnnounceSend:
+      return "announce_send";
+    case SpanKind::kRelayHop:
+      return "relay_hop";
+    case SpanKind::kRevealSend:
+      return "reveal_send";
+    case SpanKind::kVerify:
+      return "verify";
+  }
+  return "unknown";
+}
+
+std::string_view span_tag_name(SpanTag tag) noexcept {
+  switch (tag) {
+    case SpanTag::kNone:
+      return "none";
+    case SpanTag::kAuthOk:
+      return "auth_ok";
+    case SpanTag::kWeakAuthFail:
+      return "weak_auth_fail";
+    case SpanTag::kNoRecord:
+      return "no_record";
+    case SpanTag::kKeyPruned:
+      return "key_pruned";
+    case SpanTag::kDropped:
+      return "dropped";
+  }
+  return "unknown";
+}
+
+Tracer::Tracer(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity),
+      span_ring_(capacity == 0 ? 1 : capacity) {}
+
+void Tracer::set_capacity(std::size_t capacity) {
+  if (total_ != 0 || span_total_ != 0 || !open_spans_.empty()) {
+    throw std::logic_error(
+        "Tracer::set_capacity: tracer must be empty (clear() first)");
+  }
+  ring_.assign(capacity == 0 ? 1 : capacity, TraceEvent{});
+  span_ring_.assign(capacity == 0 ? 1 : capacity, SpanEvent{});
+}
 
 void Tracer::record(TraceKind kind, std::uint64_t t, std::uint32_t id,
                     double a, double b) noexcept {
@@ -54,11 +99,60 @@ std::vector<TraceEvent> Tracer::snapshot() const {
   return out;
 }
 
+void Tracer::record_span(const SpanEvent& span) noexcept {
+  if (!enabled_) return;
+  span_ring_[span_total_ % span_ring_.size()] = span;
+  ++span_total_;
+}
+
+void Tracer::span_begin(const SpanEvent& span) {
+  if (!enabled_) return;
+  open_spans_.push_back(span);
+}
+
+void Tracer::span_end(std::uint64_t uid, std::uint64_t t_end,
+                      SpanTag tag) noexcept {
+  if (!enabled_) return;
+  for (std::size_t i = 0; i < open_spans_.size(); ++i) {
+    if (open_spans_[i].uid != uid) continue;
+    SpanEvent span = open_spans_[i];
+    span.t_end = t_end;
+    span.tag = tag;
+    open_spans_.erase(open_spans_.begin() +
+                      static_cast<std::ptrdiff_t>(i));
+    record_span(span);
+    return;
+  }
+}
+
+std::size_t Tracer::span_size() const noexcept {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(span_total_, span_ring_.size()));
+}
+
+std::vector<SpanEvent> Tracer::span_snapshot() const {
+  std::vector<SpanEvent> out;
+  const std::size_t n = span_size();
+  out.reserve(n);
+  const std::uint64_t first = span_total_ - n;
+  for (std::uint64_t i = first; i < span_total_; ++i) {
+    out.push_back(span_ring_[i % span_ring_.size()]);
+  }
+  return out;
+}
+
 void Tracer::export_jsonl(std::ostream& out) const {
   for (const TraceEvent& e : snapshot()) {
     out << "{\"kind\":\"" << trace_kind_name(e.kind) << "\",\"id\":" << e.id
         << ",\"t\":" << e.t << ",\"a\":" << common::format_number(e.a)
         << ",\"b\":" << common::format_number(e.b) << "}\n";
+  }
+  for (const SpanEvent& s : span_snapshot()) {
+    out << "{\"span\":\"" << span_kind_name(s.kind) << "\",\"uid\":" << s.uid
+        << ",\"trace\":" << s.trace << ",\"parent\":" << s.parent
+        << ",\"node\":" << s.node << ",\"id\":" << s.id
+        << ",\"t_begin\":" << s.t_begin << ",\"t_end\":" << s.t_end
+        << ",\"tag\":\"" << span_tag_name(s.tag) << "\"}\n";
   }
 }
 
@@ -76,17 +170,49 @@ void Tracer::export_chrome_trace(std::ostream& out) const {
         << common::format_number(e.a) << ",\"b\":" << common::format_number(e.b)
         << "}}";
   }
+  // Spans render as "X" complete events on per-node lanes, plus a flow
+  // arrow from each retained parent's end to the child's begin so
+  // chrome://tracing draws one announce's cross-hop path as a chain.
+  const std::vector<SpanEvent> spans = span_snapshot();
+  std::unordered_map<std::uint64_t, const SpanEvent*> by_uid;
+  by_uid.reserve(spans.size());
+  for (const SpanEvent& s : spans) by_uid.emplace(s.uid, &s);
+  for (const SpanEvent& s : spans) {
+    if (!first) out << ',';
+    first = false;
+    const std::uint64_t dur = s.t_end > s.t_begin ? s.t_end - s.t_begin : 1;
+    out << "\n{\"name\":\"" << span_kind_name(s.kind)
+        << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << s.node
+        << ",\"ts\":" << s.t_begin << ",\"dur\":" << dur
+        << ",\"args\":{\"trace\":" << s.trace << ",\"uid\":" << s.uid
+        << ",\"parent\":" << s.parent << ",\"interval\":" << s.id
+        << ",\"tag\":\"" << span_tag_name(s.tag) << "\"}}";
+    const auto parent = by_uid.find(s.parent);
+    if (s.parent != 0 && parent != by_uid.end()) {
+      out << ",\n{\"name\":\"hop\",\"ph\":\"s\",\"id\":" << s.uid
+          << ",\"pid\":1,\"tid\":" << parent->second->node
+          << ",\"ts\":" << parent->second->t_end << "}";
+      out << ",\n{\"name\":\"hop\",\"ph\":\"f\",\"bp\":\"e\",\"id\":" << s.uid
+          << ",\"pid\":1,\"tid\":" << s.node << ",\"ts\":" << s.t_begin
+          << "}";
+    }
+  }
   out << "\n]}\n";
 }
 
 void Tracer::clear() noexcept {
   total_ = 0;
+  span_total_ = 0;
+  open_spans_.clear();
 }
 
 void Tracer::append_from(const Tracer& other) {
   if (!enabled_) return;
   for (const TraceEvent& e : other.snapshot()) {
     record(e.kind, e.t, e.id, e.a, e.b);
+  }
+  for (const SpanEvent& s : other.span_snapshot()) {
+    record_span(s);
   }
 }
 

@@ -38,12 +38,57 @@ struct TraceEvent {
   double b = 0.0;
 };
 
+/// Lifecycle stage a span covers on one announce's path through the
+/// fleet: sender broadcast, per-hop relay re-framing, receiver verify.
+enum class SpanKind : std::uint8_t {
+  kAnnounceSend,  // sender broadcast of the MAC announcement
+  kRelayHop,      // first arrival + re-broadcast at one relay/receiver
+  kRevealSend,    // sender broadcast of the matching reveal
+  kVerify,        // receiver-side reveal verification (tag = outcome)
+};
+
+/// Outcome tag on a closed span (kVerify carries the reject reason).
+enum class SpanTag : std::uint8_t {
+  kNone,          // not an outcome-bearing span
+  kAuthOk,        // strong authentication accepted the message
+  kWeakAuthFail,  // disclosed key failed the chain walk
+  kNoRecord,      // no buffered uMAC record matched (forged / lost MAC)
+  kKeyPruned,     // per-interval MAC key already discarded
+  kDropped,       // packet never arrived / evicted before verification
+};
+
+[[nodiscard]] std::string_view span_kind_name(SpanKind kind) noexcept;
+[[nodiscard]] std::string_view span_tag_name(SpanTag tag) noexcept;
+
+/// One closed interval on an announce's causal path. `uid` is assigned
+/// by the caller (deterministically, e.g. common::subseed of the trace
+/// id and a per-trace sequence) so spans survive shard merges with
+/// parent links intact; `parent == 0` marks a root span.
+struct SpanEvent {
+  std::uint64_t uid = 0;     // caller-assigned, nonzero, unique per run
+  std::uint64_t trace = 0;   // trace id shared by every span of one announce
+  std::uint64_t parent = 0;  // uid of the causal predecessor (0 = root)
+  std::uint64_t t_begin = 0; // sim time (us)
+  std::uint64_t t_end = 0;   // sim time (us), >= t_begin
+  std::uint32_t node = 0;    // node id; becomes the chrome-trace lane (tid)
+  std::uint32_t id = 0;      // interval index
+  SpanKind kind = SpanKind::kAnnounceSend;
+  SpanTag tag = SpanTag::kNone;
+};
+
 class Tracer {
  public:
   explicit Tracer(std::size_t capacity = 16384);
 
   void enable(bool on) noexcept { enabled_ = on; }
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Resizes both rings (events and spans). Only legal while the tracer
+  /// is empty — nothing recorded since construction or the last clear()
+  /// — because a resize would scramble the ring order; throws
+  /// std::logic_error otherwise. Benches size the ring to the run ahead
+  /// of time so smoke suites can assert zero drops.
+  void set_capacity(std::size_t capacity);
 
   /// Records one event while enabled; overwrites the oldest event once
   /// `capacity` is exceeded. Never allocates.
@@ -66,18 +111,51 @@ class Tracer {
   /// Retained events, oldest first.
   [[nodiscard]] std::vector<TraceEvent> snapshot() const;
 
-  /// One JSON object per line:
+  /// Records one complete (already closed) span while enabled. Spans
+  /// live in their own ring with the same overwrite-oldest policy.
+  void record_span(const SpanEvent& span) noexcept;
+  /// Opens a span (t_end ignored); held outside the ring until closed.
+  void span_begin(const SpanEvent& span);
+  /// Closes the open span `uid`, stamping `t_end` and `tag`, and moves
+  /// it into the span ring. Unknown uids are ignored.
+  void span_end(std::uint64_t uid, std::uint64_t t_end,
+                SpanTag tag = SpanTag::kNone) noexcept;
+
+  [[nodiscard]] std::size_t span_capacity() const noexcept {
+    return span_ring_.size();
+  }
+  /// Closed spans currently held (<= span_capacity).
+  [[nodiscard]] std::size_t span_size() const noexcept;
+  [[nodiscard]] std::uint64_t spans_total_recorded() const noexcept {
+    return span_total_;
+  }
+  [[nodiscard]] std::uint64_t spans_dropped() const noexcept {
+    return span_total_ - span_size();
+  }
+  /// Spans begun but not yet ended.
+  [[nodiscard]] std::size_t open_spans() const noexcept {
+    return open_spans_.size();
+  }
+
+  /// Retained closed spans, oldest first.
+  [[nodiscard]] std::vector<SpanEvent> span_snapshot() const;
+
+  /// One JSON object per line. Instant events:
   /// {"kind":"auth_success","id":3,"t":1500000,"a":0,"b":0}
+  /// Span events carry a "span" key and come after the instants:
+  /// {"span":"relay_hop","uid":..,"trace":..,"parent":..,...}
   void export_jsonl(std::ostream& out) const;
-  /// Chrome trace_event JSON ({"traceEvents":[...]}) with events as
-  /// instants on the sim-time axis.
+  /// Chrome trace_event JSON ({"traceEvents":[...]}) with instants as
+  /// "i" events and spans as "X" complete events on per-node lanes,
+  /// linked parent->child with flow ("s"/"f") arrows.
   void export_chrome_trace(std::ostream& out) const;
 
   void clear() noexcept;
 
-  /// Replays `other`'s retained events into this tracer (oldest first)
-  /// via record(), so capacity/drop accounting applies as if the events
-  /// had been recorded here. Used by the parallel shard merge.
+  /// Replays `other`'s retained events and closed spans into this
+  /// tracer (oldest first) via record()/record_span(), so capacity/drop
+  /// accounting applies as if they had been recorded here. Open spans
+  /// are not transferred. Used by the parallel shard merge.
   void append_from(const Tracer& other);
 
   /// Process-wide tracer (disabled until a caller enables it) — unless
@@ -92,6 +170,9 @@ class Tracer {
  private:
   std::vector<TraceEvent> ring_;
   std::uint64_t total_ = 0;  // next write goes to ring_[total_ % capacity]
+  std::vector<SpanEvent> span_ring_;
+  std::uint64_t span_total_ = 0;
+  std::vector<SpanEvent> open_spans_;  // begun, not yet ended
   bool enabled_ = false;
 };
 

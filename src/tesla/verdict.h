@@ -1,0 +1,36 @@
+#pragma once
+// Per-reveal verification verdicts.
+//
+// Receivers across the protocol family reach the same small set of
+// outcomes when judging a (M_i, K_i, i) reveal; naming them lets the
+// fleet layer tag verify spans with the reject reason instead of a
+// bare accept/reject bit.
+
+#include <cstdint>
+#include <string_view>
+
+namespace dap::tesla {
+
+enum class RevealVerdict : std::uint8_t {
+  kAccepted,      // weak + strong authentication both passed
+  kWeakAuthFail,  // disclosed key failed the one-way-chain walk
+  kNoRecord,      // key fine, but no buffered uMAC record matched
+  kKeyPruned,     // per-interval MAC key no longer derivable/retained
+};
+
+[[nodiscard]] constexpr std::string_view reveal_verdict_name(
+    RevealVerdict verdict) noexcept {
+  switch (verdict) {
+    case RevealVerdict::kAccepted:
+      return "accepted";
+    case RevealVerdict::kWeakAuthFail:
+      return "weak_auth_fail";
+    case RevealVerdict::kNoRecord:
+      return "no_record";
+    case RevealVerdict::kKeyPruned:
+      return "key_pruned";
+  }
+  return "unknown";
+}
+
+}  // namespace dap::tesla

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
 #include <set>
 #include <stdexcept>
@@ -24,10 +25,13 @@
 #include "fleet/scenario.h"
 #include "fleet/topology.h"
 #include "obs/registry.h"
+#include "obs/snapshot.h"
+#include "obs/tracer.h"
 #include "sim/adversary.h"
 #include "sim/channel.h"
 #include "sim/faults.h"
 #include "sim/time.h"
+#include "tesla/verdict.h"
 
 namespace dap {
 namespace {
@@ -380,6 +384,27 @@ TEST(Cohort, DrainIsBitwiseIdenticalAcrossThreadCounts) {
   EXPECT_EQ(run(7), serial);
 }
 
+TEST(Cohort, DrainOutcomesCarryRevealVerdicts) {
+  const fleet::CohortConfig config = cohort_config(8, 5);
+  protocol::DapSender sender(config.dap, common::Rng(1).bytes(16));
+  fleet::ReceiverCohort cohort(config, sender.chain().commitment());
+  sim::KeyGuessForger key_forger(config.dap.sender_id, config.dap.key_size,
+                                 common::Rng(78));
+
+  const sim::SimTime t = announce_time(config.dap, 1);
+  cohort.receive_announce(sender.announce(1, common::bytes_of("m")), t);
+  cohort.enqueue_reveal(sender.reveal(1));
+  cohort.enqueue_reveal(key_forger.forge_reveal(1, common::bytes_of("F")));
+  const auto outcomes = cohort.drain(drain_time(config.dap, 1));
+  ASSERT_EQ(outcomes.size(), 2u);
+  // The authentic reveal authenticates; the guessed key is rejected at
+  // weak authentication — and the verdict names the reject reason so
+  // verify spans can carry it.
+  EXPECT_EQ(outcomes[0].verdict, tesla::RevealVerdict::kAccepted);
+  EXPECT_EQ(outcomes[1].verdict, tesla::RevealVerdict::kWeakAuthFail);
+  EXPECT_FALSE(outcomes[1].sentinel_authenticated);
+}
+
 TEST(Cohort, RejectsZeroMembers) {
   const fleet::CohortConfig config = cohort_config(0, 5);
   protocol::DapSender sender(cohort_dap_config(), common::Rng(1).bytes(16));
@@ -500,6 +525,135 @@ TEST(FleetSim, RollupFeedsPerDepthRegistryCounters) {
   ASSERT_NE(hops, nullptr);
   // Two 1 ms hops to depth 2.
   EXPECT_GE(hops->max(), 2000.0);
+}
+
+// ------------------------------------------------- causal tracing & snapshots
+
+// Installs a private registry + tracer as the calling thread's globals
+// for one test body (the same isolation benches use), so span and
+// snapshot assertions see only this sim's telemetry.
+class ObsOverrideGuard {
+ public:
+  explicit ObsOverrideGuard(std::size_t trace_capacity)
+      : tracer_(trace_capacity),
+        prev_registry_(obs::Registry::set_thread_override(&registry_)),
+        prev_tracer_(obs::Tracer::set_thread_override(&tracer_)) {
+    tracer_.enable(true);
+  }
+  ~ObsOverrideGuard() {
+    obs::Registry::set_thread_override(prev_registry_);
+    obs::Tracer::set_thread_override(prev_tracer_);
+  }
+  obs::Registry& registry() { return registry_; }
+  obs::Tracer& tracer() { return tracer_; }
+
+ private:
+  obs::Registry registry_;
+  obs::Tracer tracer_;
+  obs::Registry* prev_registry_;
+  obs::Tracer* prev_tracer_;
+};
+
+TEST(FleetSim, VerifySpansLinkBackToAnnounceAcrossTwoHops) {
+  const ThreadGuard threads(1);
+  ObsOverrideGuard obs_guard(1 << 12);
+  fleet::ScenarioSpec spec = small_tree_spec();
+  spec.depth = 2;
+  spec.fanout = 1;  // chain 0 -> 1 -> 2: verify at node 2 is two hops out
+  fleet::FleetSim sim(spec);
+  (void)sim.run();
+
+  const auto spans = obs_guard.tracer().span_snapshot();
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(obs_guard.tracer().spans_dropped(), 0u);
+  std::map<std::uint64_t, const obs::SpanEvent*> by_uid;
+  for (const auto& span : spans) by_uid[span.uid] = &span;
+
+  // Every authentic verify span's parent walk must reach the root
+  // announce_send; the one at node 2 passes two relay hops on the way.
+  bool found_two_hop_chain = false;
+  for (const auto& span : spans) {
+    if (span.kind != obs::SpanKind::kVerify ||
+        span.tag != obs::SpanTag::kAuthOk) {
+      continue;
+    }
+    std::size_t relay_hops = 0;
+    const obs::SpanEvent* at = &span;
+    while (at->parent != 0) {
+      const auto it = by_uid.find(at->parent);
+      ASSERT_NE(it, by_uid.end()) << "dangling parent uid " << at->parent;
+      at = it->second;
+      EXPECT_EQ(at->trace, span.trace) << "parent walk left the trace";
+      EXPECT_LE(at->t_begin, span.t_begin);
+      if (at->kind == obs::SpanKind::kRelayHop) ++relay_hops;
+    }
+    EXPECT_EQ(at->kind, obs::SpanKind::kAnnounceSend);
+    if (span.node == 2 && relay_hops >= 2) found_two_hop_chain = true;
+  }
+  EXPECT_TRUE(found_two_hop_chain)
+      << "no verify span at node 2 walked back through both relay hops";
+
+  // One trace id per interval, shared across the whole causal chain.
+  std::set<std::uint64_t> traces;
+  for (const auto& span : spans) traces.insert(span.trace);
+  EXPECT_EQ(traces.size(), static_cast<std::size_t>(spec.intervals));
+}
+
+TEST(FleetSim, ForgedRevealsTagVerifySpansWithRejectReason) {
+  const ThreadGuard threads(1);
+  ObsOverrideGuard obs_guard(1 << 14);
+  fleet::ScenarioSpec spec = small_tree_spec();
+  spec.members_per_cohort = 10;
+  spec.forged_fraction = 0.9;
+  fleet::FleetSim sim(spec);
+  const fleet::FleetReport report = sim.run();
+  ASSERT_GT(report.forged_reveals_sent, 0u);
+
+  // Reject tags cover two populations: forged reveals (no authentic
+  // causal predecessor, so root-parented) and authentic reveals whose
+  // records the flood evicted (still linked to their announce chain).
+  std::size_t rejects = 0;
+  std::size_t forged_rejects = 0;
+  for (const auto& span : obs_guard.tracer().span_snapshot()) {
+    if (span.kind != obs::SpanKind::kVerify) continue;
+    if (span.tag == obs::SpanTag::kWeakAuthFail ||
+        span.tag == obs::SpanTag::kNoRecord) {
+      ++rejects;
+      if (span.parent == 0) ++forged_rejects;
+    } else if (span.tag == obs::SpanTag::kAuthOk) {
+      // An accepted verify always has an authentic predecessor to link.
+      EXPECT_NE(span.parent, 0u);
+    }
+  }
+  EXPECT_GT(rejects, 0u) << "no verify span carries a reject reason";
+  EXPECT_GT(forged_rejects, 0u)
+      << "no root-parented (forged) verify span was rejected";
+}
+
+TEST(FleetSim, SnapshotterSamplesEveryIntervalPlusFinal) {
+  const ThreadGuard threads(1);
+  ObsOverrideGuard obs_guard(1 << 10);
+  fleet::ScenarioSpec spec = small_tree_spec();
+  fleet::FleetSim sim(spec);
+  obs::Snapshotter snap(spec.id(), spec.interval_us);
+  sim.set_snapshotter(&snap);
+  (void)sim.run();
+
+  // One sample per interval boundary the drain sweep crosses, plus the
+  // unconditional end-of-run sample from rollup.
+  EXPECT_GE(snap.samples(), static_cast<std::size_t>(spec.intervals));
+  const std::string stream = snap.stream();
+  EXPECT_NE(stream.find("\"schema\":\"dap.snapshots.v1\""),
+            std::string::npos);
+  EXPECT_NE(stream.find("\"fleet.announces_sent\":3"), std::string::npos);
+  EXPECT_NE(stream.find("\"fleet.auths\""), std::string::npos);
+
+  // The live-flush deltas must sum to the same totals the old end-only
+  // rollup produced: the final sample's counter equals the report's.
+  const auto* sent =
+      obs_guard.registry().find_counter("fleet.announces_sent");
+  ASSERT_NE(sent, nullptr);
+  EXPECT_EQ(*sent, 3u);
 }
 
 // ------------------------------------------- multi-hop fault composition

@@ -1,7 +1,7 @@
 // Unit tests for the obs telemetry layer: registry handles, log-bucket
 // histogram boundaries and percentile extraction, trace ring-buffer
-// wraparound, JSONL/Chrome export round-trips, and the allocation-free
-// hot-path guarantee.
+// wraparound, causal spans, snapshot time series, JSONL/Chrome export
+// round-trips, and the allocation-free hot-path guarantee.
 
 #include <gtest/gtest.h>
 
@@ -10,12 +10,14 @@
 #include <cstdlib>
 #include <new>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "obs/export.h"
 #include "obs/registry.h"
 #include "obs/scoped_timer.h"
+#include "obs/snapshot.h"
 #include "obs/tracer.h"
 
 // ------------------------------------------------------------------
@@ -351,6 +353,209 @@ TEST(Tracer, ChromeTraceExportIsWellFormed) {
             std::count(json.begin(), json.end(), ']'));
 }
 
+// ------------------------------------------------------------- Spans
+
+SpanEvent make_span(std::uint64_t uid, std::uint64_t parent, SpanKind kind,
+                    std::uint64_t t_begin, std::uint64_t t_end,
+                    std::uint32_t node, SpanTag tag = SpanTag::kNone) {
+  SpanEvent s;
+  s.uid = uid;
+  s.trace = 77;
+  s.parent = parent;
+  s.t_begin = t_begin;
+  s.t_end = t_end;
+  s.node = node;
+  s.id = 3;
+  s.kind = kind;
+  s.tag = tag;
+  return s;
+}
+
+TEST(TracerSpans, RecordAndSnapshotOldestFirst) {
+  Tracer tracer(8);
+  tracer.enable(true);
+  tracer.record_span(
+      make_span(10, 0, SpanKind::kAnnounceSend, 100, 100, 0));
+  tracer.record_span(make_span(11, 10, SpanKind::kRelayHop, 100, 400, 1));
+  tracer.record_span(make_span(12, 11, SpanKind::kVerify, 400, 900, 2,
+                               SpanTag::kAuthOk));
+  EXPECT_EQ(tracer.span_size(), 3u);
+  EXPECT_EQ(tracer.spans_total_recorded(), 3u);
+  EXPECT_EQ(tracer.spans_dropped(), 0u);
+  const auto spans = tracer.span_snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].uid, 10u);
+  EXPECT_EQ(spans[2].parent, 11u);
+  EXPECT_EQ(spans[2].tag, SpanTag::kAuthOk);
+}
+
+TEST(TracerSpans, BeginEndClosesIntoRing) {
+  Tracer tracer(8);
+  tracer.enable(true);
+  tracer.span_begin(make_span(5, 0, SpanKind::kRelayHop, 200, 0, 4));
+  EXPECT_EQ(tracer.open_spans(), 1u);
+  EXPECT_EQ(tracer.span_size(), 0u);
+  tracer.span_end(5, 650, SpanTag::kAuthOk);
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  ASSERT_EQ(tracer.span_size(), 1u);
+  const auto spans = tracer.span_snapshot();
+  EXPECT_EQ(spans[0].t_begin, 200u);
+  EXPECT_EQ(spans[0].t_end, 650u);
+  EXPECT_EQ(spans[0].tag, SpanTag::kAuthOk);
+  // Unknown uid: ignored without effect.
+  tracer.span_end(999, 700);
+  EXPECT_EQ(tracer.span_size(), 1u);
+}
+
+TEST(TracerSpans, RingDropAccountingMatchesEventRing) {
+  Tracer tracer(4);
+  tracer.enable(true);
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    tracer.record_span(
+        make_span(i, 0, SpanKind::kRelayHop, i * 10, i * 10 + 5, 1));
+  }
+  EXPECT_EQ(tracer.span_size(), 4u);
+  EXPECT_EQ(tracer.spans_total_recorded(), 10u);
+  EXPECT_EQ(tracer.spans_dropped(), 6u);
+  // Oldest-first tail of the run: uids 7..10.
+  EXPECT_EQ(tracer.span_snapshot().front().uid, 7u);
+}
+
+TEST(TracerSpans, SetCapacityOnlyWhileEmpty) {
+  Tracer tracer(4);
+  tracer.enable(true);
+  tracer.set_capacity(64);  // empty: fine
+  EXPECT_EQ(tracer.capacity(), 64u);
+  EXPECT_EQ(tracer.span_capacity(), 64u);
+  tracer.record(TraceKind::kAnnounce, 1);
+  EXPECT_THROW(tracer.set_capacity(128), std::logic_error);
+  tracer.clear();
+  tracer.set_capacity(128);  // cleared: fine again
+  EXPECT_EQ(tracer.capacity(), 128u);
+}
+
+TEST(TracerSpans, AppendFromPreservesParentLinks) {
+  Tracer shard(16);
+  shard.enable(true);
+  shard.record(TraceKind::kAnnounce, 100, 3);
+  shard.record_span(make_span(20, 0, SpanKind::kAnnounceSend, 100, 100, 0));
+  shard.record_span(make_span(21, 20, SpanKind::kVerify, 100, 300, 2,
+                              SpanTag::kNoRecord));
+
+  Tracer merged(16);
+  merged.enable(true);
+  merged.append_from(shard);
+  EXPECT_EQ(merged.total_recorded(), 1u);
+  ASSERT_EQ(merged.span_size(), 2u);
+  const auto spans = merged.span_snapshot();
+  EXPECT_EQ(spans[0].uid, 20u);
+  EXPECT_EQ(spans[1].parent, 20u);  // caller-assigned uids survive merges
+  EXPECT_EQ(spans[1].tag, SpanTag::kNoRecord);
+}
+
+TEST(TracerSpans, JsonlExportEmitsSpanLines) {
+  Tracer tracer(8);
+  tracer.enable(true);
+  tracer.record_span(make_span(30, 0, SpanKind::kAnnounceSend, 10, 10, 0));
+  tracer.record_span(make_span(31, 30, SpanKind::kVerify, 10, 90, 5,
+                               SpanTag::kWeakAuthFail));
+  std::ostringstream out;
+  tracer.export_jsonl(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"span\":\"announce_send\""), std::string::npos);
+  EXPECT_NE(text.find("\"span\":\"verify\""), std::string::npos);
+  EXPECT_NE(text.find("\"parent\":30"), std::string::npos);
+  EXPECT_NE(text.find("\"tag\":\"weak_auth_fail\""), std::string::npos);
+}
+
+TEST(TracerSpans, ChromeTraceLinksSpansWithFlowArrows) {
+  Tracer tracer(8);
+  tracer.enable(true);
+  tracer.record_span(make_span(40, 0, SpanKind::kAnnounceSend, 100, 100, 0));
+  tracer.record_span(make_span(41, 40, SpanKind::kRelayHop, 100, 400, 7));
+  std::ostringstream out;
+  tracer.export_chrome_trace(out);
+  const std::string json = out.str();
+  // Spans render as "X" complete events on per-node lanes...
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":7"), std::string::npos);
+  // ...and the parent->child edge as a flow start/finish pair keyed by
+  // the child's uid.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":41"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+// ------------------------------------------------------- Snapshotter
+
+TEST(Snapshotter, SamplesOnSimTimeCadenceBoundaries) {
+  Registry reg;
+  const CounterHandle c = reg.counter("fleet.announces_sent");
+  Snapshotter snap("topology:test", 1000);
+  EXPECT_FALSE(snap.maybe_sample(reg, 999));   // before first boundary
+  reg.add(c, 5);
+  EXPECT_TRUE(snap.maybe_sample(reg, 1000));   // on the boundary
+  EXPECT_FALSE(snap.maybe_sample(reg, 1500));  // same cadence window
+  EXPECT_TRUE(snap.maybe_sample(reg, 3700));   // skipped boundaries: one sample
+  EXPECT_FALSE(snap.maybe_sample(reg, 3900));  // next due at 4000
+  EXPECT_EQ(snap.samples(), 2u);
+}
+
+TEST(Snapshotter, StreamCarriesHeaderAndOrderedSamples) {
+  Registry reg;
+  reg.add(reg.counter("fleet.announces_sent"), 2);
+  reg.set(reg.gauge("fleet.members"), 64.0);
+  reg.mark(reg.rate("fleet.auth"), true);
+  Snapshotter snap("topology:test", 500);
+  snap.sample(reg, 500);
+  reg.add(reg.counter("fleet.announces_sent"), 3);
+  snap.sample(reg, 1000);
+
+  std::istringstream in(snap.stream());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);  // header + 2 samples
+  EXPECT_NE(lines[0].find("\"schema\":\"dap.snapshots.v1\""),
+            std::string::npos);
+  EXPECT_NE(lines[0].find("\"cadence_us\":500"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"seq\":0"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"t_us\":500"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"fleet.announces_sent\":2"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"seq\":1"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"fleet.announces_sent\":5"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"fleet.auth\""), std::string::npos);
+}
+
+TEST(Snapshotter, HistogramFilterExcludesWallClockInstruments) {
+  Registry reg;
+  reg.observe(reg.histogram("fleet.hop_latency_us"), 250.0);
+  reg.observe(reg.histogram("crypto.hmac_us"), 3.0);
+  Snapshotter snap("topology:test", 100, [](std::string_view name) {
+    return name.find("hop_latency") != std::string_view::npos;
+  });
+  snap.sample(reg, 100);
+  const std::string stream = snap.stream();
+  EXPECT_NE(stream.find("fleet.hop_latency_us"), std::string::npos);
+  EXPECT_EQ(stream.find("crypto.hmac_us"), std::string::npos);
+}
+
+TEST(Snapshotter, IdenticalRegistriesYieldIdenticalStreams) {
+  // The byte-identity contract across DAP_THREADS reduces to: equal
+  // registry state sampled at equal sim times produces equal bytes.
+  auto build = [] {
+    Registry reg;
+    reg.add(reg.counter("fleet.announces_sent"), 41);
+    reg.observe(reg.histogram("fleet.hop_latency_us"), 125.0);
+    Snapshotter snap("topology:test", 250);
+    snap.maybe_sample(reg, 250);
+    snap.maybe_sample(reg, 500);
+    return snap.stream();
+  };
+  EXPECT_EQ(build(), build());
+}
+
 // ------------------------------------------------------------ Export
 
 TEST(Export, MetricsJsonContainsEveryInstrument) {
@@ -362,7 +567,7 @@ TEST(Export, MetricsJsonContainsEveryInstrument) {
   for (int i = 1; i <= 100; ++i) reg.observe(h, static_cast<double>(i));
 
   const std::string json = metrics_json(reg, 1.5);
-  EXPECT_NE(json.find("\"schema\": \"dap.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"dap.metrics.v2\""), std::string::npos);
   EXPECT_NE(json.find("\"wall_seconds\": 1.5"), std::string::npos);
   EXPECT_NE(json.find("\"dap.announces_received\": 12"), std::string::npos);
   EXPECT_NE(json.find("\"dap.buffers\": 6"), std::string::npos);
@@ -370,8 +575,40 @@ TEST(Export, MetricsJsonContainsEveryInstrument) {
   EXPECT_NE(json.find("\"count\": 100"), std::string::npos);
   EXPECT_NE(json.find("\"p50\":"), std::string::npos);
   EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\": ["), std::string::npos);
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
             std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Export, MetricsJsonBucketsRecoverTheDistribution) {
+  Registry reg;
+  const HistogramHandle h = reg.histogram("fleet.hop_latency_us");
+  reg.observe(h, 10.0);
+  reg.observe(h, 10.0);
+  reg.observe(h, 1000.0);
+  const std::string json = metrics_json(reg, -1.0);
+
+  // The two observed values land in their exact bucket triples:
+  // [lower, upper, count] with lower <= v < upper.
+  const auto lo10 = LatencyHistogram::bucket_index(10.0);
+  const auto lo1000 = LatencyHistogram::bucket_index(1000.0);
+  std::ostringstream expect10;
+  expect10 << "[" << detail::json_number(LatencyHistogram::bucket_lower(lo10))
+           << ", " << detail::json_number(LatencyHistogram::bucket_upper(lo10))
+           << ", 2]";
+  std::ostringstream expect1000;
+  expect1000 << "["
+             << detail::json_number(LatencyHistogram::bucket_lower(lo1000))
+             << ", "
+             << detail::json_number(LatencyHistogram::bucket_upper(lo1000))
+             << ", 1]";
+  EXPECT_NE(json.find(expect10.str()), std::string::npos) << json;
+  EXPECT_NE(json.find(expect1000.str()), std::string::npos) << json;
+  // Only non-empty buckets export: exactly two triples.
+  EXPECT_NE(json.find("\"buckets\": [" + expect10.str() + ", " +
+                      expect1000.str() + "]"),
+            std::string::npos)
+      << json;
 }
 
 TEST(Export, EmptyRegistryStillValid) {

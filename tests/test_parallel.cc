@@ -9,7 +9,9 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "analysis/chaos.h"
@@ -19,7 +21,10 @@
 #include "game/ess.h"
 #include "game/optimizer.h"
 #include "game/params.h"
+#include "obs/export.h"
 #include "obs/registry.h"
+#include "obs/snapshot.h"
+#include "obs/tracer.h"
 
 namespace dap {
 namespace {
@@ -297,6 +302,61 @@ TEST(Determinism, ChaosSoaksIdenticalAcrossThreadCounts) {
       }
     }
   }
+}
+
+TEST(Determinism, TelemetryExportBytesIdenticalAcrossThreadCounts) {
+  // The full serialized telemetry surface — metrics JSON (counters,
+  // gauges, rates, histogram buckets), the snapshot stream, and the
+  // trace JSONL — must be byte-identical at any thread count, not just
+  // numerically close. Registry updates run against a private registry
+  // via a thread override (shards merge into the override because the
+  // merge runs on the calling thread). The tracer must be the *process*
+  // global, sized and enabled before the fan-out, because worker
+  // threads copy its enabled state when they create their shards —
+  // exactly the bench setup.
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.set_capacity(512);
+  tracer.enable(true);
+  auto run = [&tracer](std::size_t threads) {
+    tracer.clear();
+    obs::Registry local;
+    obs::Registry* prev_reg = obs::Registry::set_thread_override(&local);
+    common::parallel_for(
+        96,
+        [](std::size_t i) {
+          auto& reg = obs::Registry::global();
+          reg.add(reg.counter("ptest.items"));
+          reg.mark(reg.rate("ptest.auth"), i % 3 != 0);
+          reg.observe(reg.histogram("ptest.latency_us"),
+                      static_cast<double>(i % 7) * 10.0 + 1.0);
+          obs::SpanEvent span;
+          span.uid = static_cast<std::uint64_t>(i) + 1;
+          span.trace = common::subseed(99, i);
+          span.t_begin = i * 100;
+          span.t_end = i * 100 + 40;
+          span.node = static_cast<std::uint32_t>(i % 5);
+          span.kind = obs::SpanKind::kVerify;
+          span.tag = obs::SpanTag::kAuthOk;
+          obs::Tracer::global().record_span(span);
+        },
+        {.threads = threads});
+    obs::Registry::set_thread_override(prev_reg);
+
+    obs::Snapshotter snap("ptest", 1000);
+    snap.sample(local, 1000);
+    std::ostringstream trace_out;
+    tracer.export_jsonl(trace_out);
+    return obs::metrics_json(local, -1.0) + snap.stream() + trace_out.str();
+  };
+  const std::string serial = run(1);
+  EXPECT_GT(serial.size(), 0u);
+  EXPECT_NE(serial.find("\"ptest.items\": 96"), std::string::npos);
+  EXPECT_NE(serial.find("\"span\":\"verify\""), std::string::npos);
+  EXPECT_EQ(serial, run(4));
+  EXPECT_EQ(serial, run(8));
+  tracer.clear();
+  tracer.enable(false);
 }
 
 TEST(Determinism, MergedCountersIdenticalAcrossThreadCounts) {
