@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Full local check: tier-1 build + test suite (including the lint and
-# fuzz-corpus-replay ctest entries), then the ENTIRE ctest suite again
-# under AddressSanitizer + UBSan with contracts at the fatal level.
+# fuzz-corpus-replay ctest entries), an explicit static-analysis stage
+# (repo lint, thread-safety gate, run-clang-tidy when installed), then
+# the ENTIRE ctest suite again under AddressSanitizer + UBSan with
+# contracts at the fatal level.
 #
 #   scripts/check.sh            # everything
 #   scripts/check.sh --fast     # tier-1 only, skip the sanitizer pass
@@ -18,6 +20,15 @@ echo "== tier-1: configure + build + ctest =="
 cmake -B build -S . "${GEN[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build
 ctest --test-dir build --output-on-failure
+
+echo "== static analysis: repo lint + thread-safety gate =="
+python3 scripts/lint.py src
+python3 scripts/thread_safety_check.py
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -quiet -p build '(src|fuzz)/.*\.cc$'
+else
+  echo "run-clang-tidy not installed — clang-tidy tier runs in CI"
+fi
 
 if [[ "$FAST" == 1 ]]; then
   echo "== skipping sanitizer pass (--fast) =="

@@ -5,35 +5,49 @@
 #      fuzz corpus-replay drivers.
 #   2. scripts/lint.py over src/ (repo-specific rules), run directly so a
 #      missing python3-in-ctest configuration cannot hide it.
-#   3. clang-tidy over the library sources when clang-tidy is installed
-#      (skipped gracefully otherwise — the container ships gcc only).
-#   4. Full ctest suite under ASan+UBSan with contracts at FATAL.
+#   3. Thread-safety gate: guarded-fields structural check always, plus
+#      clang -Werror=thread-safety analysis when clang++ is installed;
+#      the negative self-test proves the gate fails on a stripped
+#      annotation.
+#   4. clang-tidy over the exported compilation database when installed
+#      (run-clang-tidy preferred; skipped gracefully otherwise — the
+#      container ships gcc only).
+#   5. Full ctest suite under ASan+UBSan with contracts at FATAL.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 GEN=()
 command -v ninja >/dev/null 2>&1 && GEN=(-G Ninja)
 
-echo "== [1/4] build (DAP_WERROR=ON) + ctest =="
+echo "== [1/5] build (DAP_WERROR=ON) + ctest =="
 cmake -B build-ci -S . "${GEN[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDAP_WERROR=ON
 cmake --build build-ci
 ctest --test-dir build-ci --output-on-failure
 
-echo "== [2/4] scripts/lint.py =="
+echo "== [2/5] scripts/lint.py =="
 python3 scripts/lint.py --self-test
 python3 scripts/lint.py src
 
-echo "== [3/4] clang-tidy =="
+echo "== [3/5] thread-safety gate =="
+python3 scripts/thread_safety_check.py
+python3 scripts/thread_safety_selftest.py
+
+echo "== [4/5] clang-tidy =="
 if command -v clang-tidy >/dev/null 2>&1; then
-  cmake -B build-ci -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-  mapfile -t tidy_sources < <(find src fuzz -name '*.cc' | sort)
-  clang-tidy -p build-ci --quiet "${tidy_sources[@]}"
+  # compile_commands.json is exported by every configure (top-level
+  # CMakeLists sets CMAKE_EXPORT_COMPILE_COMMANDS).
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -quiet -p build-ci '(src|fuzz)/.*\.cc$'
+  else
+    mapfile -t tidy_sources < <(find src fuzz -name '*.cc' | sort)
+    clang-tidy -p build-ci --quiet "${tidy_sources[@]}"
+  fi
 else
   echo "clang-tidy not installed — skipping (config: .clang-tidy)"
 fi
 
-echo "== [4/4] ASan+UBSan full suite, contracts fatal =="
+echo "== [5/5] ASan+UBSan full suite, contracts fatal =="
 cmake -B build-ci-asan -S . "${GEN[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDAP_SANITIZE=address,undefined \
   -DDAP_CONTRACTS=FATAL \

@@ -1,0 +1,18 @@
+"""dap_lint — token-aware repo-specific lint engine for the DAP codebase.
+
+Replaces the regex core of scripts/lint.py with a real C++ lexer
+(comment/string/raw-string/line-splice correct), lightweight scope
+tracking, and per-rule `// lint: allow(<rule>): <reason>` suppressions
+(the legacy `// dap-lint: allow(...)` markers keep working).
+
+Modules:
+  tokenizer   C++ lexer: tokens, comments, preprocessor directives
+  engine      file model, suppression handling, finding plumbing
+  layering    the module-dependency DAG the layering rule enforces
+  rules       all lint rules (legacy ports + the new rule set)
+  selftest    seeded-violation / suppression self-test per rule
+  cli         command-line entry point (scripts/lint.py delegates here)
+"""
+
+from .engine import Finding, run_lint  # noqa: F401
+from .cli import main  # noqa: F401

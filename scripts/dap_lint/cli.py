@@ -1,0 +1,29 @@
+"""Command-line front end (scripts/lint.py delegates here).
+
+Usage:
+  scripts/lint.py              # lint src/ (exit 1 on any finding)
+  scripts/lint.py PATH...      # lint specific files/directories
+  scripts/lint.py --self-test  # verify the linter catches seeded
+                               # violations and passes clean code
+"""
+
+import pathlib
+
+from .engine import ROOT, format_finding, run_lint
+
+
+def main(argv) -> int:
+    if "--self-test" in argv:
+        from .selftest import self_test
+        return self_test()
+    paths = [pathlib.Path(a) for a in argv if not a.startswith("-")]
+    if not paths:
+        paths = [ROOT / "src"]
+    findings = run_lint(paths)
+    for finding in findings:
+        print(format_finding(finding))
+    if findings:
+        print(f"lint: {len(findings)} finding(s)")
+        return 1
+    print("lint: clean")
+    return 0

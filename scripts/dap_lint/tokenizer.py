@@ -1,0 +1,349 @@
+"""Token-aware C++ lexer for dap_lint.
+
+The legacy linter matched regexes against raw lines, which meant banned
+identifiers inside comments, string literals, and raw strings produced
+false positives (and suppression markers inside string literals counted
+as real suppressions). This lexer does the phases that matter for
+linting:
+
+  * line splicing (backslash-newline) with per-character line tracking,
+    so a `//` comment continued across a splice swallows the next
+    physical line exactly like the compiler does;
+  * comment recognition (`//` and `/* */`), with comment text kept
+    aside for suppression scanning;
+  * string / character literals, including encoding prefixes
+    (L, u, U, u8) and raw strings `R"delim(...)delim"`;
+  * preprocessor directives, captured as logical lines and parsed
+    (#include targets; #define bodies are re-lexed so macro bodies are
+    still visible to banned-call rules);
+  * identifiers, numbers (with digit separators and exponents), and
+    multi-character punctuators (`::`, `->`, `==`, ...).
+
+Known simplification: line splices inside raw-string literals are
+treated as spliced (the standard "reverts" them). None of the tree's
+raw strings span physical lines via splices, and the self-test pins the
+behaviours that matter.
+"""
+
+from typing import List, NamedTuple, Optional, Tuple
+
+
+class Token(NamedTuple):
+    kind: str  # 'ident' | 'number' | 'string' | 'char' | 'punct'
+    text: str
+    line: int  # 1-based physical line of the token's first character
+
+
+class Comment(NamedTuple):
+    text: str
+    line: int      # first physical line the comment touches
+    end_line: int  # last physical line (== line for `//` comments)
+
+
+class Directive(NamedTuple):
+    kind: str            # 'include' | 'define' | 'pragma' | 'if' | ...
+    text: str            # full logical line, '#' included, comment stripped
+    line: int
+    include_path: Optional[str]   # for #include: the header path
+    include_angled: Optional[bool]
+    body: Tuple[Token, ...]       # for #define: the macro body, lexed
+
+
+class LexResult(NamedTuple):
+    tokens: List[Token]
+    comments: List[Comment]
+    directives: List[Directive]
+
+
+# Longest-match punctuator table (3-char, then 2-char, then single).
+_PUNCT3 = ("...", "->*", "<=>", "<<=", ">>=")
+_PUNCT2 = ("::", "->", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+           "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "##", "++",
+           "--")
+
+_RAW_PREFIXES = {"R", "uR", "UR", "LR", "u8R"}
+_STR_PREFIXES = {"L", "u", "U", "u8"}
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+
+
+def _splice(text: str) -> Tuple[str, List[int]]:
+    """Removes backslash-newline splices. Returns the spliced text and a
+    per-character map back to 1-based physical line numbers."""
+    out: List[str] = []
+    line_of: List[int] = []
+    line = 1
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\\" and i + 1 < n and text[i + 1] == "\n":
+            i += 2
+            line += 1
+            continue
+        if ch == "\\" and i + 2 < n and text[i + 1] == "\r" \
+                and text[i + 2] == "\n":
+            i += 3
+            line += 1
+            continue
+        out.append(ch)
+        line_of.append(line)
+        if ch == "\n":
+            line += 1
+        i += 1
+    line_of.append(line)  # sentinel for end-of-text lookups
+    return "".join(out), line_of
+
+
+def _scan_string(s: str, i: int, quote: str) -> int:
+    """Returns the index one past the closing quote (handles escapes;
+    an unterminated literal stops at the newline)."""
+    n = len(s)
+    i += 1  # opening quote
+    while i < n:
+        ch = s[i]
+        if ch == "\\" and i + 1 < n:
+            i += 2
+            continue
+        if ch == quote:
+            return i + 1
+        if ch == "\n":
+            return i  # unterminated: resynchronise at the newline
+        i += 1
+    return n
+
+
+def _scan_raw_string(s: str, i: int) -> int:
+    """`i` points at the opening `"` after the R prefix. Returns the
+    index one past the closing quote."""
+    n = len(s)
+    j = i + 1
+    while j < n and s[j] not in "(\n" and (j - i) <= 17:
+        j += 1
+    if j >= n or s[j] != "(":
+        return _scan_string(s, i, '"')  # malformed: degrade gracefully
+    delim = s[i + 1:j]
+    closer = ")" + delim + '"'
+    end = s.find(closer, j + 1)
+    if end < 0:
+        return n
+    return end + len(closer)
+
+
+def _scan_number(s: str, i: int) -> int:
+    """pp-number: digits, letters, dots, digit separators, exponent
+    signs. Over-broad on purpose — lint rules never inspect numbers."""
+    n = len(s)
+    i += 1
+    while i < n:
+        ch = s[i]
+        if ch in _IDENT_CONT or ch == ".":
+            i += 1
+        elif ch == "'" and i + 1 < n and s[i + 1] in _IDENT_CONT:
+            i += 2  # digit separator
+        elif ch in "+-" and s[i - 1] in "eEpP":
+            i += 1
+        else:
+            break
+    return i
+
+
+def _lex_core(s: str, line_of: Optional[List[int]], base_line: int,
+              allow_directives: bool) -> LexResult:
+    tokens: List[Token] = []
+    comments: List[Comment] = []
+    directives: List[Directive] = []
+    i = 0
+    n = len(s)
+    at_line_start = True
+
+    def line_at(pos: int) -> int:
+        if line_of is not None:
+            return line_of[min(pos, len(line_of) - 1)]
+        return base_line
+
+    while i < n:
+        ch = s[i]
+
+        if ch == "\n":
+            at_line_start = True
+            i += 1
+            continue
+        if ch in " \t\r\f\v":
+            i += 1
+            continue
+
+        # Comments.
+        if ch == "/" and i + 1 < n and s[i + 1] == "/":
+            end = s.find("\n", i)
+            if end < 0:
+                end = n
+            comments.append(Comment(s[i:end], line_at(i), line_at(end - 1)))
+            i = end
+            continue
+        if ch == "/" and i + 1 < n and s[i + 1] == "*":
+            end = s.find("*/", i + 2)
+            if end < 0:
+                end = n
+            else:
+                end += 2
+            comments.append(Comment(s[i:end], line_at(i), line_at(end - 1)))
+            i = end
+            at_line_start = False
+            continue
+
+        # Preprocessor directive: '#' first on its (logical) line.
+        if ch == "#" and at_line_start and allow_directives:
+            end = s.find("\n", i)
+            if end < 0:
+                end = n
+            raw = s[i:end]
+            # Strip a trailing // comment but keep it for suppressions.
+            cut = _find_comment_in_directive(raw)
+            if cut >= 0:
+                comments.append(Comment(raw[cut:], line_at(i + cut),
+                                        line_at(i + cut)))
+                raw = raw[:cut]
+            directives.append(_parse_directive(raw.rstrip(), line_at(i)))
+            i = end
+            continue
+
+        at_line_start = False
+
+        # Identifier (and literal prefixes).
+        if ch in _IDENT_START:
+            j = i + 1
+            while j < n and s[j] in _IDENT_CONT:
+                j += 1
+            word = s[i:j]
+            if j < n and s[j] == '"' and word in _RAW_PREFIXES:
+                end = _scan_raw_string(s, j)
+                tokens.append(Token("string", s[i:end], line_at(i)))
+                i = end
+                continue
+            if j < n and s[j] == '"' and word in _STR_PREFIXES:
+                end = _scan_string(s, j, '"')
+                tokens.append(Token("string", s[i:end], line_at(i)))
+                i = end
+                continue
+            if j < n and s[j] == "'" and word in _STR_PREFIXES:
+                end = _scan_string(s, j, "'")
+                tokens.append(Token("char", s[i:end], line_at(i)))
+                i = end
+                continue
+            tokens.append(Token("ident", word, line_at(i)))
+            i = j
+            continue
+
+        # Literals.
+        if ch == '"':
+            end = _scan_string(s, i, '"')
+            tokens.append(Token("string", s[i:end], line_at(i)))
+            i = end
+            continue
+        if ch == "'":
+            end = _scan_string(s, i, "'")
+            tokens.append(Token("char", s[i:end], line_at(i)))
+            i = end
+            continue
+        if ch in _DIGITS or (ch == "." and i + 1 < n and s[i + 1] in _DIGITS):
+            end = _scan_number(s, i)
+            tokens.append(Token("number", s[i:end], line_at(i)))
+            i = end
+            continue
+
+        # Punctuators, longest match first.
+        if s[i:i + 3] in _PUNCT3:
+            tokens.append(Token("punct", s[i:i + 3], line_at(i)))
+            i += 3
+            continue
+        if s[i:i + 2] in _PUNCT2:
+            tokens.append(Token("punct", s[i:i + 2], line_at(i)))
+            i += 2
+            continue
+        tokens.append(Token("punct", ch, line_at(i)))
+        i += 1
+
+    return LexResult(tokens, comments, directives)
+
+
+def _find_comment_in_directive(raw: str) -> int:
+    """Index of a // comment inside a directive line, respecting string
+    and char literals (so `#define X "//"` is not cut). -1 if none."""
+    i = 0
+    n = len(raw)
+    while i < n - 1:
+        ch = raw[i]
+        if ch in "\"'":
+            i = _scan_string(raw, i, ch)
+            continue
+        if ch == "/" and raw[i + 1] == "/":
+            return i
+        if ch == "/" and raw[i + 1] == "*":
+            end = raw.find("*/", i + 2)
+            i = n if end < 0 else end + 2
+            continue
+        i += 1
+    return -1
+
+
+def _parse_directive(raw: str, line: int) -> Directive:
+    body = raw.lstrip()[1:].lstrip()  # drop '#'
+    word = ""
+    for ch in body:
+        if ch in _IDENT_CONT:
+            word += ch
+        else:
+            break
+    rest = body[len(word):].lstrip()
+
+    include_path = None
+    include_angled = None
+    define_body: Tuple[Token, ...] = ()
+
+    if word == "include" and rest:
+        if rest[0] == '"':
+            end = rest.find('"', 1)
+            if end > 0:
+                include_path = rest[1:end]
+                include_angled = False
+        elif rest[0] == "<":
+            end = rest.find(">", 1)
+            if end > 0:
+                include_path = rest[1:end]
+                include_angled = True
+    elif word == "define" and rest:
+        # Skip the macro name, and a parameter list only when it opens
+        # immediately (function-like macro); the remainder is the body.
+        k = 0
+        while k < len(rest) and rest[k] in _IDENT_CONT:
+            k += 1
+        if k < len(rest) and rest[k] == "(":
+            depth = 0
+            while k < len(rest):
+                if rest[k] == "(":
+                    depth += 1
+                elif rest[k] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        k += 1
+                        break
+                k += 1
+        macro_body = rest[k:].strip()
+        if macro_body:
+            define_body = tuple(
+                _lex_core(macro_body, None, line, False).tokens)
+
+    return Directive(word, raw, line, include_path, include_angled,
+                     define_body)
+
+
+def tokenize(text: str) -> LexResult:
+    """Lexes a C++ translation unit. Comments and preprocessor
+    directives are returned out-of-band; `tokens` is the pure token
+    stream rules scan."""
+    spliced, line_of = _splice(text)
+    return _lex_core(spliced, line_of, 1, True)

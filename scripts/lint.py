@@ -1,391 +1,41 @@
 #!/usr/bin/env python3
-"""Repo-specific lint rules for the DAP codebase.
+"""Repo-specific lint for the DAP codebase — thin launcher.
+
+The implementation lives in scripts/dap_lint/ (token-aware C++ lexer,
+scope tracking, rule set, self-test); this file only keeps the
+historical entry point stable for CI, ctest, and muscle memory.
 
 Rules (each finding prints `path:line: [rule] message`):
 
-  constant-time   Protocol code (src/crypto, src/tesla, src/dap, src/wire)
-                  must never compare MAC/key/tag material with a
-                  short-circuiting comparison: `memcmp`, `std::equal`, and
-                  `common::equal` are banned there — use
-                  `common::constant_time_equal`. Suppress a deliberate
-                  variable-time compare of public data with a trailing
-                  `// dap-lint: allow(variable-time)` comment.
+  constant-time       memcmp / std::equal / common::equal banned in
+                      protocol code — use common::constant_time_equal.
+  determinism         rand()/random_device/wall clocks banned outside
+                      src/obs; range-for over unordered_* containers
+                      flagged in src/{sim,fleet,dap,tesla}.
+  include-hygiene     no ../ includes, no deprecated C headers, own
+                      header first in .cc files, no bare assert().
+  global-state        mutable static variables banned outside src/obs.
+  metric-name         obs instrument names must be dot-namespaced
+                      lowercase ("subsystem.metric").
+  secret-taint        ==/!= on key/MAC-derived values in protocol code.
+  layering            project includes must follow the module DAG in
+                      scripts/dap_lint/layering.py (drawn in DESIGN.md).
+  contracts-coverage  receive*/decode* definitions in protocol modules
+                      must assert a DAP_REQUIRE precondition.
+  guarded-fields      classes owning a dap::common::Mutex must annotate
+                      every mutable field with DAP_GUARDED_BY.
 
-  determinism     Simulation and protocol code must be reproducible
-                  bit-for-bit from an explicit seed: `rand()`, `srand()`,
-                  `std::random_device`, `drand48`, `gettimeofday`, and the
-                  wall/system clocks are banned in src/ outside src/obs
-                  (the telemetry layer measures real latencies and may use
-                  steady_clock). Use common::Rng and sim::SimTime.
-                  Suppress with `// dap-lint: allow(nondeterminism)`.
+Suppress a deliberate exception on (or directly above) the flagged line:
 
-  include-hygiene No `../` relative includes; no deprecated C headers
-                  (<assert.h> & co — use the <c...> forms); a module
-                  .cc file's first project include must be its own header;
-                  bare `assert(` is banned in src/ (use DAP_REQUIRE /
-                  DAP_ENSURE / DAP_INVARIANT from common/contracts.h).
+    // lint: allow(<rule>): <reason>
 
-  global-state    Mutable `static` variables (function-local or namespace
-                  scope) are shared state that breaks thread-safety under
-                  the parallel engine: banned in src/ outside src/obs
-                  (the telemetry layer owns the process-global registry /
-                  tracer singletons and merges per-thread shards into
-                  them). `static const` / `constexpr` and `thread_local`
-                  declarations are fine. Suppress a deliberate global
-                  (e.g. a Meyers singleton guarded by its own mutex) with
-                  `// dap-lint: allow(global-state)`.
-
-  metric-name     Instrument names registered on the obs registry
-                  (`.counter("...")`, `.gauge(`, `.histogram(`, `.rate(`)
-                  must be dot-namespaced lowercase identifiers
-                  (`subsystem.metric`, e.g. "fleet.hop_latency_us"):
-                  flat or mixed-case names break the snapshot/trend
-                  tooling's subsystem grouping and sort unstably across
-                  exporters. Names built from a runtime prefix
-                  (`reg.counter(prefix + ".x")`) are out of scope. Suppress
-                  with `// dap-lint: allow(metric-name)`.
-
-Usage:
-  scripts/lint.py              # lint src/ (exit 1 on any finding)
-  scripts/lint.py PATH...      # lint specific files/directories
-  scripts/lint.py --self-test  # verify the linter catches seeded
-                               # violations and passes clean code
+(legacy `// dap-lint: allow(...)` markers, including the old
+variable-time / nondeterminism aliases, still work).
 """
 
-import pathlib
-import re
 import sys
-import tempfile
 
-ROOT = pathlib.Path(__file__).resolve().parent.parent
-
-SOURCE_SUFFIXES = {".cc", ".h"}
-
-CONSTANT_TIME_DIRS = ("src/crypto", "src/tesla", "src/dap", "src/wire",
-                      "src/fleet")
-DETERMINISM_EXEMPT_DIRS = ("src/obs",)
-GLOBAL_STATE_EXEMPT_DIRS = ("src/obs",)
-
-CONSTANT_TIME_BANNED = [
-    (re.compile(r"\bmemcmp\s*\("), "memcmp"),
-    (re.compile(r"\bstd::equal\s*\("), "std::equal"),
-    (re.compile(r"\bcommon::equal\s*\("), "common::equal"),
-]
-
-DETERMINISM_BANNED = [
-    (re.compile(r"(?<![\w:])rand\s*\(\s*\)"), "rand()"),
-    (re.compile(r"(?<![\w:])srand\s*\("), "srand()"),
-    (re.compile(r"\brandom_device\b"), "std::random_device"),
-    (re.compile(r"\bdrand48\b"), "drand48"),
-    (re.compile(r"\bgettimeofday\b"), "gettimeofday"),
-    (re.compile(r"\bsystem_clock\b"), "system_clock"),
-    (re.compile(r"\bhigh_resolution_clock\b"), "high_resolution_clock"),
-    (re.compile(r"\bsteady_clock\b"), "steady_clock"),
-]
-
-DEPRECATED_C_HEADERS = {
-    "assert.h": "cassert",
-    "ctype.h": "cctype",
-    "errno.h": "cerrno",
-    "inttypes.h": "cinttypes",
-    "limits.h": "climits",
-    "math.h": "cmath",
-    "signal.h": "csignal",
-    "stdarg.h": "cstdarg",
-    "stddef.h": "cstddef",
-    "stdint.h": "cstdint",
-    "stdio.h": "cstdio",
-    "stdlib.h": "cstdlib",
-    "string.h": "cstring",
-    "time.h": "ctime",
-}
-
-INCLUDE_RE = re.compile(r'^\s*#\s*include\s+[<"]([^">]+)[">]')
-PROJECT_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
-BARE_ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
-
-# A `static` declarator that is not const/constexpr/thread_local. Whether
-# it declares a *variable* (flagged) or a function (fine) is decided by
-# looking at what comes first after the type: an initializer or
-# statement end (variable) vs an argument list (function).
-STATIC_DECL_RE = re.compile(
-    r"^\s*(?:inline\s+)?static\s+(?!const\b|constexpr\b|thread_local\b)(.*)$")
-
-# A registry instrument registration whose first argument is a string
-# literal; group 2 is the name the rule validates.
-METRIC_CALL_RE = re.compile(r'\.(counter|gauge|histogram|rate)\(\s*"([^"]*)"')
-METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
-
-ALLOW_VARIABLE_TIME = "dap-lint: allow(variable-time)"
-ALLOW_NONDETERMINISM = "dap-lint: allow(nondeterminism)"
-ALLOW_GLOBAL_STATE = "dap-lint: allow(global-state)"
-ALLOW_METRIC_NAME = "dap-lint: allow(metric-name)"
-
-
-def is_mutable_static_variable(code):
-    """True when `code` (comment-stripped) declares a mutable static
-    variable: the declaration reaches an initializer (`=` / brace) or a
-    plain `;` before any parameter list opens."""
-    match = STATIC_DECL_RE.match(code)
-    if not match:
-        return False
-    rest = match.group(1)
-    for ch in rest:
-        if ch in "={;":
-            return True   # initializer or bare declaration: a variable
-        if ch == "(":
-            return False  # parameter list: a function
-    return False  # declaration continues on the next line: give benefit
-
-
-def is_under(rel, prefixes):
-    return any(rel == p or rel.startswith(p + "/") for p in prefixes)
-
-
-def strip_line_comment(line):
-    """Removes // comments so commented-out code is not flagged (the
-    suppression markers are read from the raw line before stripping)."""
-    idx = line.find("//")
-    return line if idx < 0 else line[:idx]
-
-
-def lint_file(path, rel, findings):
-    try:
-        text = path.read_text(encoding="utf-8", errors="replace")
-    except OSError as err:
-        findings.append((rel, 0, "io", f"unreadable file: {err}"))
-        return
-    lines = text.splitlines()
-
-    check_ct = is_under(rel, CONSTANT_TIME_DIRS)
-    check_det = rel.startswith("src/") and not is_under(
-        rel, DETERMINISM_EXEMPT_DIRS)
-    check_gs = rel.startswith("src/") and not is_under(
-        rel, GLOBAL_STATE_EXEMPT_DIRS)
-    in_src = rel.startswith("src/")
-
-    first_project_include = None
-    for lineno, raw in enumerate(lines, start=1):
-        code = strip_line_comment(raw)
-
-        if check_ct and ALLOW_VARIABLE_TIME not in raw:
-            for pattern, name in CONSTANT_TIME_BANNED:
-                if pattern.search(code):
-                    findings.append((
-                        rel, lineno, "constant-time",
-                        f"{name} on potential MAC/key material — use "
-                        "common::constant_time_equal (or annotate "
-                        f"'// {ALLOW_VARIABLE_TIME}')"))
-
-        if check_det and ALLOW_NONDETERMINISM not in raw:
-            for pattern, name in DETERMINISM_BANNED:
-                if pattern.search(code):
-                    findings.append((
-                        rel, lineno, "determinism",
-                        f"{name} breaks seeded reproducibility — use "
-                        "common::Rng / sim::SimTime (or annotate "
-                        f"'// {ALLOW_NONDETERMINISM}')"))
-
-        if check_gs and ALLOW_GLOBAL_STATE not in raw \
-                and is_mutable_static_variable(code):
-            findings.append((
-                rel, lineno, "global-state",
-                "mutable static variable is shared state under the "
-                "parallel engine — use a thread_local, pass state "
-                "explicitly, or annotate a deliberate singleton "
-                f"'// {ALLOW_GLOBAL_STATE}'"))
-
-        if in_src and ALLOW_METRIC_NAME not in raw:
-            for call in METRIC_CALL_RE.finditer(code):
-                name = call.group(2)
-                if not METRIC_NAME_RE.match(name):
-                    findings.append((
-                        rel, lineno, "metric-name",
-                        f'instrument name "{name}" must be dot-namespaced '
-                        'lowercase ("subsystem.metric", [a-z0-9_.]) so the '
-                        "snapshot/trend tooling can group it (or annotate "
-                        f"'// {ALLOW_METRIC_NAME}')"))
-
-        include = INCLUDE_RE.match(raw)
-        if include:
-            header = include.group(1)
-            if header.startswith("../") or "/../" in header:
-                findings.append((rel, lineno, "include-hygiene",
-                                 "relative '../' include"))
-            base = header.rsplit("/", 1)[-1]
-            if header in DEPRECATED_C_HEADERS:
-                findings.append((
-                    rel, lineno, "include-hygiene",
-                    f"deprecated C header <{header}> — use "
-                    f"<{DEPRECATED_C_HEADERS[base]}>"))
-
-        project = PROJECT_INCLUDE_RE.match(raw)
-        if project and first_project_include is None:
-            first_project_include = (lineno, project.group(1))
-
-        if in_src and BARE_ASSERT_RE.search(code) \
-                and "static_assert" not in code:
-            findings.append((
-                rel, lineno, "include-hygiene",
-                "bare assert() — use DAP_REQUIRE / DAP_ENSURE / "
-                "DAP_INVARIANT from common/contracts.h"))
-
-    # A module .cc must include its own header first (catches headers that
-    # silently depend on their .cc's earlier includes).
-    if in_src and rel.endswith(".cc"):
-        own_header = re.sub(r"^src/", "", rel[:-3]) + ".h"
-        if (ROOT / "src" / own_header).exists():
-            if first_project_include is None:
-                findings.append((rel, 1, "include-hygiene",
-                                 f'missing include of own header "{own_header}"'))
-            elif first_project_include[1] != own_header:
-                findings.append((
-                    rel, first_project_include[0], "include-hygiene",
-                    f'first project include must be own header "{own_header}" '
-                    f'(found "{first_project_include[1]}")'))
-
-
-def collect_files(paths):
-    for path in paths:
-        if path.is_dir():
-            for child in sorted(path.rglob("*")):
-                if child.suffix in SOURCE_SUFFIXES and child.is_file():
-                    yield child
-        elif path.suffix in SOURCE_SUFFIXES:
-            yield path
-
-
-def run_lint(paths, root=None):
-    root = root or ROOT
-    findings = []
-    for path in collect_files(paths):
-        try:
-            rel = str(path.resolve().relative_to(root)).replace("\\", "/")
-        except ValueError:
-            rel = str(path)
-        lint_file(path, rel, findings)
-    return findings
-
-
-def self_test():
-    """Seeds one violation per rule into a scratch tree and checks the
-    linter reports exactly the expected findings — and stays silent on a
-    clean file. Exit 0 iff the linter behaves."""
-    cases = [
-        ("src/crypto/bad_ct.cc",
-         '#include "crypto/bad_ct.h"\n'
-         "bool f(dap::common::ByteView a, dap::common::ByteView b) {\n"
-         "  return common::equal(a, b);\n"
-         "}\n",
-         {"constant-time"}),
-        ("src/sim/bad_rng.cc",
-         '#include "sim/bad_rng.h"\n'
-         "int f() { return rand(); }\n",
-         {"determinism"}),
-        ("src/dap/bad_clock.cc",
-         '#include "dap/bad_clock.h"\n'
-         "#include <chrono>\n"
-         "auto f() { return std::chrono::system_clock::now(); }\n",
-         {"determinism"}),
-        ("src/wire/bad_include.cc",
-         '#include "wire/bad_include.h"\n'
-         "#include <assert.h>\n"
-         "void f(int x) { assert(x > 0); }\n",
-         {"include-hygiene"}),
-        ("src/tesla/suppressed.cc",
-         '#include "tesla/suppressed.h"\n'
-         "bool f(dap::common::ByteView a, dap::common::ByteView b) {\n"
-         "  return common::equal(a, b);"
-         "  // dap-lint: allow(variable-time)\n"
-         "}\n",
-         set()),
-        ("src/game/bad_static.cc",
-         '#include "game/bad_static.h"\n'
-         "int f() {\n"
-         "  static int call_count = 0;\n"
-         "  return ++call_count;\n"
-         "}\n",
-         {"global-state"}),
-        ("src/sim/ok_static.cc",
-         '#include "sim/ok_static.h"\n'
-         "int helper(int);\n"
-         "int f() {\n"
-         "  static const int k = 7;\n"
-         "  static thread_local int scratch = 0;\n"
-         "  static int instance;  // dap-lint: allow(global-state)\n"
-         "  return helper(k + scratch + instance);\n"
-         "}\n",
-         set()),
-        ("src/game/clean.cc",
-         '#include "game/clean.h"\n'
-         "int f() { return 1; }\n",
-         set()),
-        ("src/fleet/bad_metric.cc",
-         '#include "fleet/bad_metric.h"\n'
-         '#include "obs/registry.h"\n'
-         "auto f(dap::obs::Registry& reg) {\n"
-         '  return reg.counter("announcesSent");\n'
-         "}\n",
-         {"metric-name"}),
-        ("src/fleet/ok_metric.cc",
-         '#include "fleet/ok_metric.h"\n'
-         '#include "obs/registry.h"\n'
-         "auto f(dap::obs::Registry& reg, const std::string& prefix) {\n"
-         '  auto a = reg.counter("fleet.announces_sent");\n'
-         '  auto b = reg.histogram("fleet.hop_latency_us");\n'
-         '  auto c = reg.counter(prefix + ".resync_attempts");\n'
-         '  auto d = reg.gauge("Legacy");  // dap-lint: allow(metric-name)\n'
-         "  return a.slot + b.slot + c.slot + d.slot;\n"
-         "}\n",
-         set()),
-    ]
-    failures = 0
-    with tempfile.TemporaryDirectory() as tmp:
-        tmp_root = pathlib.Path(tmp)
-        for rel, content, _ in cases:
-            target = tmp_root / rel
-            target.parent.mkdir(parents=True, exist_ok=True)
-            target.write_text(content)
-            # The own-header-first rule only fires when the header exists.
-            header = tmp_root / (rel[:-3] + ".h")
-            header.write_text("#pragma once\n")
-        for rel, _, expected_rules in cases:
-            findings = run_lint([tmp_root / rel], root=tmp_root)
-            got_rules = {rule for (_, _, rule, _) in findings}
-            if got_rules != expected_rules:
-                print(f"self-test FAIL {rel}: expected rules "
-                      f"{sorted(expected_rules)}, got {sorted(got_rules)}")
-                for finding in findings:
-                    print("   ", format_finding(finding))
-                failures += 1
-    if failures:
-        print(f"self-test: {failures} case(s) failed")
-        return 1
-    print(f"self-test: all {len(cases)} cases passed "
-          "(seeded violations flagged, clean code passed)")
-    return 0
-
-
-def format_finding(finding):
-    rel, lineno, rule, message = finding
-    return f"{rel}:{lineno}: [{rule}] {message}"
-
-
-def main(argv):
-    if "--self-test" in argv:
-        return self_test()
-    paths = [pathlib.Path(a) for a in argv if not a.startswith("-")]
-    if not paths:
-        paths = [ROOT / "src"]
-    findings = run_lint(paths)
-    for finding in findings:
-        print(format_finding(finding))
-    if findings:
-        print(f"lint: {len(findings)} finding(s)")
-        return 1
-    print("lint: clean")
-    return 0
-
+from dap_lint import main
 
 if __name__ == "__main__":
     sys.exit(main(sys.argv[1:]))

@@ -1,33 +1,35 @@
 #include "common/parallel.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <deque>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "common/contracts.h"
 #include "common/rng.h"
+#include "common/sync.h"
 
 namespace dap::common {
 
 namespace {
 
-// The hooks and the thread-count override are process-wide configuration
-// for the parallel engine itself; they are written before any pool work
-// starts and read-only while chunks run.
-ShardHooks g_hooks{};                       // dap-lint: allow(global-state)
-std::atomic<std::size_t> g_thread_override{0};  // dap-lint: allow(global-state)
-
-thread_local bool tls_in_parallel_region = false;
-
 /// Hard cap on pool size: oversubscribing beyond this is never useful
 /// and bounds the resources a bad --threads value can claim.
 constexpr std::size_t kMaxThreads = 256;
+
+// The hooks and the thread-count override are process-wide configuration
+// for the parallel engine itself. The hooks are written by obs's static
+// initializer and read once per parallel_for (snapshotted into the job),
+// both under g_hooks_mu; the override is a plain atomic.
+Mutex g_hooks_mu;                               // lint: allow(global-state): engine-wide config lock
+ShardHooks g_hooks DAP_GUARDED_BY(g_hooks_mu);  // lint: allow(global-state): guarded engine config
+std::atomic<std::size_t> g_thread_override{0};  // lint: allow(global-state): atomic engine config
+
+thread_local bool tls_in_parallel_region = false;
 
 struct Chunk {
   std::size_t begin = 0;
@@ -36,25 +38,48 @@ struct Chunk {
 
 /// One parallel_for invocation: the chunk list, one deque of chunk ids
 /// per participant (work-stealing victims), and the join bookkeeping.
+///
+/// Sharing discipline, field by field: `body`, `chunks`, `hooks`, and
+/// the `queues` vector itself are filled in by parallel_for BEFORE the
+/// job is published to the pool and never written afterwards; `shards`
+/// slots are written by exactly one executor each (index-addressed by
+/// chunk id) and only read after the join; the join counters are
+/// atomics; everything else is guarded by the mutex named in its
+/// annotation.
 struct Job {
-  const std::function<void(std::size_t)>* body = nullptr;
-  std::vector<Chunk> chunks;
-  std::vector<void*> shards;  // slot per chunk, merged in index order
+  const std::function<void(std::size_t)>* body =  // lint: allow(guarded-fields): immutable once published
+      nullptr;
+  std::vector<Chunk> chunks;   // lint: allow(guarded-fields): immutable once published
+  ShardHooks hooks;            // lint: allow(guarded-fields): immutable once published
+  std::vector<void*> shards;   // lint: allow(guarded-fields): one writer per index-addressed slot
 
   struct Queue {
-    std::mutex mu;
-    std::deque<std::size_t> chunk_ids;
+    Mutex mu;
+    std::deque<std::size_t> chunk_ids DAP_GUARDED_BY(mu);
   };
-  std::vector<std::unique_ptr<Queue>> queues;
+  std::vector<std::unique_ptr<Queue>> queues;  // lint: allow(guarded-fields): vector immutable once published
 
   std::atomic<std::size_t> unfinished_chunks{0};
   std::atomic<std::size_t> active_workers{0};
   std::atomic<bool> failed{false};
-  std::mutex error_mu;
-  std::exception_ptr error;
+  Mutex error_mu;
+  std::exception_ptr error DAP_GUARDED_BY(error_mu);
 
-  std::mutex join_mu;
-  std::condition_variable join_cv;
+  Mutex join_mu;
+  CondVar join_cv;
+
+  void note_failure(std::exception_ptr err) {
+    {
+      const LockGuard lock(error_mu);
+      if (error == nullptr) error = std::move(err);
+    }
+    failed.store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::exception_ptr take_error() {
+    const LockGuard lock(error_mu);
+    return std::exchange(error, nullptr);
+  }
 
   void note_chunk_done() {
     // Decrementing outside join_mu is safe here (unlike in
@@ -63,7 +88,7 @@ struct Job {
     // destroy the job — until the worker reaches note_worker_exit; the
     // caller's own chunks run on the thread that later destroys the job.
     if (unfinished_chunks.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      const std::lock_guard<std::mutex> lock(join_mu);
+      const LockGuard lock(join_mu);
       join_cv.notify_all();
     }
   }
@@ -73,7 +98,7 @@ struct Job {
     // predicate sees active_workers == 0, so dropping the count before
     // taking the lock would let a spuriously-waking caller free the
     // condvar this thread is about to lock and notify.
-    const std::lock_guard<std::mutex> lock(join_mu);
+    const LockGuard lock(join_mu);
     active_workers.fetch_sub(1, std::memory_order_acq_rel);
     join_cv.notify_all();
   }
@@ -82,9 +107,10 @@ struct Job {
 /// Unbinds the shard even when the body throws.
 class ShardActivation {
  public:
-  explicit ShardActivation(void* shard) : shard_(shard) {
-    if (shard_ != nullptr && g_hooks.activate != nullptr) {
-      g_hooks.activate(shard_);
+  ShardActivation(const ShardHooks& hooks, void* shard)
+      : hooks_(hooks), shard_(shard) {
+    if (shard_ != nullptr && hooks_.activate != nullptr) {
+      hooks_.activate(shard_);
     }
     tls_in_parallel_region = true;
   }
@@ -92,20 +118,21 @@ class ShardActivation {
   ShardActivation& operator=(const ShardActivation&) = delete;
   ~ShardActivation() {
     tls_in_parallel_region = false;
-    if (shard_ != nullptr && g_hooks.deactivate != nullptr) {
-      g_hooks.deactivate(shard_);
+    if (shard_ != nullptr && hooks_.deactivate != nullptr) {
+      hooks_.deactivate(shard_);
     }
   }
 
  private:
+  const ShardHooks& hooks_;
   void* shard_;
 };
 
 void execute_chunk(Job& job, std::size_t chunk_id) {
-  void* shard = g_hooks.create != nullptr ? g_hooks.create() : nullptr;
+  void* shard = job.hooks.create != nullptr ? job.hooks.create() : nullptr;
   job.shards[chunk_id] = shard;
   {
-    const ShardActivation activation(shard);
+    const ShardActivation activation(job.hooks, shard);
     if (!job.failed.load(std::memory_order_relaxed)) {
       try {
         const Chunk& chunk = job.chunks[chunk_id];
@@ -113,11 +140,7 @@ void execute_chunk(Job& job, std::size_t chunk_id) {
           (*job.body)(i);
         }
       } catch (...) {
-        {
-          const std::lock_guard<std::mutex> lock(job.error_mu);
-          if (job.error == nullptr) job.error = std::current_exception();
-        }
-        job.failed.store(true, std::memory_order_relaxed);
+        job.note_failure(std::current_exception());
       }
     }
   }
@@ -133,7 +156,7 @@ void participate(Job& job, std::size_t self) {
     bool found = false;
     {
       Job::Queue& own = *job.queues[self];
-      const std::lock_guard<std::mutex> lock(own.mu);
+      const LockGuard lock(own.mu);
       if (!own.chunk_ids.empty()) {
         chunk_id = own.chunk_ids.front();
         own.chunk_ids.pop_front();
@@ -142,7 +165,7 @@ void participate(Job& job, std::size_t self) {
     }
     for (std::size_t offset = 1; !found && offset < participants; ++offset) {
       Job::Queue& victim = *job.queues[(self + offset) % participants];
-      const std::lock_guard<std::mutex> lock(victim.mu);
+      const LockGuard lock(victim.mu);
       if (!victim.chunk_ids.empty()) {
         chunk_id = victim.chunk_ids.back();
         victim.chunk_ids.pop_back();
@@ -161,7 +184,7 @@ class WorkStealingPool {
  public:
   static WorkStealingPool& instance() {
     // The pool is the engine's own machinery, torn down at process exit.
-    static WorkStealingPool pool;  // dap-lint: allow(global-state)
+    static WorkStealingPool pool;  // lint: allow(global-state): process-wide worker pool
     return pool;
   }
 
@@ -171,7 +194,7 @@ class WorkStealingPool {
   void run(Job& job, std::size_t threads) {
     ensure_workers(threads - 1);
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const LockGuard lock(mu_);
       ++generation_;
       current_job_ = &job;
       claims_available_ = threads - 1;
@@ -180,10 +203,10 @@ class WorkStealingPool {
     cv_.notify_all();
     participate(job, 0);
     {
-      std::unique_lock<std::mutex> lock(job.join_mu);
-      job.join_cv.wait(lock, [&job] {
-        return job.unfinished_chunks.load(std::memory_order_acquire) == 0;
-      });
+      UniqueLock lock(job.join_mu);
+      while (job.unfinished_chunks.load(std::memory_order_acquire) != 0) {
+        job.join_cv.wait(lock);
+      }
     }
     // Close the claim window BEFORE waiting for workers to leave. Claims
     // happen under mu_ (including the active_workers increment), so once
@@ -194,31 +217,33 @@ class WorkStealingPool {
     // the caller observed active_workers == 0, touching the
     // stack-allocated job after run() returned.
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const LockGuard lock(mu_);
       current_job_ = nullptr;
       claims_available_ = 0;
     }
     {
-      std::unique_lock<std::mutex> lock(job.join_mu);
-      job.join_cv.wait(lock, [&job] {
-        return job.active_workers.load(std::memory_order_acquire) == 0;
-      });
+      UniqueLock lock(job.join_mu);
+      while (job.active_workers.load(std::memory_order_acquire) != 0) {
+        job.join_cv.wait(lock);
+      }
     }
   }
 
  private:
   WorkStealingPool() = default;
   ~WorkStealingPool() {
+    std::vector<std::thread> workers;
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const LockGuard lock(mu_);
       stop_ = true;
+      workers.swap(workers_);
     }
     cv_.notify_all();
-    for (std::thread& worker : workers_) worker.join();
+    for (std::thread& worker : workers) worker.join();
   }
 
   void ensure_workers(std::size_t wanted) {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     while (workers_.size() < wanted && workers_.size() < kMaxThreads - 1) {
       workers_.emplace_back([this] { worker_loop(); });
     }
@@ -230,11 +255,11 @@ class WorkStealingPool {
       Job* job = nullptr;
       std::size_t slot = 0;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this, last_generation] {
-          return stop_ || (current_job_ != nullptr && claims_available_ > 0 &&
-                           generation_ != last_generation);
-        });
+        UniqueLock lock(mu_);
+        while (!(stop_ || (current_job_ != nullptr && claims_available_ > 0 &&
+                           generation_ != last_generation))) {
+          cv_.wait(lock);
+        }
         if (stop_) return;
         last_generation = generation_;
         --claims_available_;
@@ -247,14 +272,14 @@ class WorkStealingPool {
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<std::thread> workers_;
-  Job* current_job_ = nullptr;
-  std::size_t claims_available_ = 0;
-  std::size_t next_slot_ = 1;
-  std::uint64_t generation_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::vector<std::thread> workers_ DAP_GUARDED_BY(mu_);
+  Job* current_job_ DAP_GUARDED_BY(mu_) = nullptr;
+  std::size_t claims_available_ DAP_GUARDED_BY(mu_) = 0;
+  std::size_t next_slot_ DAP_GUARDED_BY(mu_) = 1;
+  std::uint64_t generation_ DAP_GUARDED_BY(mu_) = 0;
+  bool stop_ DAP_GUARDED_BY(mu_) = false;
 };
 
 void run_serial(std::size_t n, const std::function<void(std::size_t)>& body) {
@@ -298,9 +323,15 @@ std::uint64_t subseed(std::uint64_t base_seed, std::uint64_t index) noexcept {
 
 bool in_parallel_region() noexcept { return tls_in_parallel_region; }
 
-void set_shard_hooks(const ShardHooks& hooks) noexcept { g_hooks = hooks; }
+void set_shard_hooks(const ShardHooks& hooks) noexcept {
+  const LockGuard lock(g_hooks_mu);
+  g_hooks = hooks;
+}
 
-const ShardHooks& shard_hooks() noexcept { return g_hooks; }
+ShardHooks shard_hooks() noexcept {
+  const LockGuard lock(g_hooks_mu);
+  return g_hooks;
+}
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   const ParallelOptions& options) {
@@ -329,6 +360,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
 
   Job job;
   job.body = &body;
+  job.hooks = shard_hooks();
   job.chunks.reserve(chunk_count);
   for (std::size_t begin = 0; begin < n; begin += grain) {
     job.chunks.push_back(Chunk{begin, begin + grain < n ? begin + grain : n});
@@ -341,9 +373,14 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
   for (std::size_t q = 0; q < threads; ++q) {
     job.queues.push_back(std::make_unique<Job::Queue>());
   }
-  // Round-robin initial placement; stealing corrects any imbalance.
+  // Round-robin initial placement; stealing corrects any imbalance. The
+  // queues are not shared until run() publishes the job, but the
+  // analysis has no "pre-publication" notion — taking the (uncontended)
+  // lock here keeps the invariant checkable instead of suppressed.
   for (std::size_t chunk_id = 0; chunk_id < job.chunks.size(); ++chunk_id) {
-    job.queues[chunk_id % threads]->chunk_ids.push_back(chunk_id);
+    Job::Queue& queue = *job.queues[chunk_id % threads];
+    const LockGuard lock(queue.mu);
+    queue.chunk_ids.push_back(chunk_id);
   }
 
   WorkStealingPool::instance().run(job, threads);
@@ -352,10 +389,12 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
   // the merged registry reproducible for a fixed configuration.
   for (void* shard : job.shards) {
     if (shard == nullptr) continue;
-    if (g_hooks.merge != nullptr) g_hooks.merge(shard);
-    if (g_hooks.destroy != nullptr) g_hooks.destroy(shard);
+    if (job.hooks.merge != nullptr) job.hooks.merge(shard);
+    if (job.hooks.destroy != nullptr) job.hooks.destroy(shard);
   }
-  if (job.error != nullptr) std::rethrow_exception(job.error);
+  if (std::exception_ptr error = job.take_error()) {
+    std::rethrow_exception(error);
+  }
 }
 
 }  // namespace dap::common

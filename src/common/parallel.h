@@ -14,7 +14,15 @@
 // rather than a direct dependency: dap_obs links dap_common, so this
 // layer cannot include obs headers. obs/registry.cc installs the hooks
 // from a static initializer; with no hooks installed the pool still runs
-// but bodies share whatever global state they touch.
+// but bodies share whatever global state they touch. The installed hooks
+// live behind an annotated mutex and are snapshotted into each job when
+// parallel_for starts, so a job always runs against one consistent hook
+// set even if installation raced with it.
+//
+// Locking discipline: the pool and job internals use the annotated
+// primitives from common/sync.h; a clang build with DAP_THREAD_SAFETY=ON
+// (-Werror=thread-safety) proves every guarded field is only touched
+// under its mutex — the static counterpart of the TSan job.
 //
 // Determinism guarantee (and its edge): experiment outputs (structs,
 // CSV rows) and merged counters / histogram bucket counts are bitwise
@@ -69,7 +77,9 @@ struct ShardHooks {
 };
 
 void set_shard_hooks(const ShardHooks& hooks) noexcept;
-[[nodiscard]] const ShardHooks& shard_hooks() noexcept;
+/// Snapshot of the currently installed hooks (by value: the returned
+/// copy stays valid even if another thread re-installs concurrently).
+[[nodiscard]] ShardHooks shard_hooks() noexcept;
 
 struct ParallelOptions {
   /// Worker count including the calling thread; 0 = default_threads().

@@ -1,0 +1,141 @@
+#pragma once
+// Annotated synchronization primitives.
+//
+// Thin wrappers over <mutex>/<condition_variable> that carry Clang's
+// thread-safety capability attributes, so the locking discipline of the
+// parallel engine (and any future shared state) is checked at compile
+// time: a clang build with `-Wthread-safety -Werror=thread-safety`
+// (CMake option DAP_THREAD_SAFETY, CI job `static-analysis`) fails when
+// a `DAP_GUARDED_BY(mu)` field is touched without `mu` held, when a
+// function annotated `DAP_REQUIRES(mu)` is called without it, or when a
+// lock is leaked. On GCC (which has no thread-safety analysis) every
+// macro expands to nothing and the wrappers compile to the underlying
+// std types with zero overhead.
+//
+// Conventions enforced by the analysis (and mirrored structurally by
+// the dap_lint `guarded-fields` rule, which runs on every toolchain):
+//   - every mutable field protected by a Mutex is annotated
+//     DAP_GUARDED_BY(that_mutex); fields that are intentionally
+//     unguarded (atomics, publish-once state) say so where they are
+//     declared;
+//   - condition-variable waits are written as explicit `while` loops
+//     around `CondVar::wait(lock)` — the predicate then runs in a scope
+//     where the analysis knows the lock is held, which a
+//     `wait(lock, pred)` lambda would not be;
+//   - functions that run entirely under a caller-held lock are
+//     annotated DAP_REQUIRES(mu) instead of re-locking.
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define DAP_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DAP_THREAD_ANNOTATION(x)  // no-op: GCC has no thread-safety analysis
+#endif
+
+/// Declares a type to be a lockable capability ("mutex" in diagnostics).
+#define DAP_CAPABILITY(x) DAP_THREAD_ANNOTATION(capability(x))
+/// Declares an RAII type that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define DAP_SCOPED_CAPABILITY DAP_THREAD_ANNOTATION(scoped_lockable)
+/// Field annotation: reads and writes require holding `x`.
+#define DAP_GUARDED_BY(x) DAP_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer-field annotation: the pointee is protected by `x`.
+#define DAP_PT_GUARDED_BY(x) DAP_THREAD_ANNOTATION(pt_guarded_by(x))
+/// The function must be called with the listed capabilities held.
+#define DAP_REQUIRES(...) \
+  DAP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// The function acquires the listed capabilities (and does not release
+/// them before returning).
+#define DAP_ACQUIRE(...) DAP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// The function releases the listed capabilities.
+#define DAP_RELEASE(...) DAP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// The function acquires the capability iff it returns `result`.
+#define DAP_TRY_ACQUIRE(result, ...) \
+  DAP_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+/// The function must NOT be called with the listed capabilities held
+/// (deadlock prevention for self-locking functions).
+#define DAP_EXCLUDES(...) DAP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Returns a reference to the named capability (getter annotation).
+#define DAP_RETURN_CAPABILITY(x) DAP_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch: disables the analysis for one function. Every use must
+/// explain why in an adjacent comment.
+#define DAP_NO_THREAD_SAFETY_ANALYSIS \
+  DAP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace dap::common {
+
+/// std::mutex carrying the "mutex" capability. Prefer LockGuard /
+/// UniqueLock over calling lock()/unlock() directly.
+class DAP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DAP_ACQUIRE() { mu_.lock(); }
+  void unlock() DAP_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() DAP_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over a Mutex (std::lock_guard shape: no unlock
+/// before destruction).
+class DAP_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) DAP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() DAP_RELEASE() { mu_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII lock that a CondVar can release and re-acquire while waiting
+/// (std::unique_lock shape). Satisfies BasicLockable, which is what
+/// std::condition_variable_any needs; always owns the mutex outside a
+/// wait, so there is no owns_lock() state to track.
+class DAP_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) DAP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~UniqueLock() DAP_RELEASE() { mu_.unlock(); }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  // BasicLockable surface for std::condition_variable_any. Only CondVar
+  // calls these (inside wait), where the analysis treats the capability
+  // as continuously held — which is exactly the caller-visible contract.
+  void lock() DAP_ACQUIRE() { mu_.lock(); }
+  void unlock() DAP_RELEASE() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with Mutex/UniqueLock. Waits must be
+/// wrapped in an explicit `while (!predicate) cv.wait(lock);` loop — see
+/// the header comment for why.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // The spurious-wakeup loop lives at every call site (the analysis
+  // needs the predicate re-checked under the held capability there).
+  // NOLINTNEXTLINE(cert-con54-cpp)
+  void wait(UniqueLock& lock) { cv_.wait(lock); }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace dap::common

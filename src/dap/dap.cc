@@ -249,6 +249,10 @@ void DapReceiver::prune_stale_rounds(std::uint32_t current_interval) {
 
 void DapReceiver::receive(const wire::MacAnnounce& packet,
                           sim::SimTime local_now) {
+  // The announce is attacker-controlled and only ever *rejected* below;
+  // contracts cover receiver configuration, never wire content.
+  DAP_REQUIRE(config_.disclosure_delay > 0 && config_.mac_size > 0,
+              "DapReceiver::receive: receiver must be configured");
   auto& reg = obs::Registry::global();
   const obs::ScopedTimer timer(reg, telemetry_.rx_announce_latency);
   ++stats_.announces_received;
@@ -290,6 +294,8 @@ void DapReceiver::receive(const wire::MacAnnounce& packet,
 
 std::optional<tesla::AuthenticatedMessage> DapReceiver::receive(
     const wire::MessageReveal& packet, sim::SimTime local_now) {
+  DAP_REQUIRE(config_.disclosure_delay > 0,
+              "DapReceiver::receive: receiver must be configured");
   return process_reveal(packet, local_now, nullptr);
 }
 

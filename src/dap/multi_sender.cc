@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/contracts.h"
+
 namespace dap::protocol {
 
 MultiSenderReceiver::MultiSenderReceiver(common::Bytes local_secret,
@@ -74,6 +76,10 @@ bool MultiSenderReceiver::knows_sender(wire::NodeId id) const noexcept {
 
 void MultiSenderReceiver::receive(const wire::MacAnnounce& packet,
                                   sim::SimTime local_now) {
+  // Unknown senders are counted and dropped below — that path is for
+  // adversarial traffic; the contract covers construction state only.
+  DAP_REQUIRE(buffer_budget_ > 0,
+              "MultiSenderReceiver::receive: record budget must be positive");
   const auto it = nodes_.find(packet.sender);
   if (it == nodes_.end()) {
     ++stats_.unknown_sender_packets;
@@ -84,6 +90,8 @@ void MultiSenderReceiver::receive(const wire::MacAnnounce& packet,
 
 std::optional<SenderMessage> MultiSenderReceiver::receive(
     const wire::MessageReveal& packet, sim::SimTime local_now) {
+  DAP_REQUIRE(buffer_budget_ > 0,
+              "MultiSenderReceiver::receive: record budget must be positive");
   const auto it = nodes_.find(packet.sender);
   if (it == nodes_.end()) {
     ++stats_.unknown_sender_packets;

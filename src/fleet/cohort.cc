@@ -53,6 +53,8 @@ ReceiverCohort::Round& ReceiverCohort::round_for(std::uint32_t interval) {
 
 void ReceiverCohort::receive_announce(const wire::MacAnnounce& packet,
                                       sim::SimTime true_now) {
+  DAP_REQUIRE(config_.dap.disclosure_delay > 0 && config_.dap.buffers > 0,
+              "ReceiverCohort::receive_announce: cohort must be configured");
   const sim::SimTime local_now = config_.clock.local_time(true_now);
   ++stats_.announces_received;
   sentinel_.receive(packet, local_now);

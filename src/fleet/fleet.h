@@ -22,8 +22,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -138,10 +138,14 @@ class FleetSim {
   std::vector<std::unique_ptr<sim::Medium>> media_;       // by node
   std::vector<std::unique_ptr<ReceiverCohort>> cohorts_;  // by node
   std::vector<NodeTraffic> traffic_;                      // by node
-  std::vector<std::unordered_set<std::uint64_t>> seen_;   // relay dedup
+  /// Relay dedup. Membership-only (never iterated), so hash layout can
+  /// never leak into outputs and O(1) lookup stays on the per-packet
+  /// hot path.
+  std::vector<std::unordered_set<std::uint64_t>> seen_;
   /// Authentic announce MACs (hashed) -> root send time, for per-depth
-  /// hop-latency accounting of the genuine control stream.
-  std::unordered_map<std::uint64_t, sim::SimTime> announce_sent_at_;
+  /// hop-latency accounting of the genuine control stream. Ordered map:
+  /// output-adjacent state must be deterministic by construction.
+  std::map<std::uint64_t, sim::SimTime> announce_sent_at_;
   std::vector<std::uint64_t> announces_in_by_depth_;
   std::vector<std::vector<double>> hop_latency_by_depth_;
 
@@ -164,7 +168,10 @@ class FleetSim {
     /// First authentic-reveal arrival time per node (0 = not yet).
     std::vector<sim::SimTime> reveal_arrived;
   };
-  std::unordered_map<std::uint32_t, TraceCtx> trace_by_interval_;
+  /// Ordered for the same reason as announce_sent_at_: span emission
+  /// consults this per packet, and exports must not be able to inherit
+  /// hash-seeded ordering even accidentally.
+  std::map<std::uint32_t, TraceCtx> trace_by_interval_;
   std::uint64_t trace_base_ = 0;
 
   /// Counters already flushed to the registry (delta bookkeeping).

@@ -161,14 +161,35 @@ Registry& Registry::operator=(Registry&& other) noexcept {
   return *this;
 }
 
+namespace {
+
+/// First entry in the sorted (name, slot) index not ordering before
+/// `name` (plain lower_bound with heterogeneous comparison).
+std::vector<std::pair<std::string, std::uint32_t>>::const_iterator
+index_lower_bound(
+    const std::vector<std::pair<std::string, std::uint32_t>>& index,
+    std::string_view name) {
+  return std::lower_bound(
+      index.begin(), index.end(), name,
+      [](const std::pair<std::string, std::uint32_t>& entry,
+         std::string_view key) { return entry.first < key; });
+}
+
+}  // namespace
+
 std::uint32_t Registry::NameTable::intern(std::string_view name,
                                           std::size_t next_slot) {
-  const auto it = index.find(name);
-  if (it != index.end()) return it->second;
+  const auto it = index_lower_bound(index, name);
+  if (it != index.end() && it->first == name) return it->second;
   const auto slot = static_cast<std::uint32_t>(next_slot);
-  index.emplace(std::string(name), slot);
+  index.emplace(it, std::string(name), slot);
   names.emplace_back(name);
   return slot;
+}
+
+const std::uint32_t* Registry::NameTable::find(std::string_view name) const {
+  const auto it = index_lower_bound(index, name);
+  return it != index.end() && it->first == name ? &it->second : nullptr;
 }
 
 CounterHandle Registry::counter(std::string_view name) {

@@ -23,7 +23,7 @@
 #include <deque>
 #include <string>
 #include <string_view>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
@@ -222,24 +222,17 @@ class Registry {
   static Registry* set_thread_override(Registry* reg) noexcept;
 
  private:
-  // Transparent hashing so string_view lookups never build a std::string.
-  struct NameHash {
-    using is_transparent = void;
-    std::size_t operator()(std::string_view s) const noexcept {
-      return std::hash<std::string_view>{}(s);
-    }
-  };
-
   struct NameTable {
-    std::unordered_map<std::string, std::uint32_t, NameHash, std::equal_to<>>
-        index;
+    // Name -> slot index kept sorted by name: binary-search lookup with
+    // no hashing, and — unlike an unordered_map — deterministic layout
+    // and iteration by construction, so nothing downstream can ever pick
+    // up a hash-seed-dependent order. Registration is the slow path;
+    // instrument counts are small (tens), so O(n) insertion is fine.
+    std::vector<std::pair<std::string, std::uint32_t>> index;
     std::vector<std::string> names;  // slot -> name
     // Returns the slot for `name`, inserting a new one (== size) if new.
     std::uint32_t intern(std::string_view name, std::size_t next_slot);
-    [[nodiscard]] const std::uint32_t* find(std::string_view name) const {
-      const auto it = index.find(name);
-      return it == index.end() ? nullptr : &it->second;
-    }
+    [[nodiscard]] const std::uint32_t* find(std::string_view name) const;
   };
 
   std::uint64_t uid_;

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <ostream>
 #include <stdexcept>
-#include <unordered_map>
+#include <utility>
 
 #include "common/csv.h"
 
@@ -174,9 +174,21 @@ void Tracer::export_chrome_trace(std::ostream& out) const {
   // arrow from each retained parent's end to the child's begin so
   // chrome://tracing draws one announce's cross-hop path as a chain.
   const std::vector<SpanEvent> spans = span_snapshot();
-  std::unordered_map<std::uint64_t, const SpanEvent*> by_uid;
+  // Parent lookup via a uid-sorted index instead of a hash map: exports
+  // must be bitwise stable by construction, so nothing in this path may
+  // depend on hash-seeded layout. stable_sort + first-match keeps the
+  // "first event wins" semantics for a (never expected) duplicate uid.
+  std::vector<std::pair<std::uint64_t, const SpanEvent*>> by_uid;
   by_uid.reserve(spans.size());
-  for (const SpanEvent& s : spans) by_uid.emplace(s.uid, &s);
+  for (const SpanEvent& s : spans) by_uid.emplace_back(s.uid, &s);
+  std::stable_sort(by_uid.begin(), by_uid.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  const auto find_span = [&by_uid](std::uint64_t uid) -> const SpanEvent* {
+    const auto it = std::lower_bound(
+        by_uid.begin(), by_uid.end(), uid,
+        [](const auto& entry, std::uint64_t key) { return entry.first < key; });
+    return it != by_uid.end() && it->first == uid ? it->second : nullptr;
+  };
   for (const SpanEvent& s : spans) {
     if (!first) out << ',';
     first = false;
@@ -187,11 +199,11 @@ void Tracer::export_chrome_trace(std::ostream& out) const {
         << ",\"args\":{\"trace\":" << s.trace << ",\"uid\":" << s.uid
         << ",\"parent\":" << s.parent << ",\"interval\":" << s.id
         << ",\"tag\":\"" << span_tag_name(s.tag) << "\"}}";
-    const auto parent = by_uid.find(s.parent);
-    if (s.parent != 0 && parent != by_uid.end()) {
+    const SpanEvent* parent = s.parent != 0 ? find_span(s.parent) : nullptr;
+    if (parent != nullptr) {
       out << ",\n{\"name\":\"hop\",\"ph\":\"s\",\"id\":" << s.uid
-          << ",\"pid\":1,\"tid\":" << parent->second->node
-          << ",\"ts\":" << parent->second->t_end << "}";
+          << ",\"pid\":1,\"tid\":" << parent->node
+          << ",\"ts\":" << parent->t_end << "}";
       out << ",\n{\"name\":\"hop\",\"ph\":\"f\",\"bp\":\"e\",\"id\":" << s.uid
           << ",\"pid\":1,\"tid\":" << s.node << ",\"ts\":" << s.t_begin
           << "}";

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/contracts.h"
 #include "crypto/mac.h"
 #include "crypto/sha256.h"
 
@@ -242,6 +243,9 @@ MultiLevelEvents MultiLevelReceiver::adopt_cdm(const wire::CdmPacket& cdm,
 
 MultiLevelEvents MultiLevelReceiver::receive(const wire::CdmPacket& packet,
                                              sim::SimTime local_now) {
+  // CDM content is adversarial; out-of-range fields are rejected below.
+  DAP_REQUIRE(config_.high_length > 0 && config_.low_length > 0,
+              "MultiLevelReceiver::receive: chain lengths must be positive");
   ++stats_.cdm_received;
   MultiLevelEvents events;
   const std::uint32_t i = packet.high_interval;
@@ -319,6 +323,8 @@ std::vector<AuthenticatedMessage> MultiLevelReceiver::drain_data(
 
 MultiLevelEvents MultiLevelReceiver::receive(const wire::TeslaPacket& packet,
                                              sim::SimTime local_now) {
+  DAP_REQUIRE(config_.high_length > 0 && config_.low_length > 0,
+              "MultiLevelReceiver::receive: chain lengths must be positive");
   ++stats_.data_received;
   MultiLevelEvents events;
   const auto [i, j] = config_.split_index(packet.interval);

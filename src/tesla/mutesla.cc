@@ -106,6 +106,8 @@ std::vector<AuthenticatedMessage> MuTeslaReceiver::drain_ready(
 
 std::vector<AuthenticatedMessage> MuTeslaReceiver::receive(
     const wire::TeslaPacket& packet, sim::SimTime local_now) {
+  DAP_REQUIRE(config_.disclosure_delay > 0,
+              "MuTeslaReceiver::receive: disclosure delay must be positive");
   ++stats_.packets_received;
   if (!clock_.packet_safe(packet.interval, config_.disclosure_delay, local_now,
                           config_.schedule)) {
@@ -120,6 +122,8 @@ std::vector<AuthenticatedMessage> MuTeslaReceiver::receive(
 
 std::vector<AuthenticatedMessage> MuTeslaReceiver::receive(
     const wire::KeyDisclosure& packet, sim::SimTime local_now) {
+  DAP_REQUIRE(config_.disclosure_delay > 0,
+              "MuTeslaReceiver::receive: disclosure delay must be positive");
   ++stats_.packets_received;
   if (auth_.accept(packet.interval, packet.key)) {
     ++stats_.keys_accepted;

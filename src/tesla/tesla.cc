@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/codec.h"
+#include "common/contracts.h"
 #include "crypto/mac.h"
 #include "wire/frame.h"
 
@@ -108,6 +109,10 @@ std::vector<AuthenticatedMessage> TeslaReceiver::drain_ready(
 
 std::vector<AuthenticatedMessage> TeslaReceiver::receive(
     const wire::TeslaPacket& packet, sim::SimTime local_now) {
+  // Packet fields are attacker-controlled and handled by rejection
+  // below; the contract covers receiver configuration only.
+  DAP_REQUIRE(config_.disclosure_delay > 0,
+              "TeslaReceiver::receive: disclosure delay must be positive");
   ++stats_.packets_received;
 
   // 1. Key disclosure first: it may release older buffered packets and is

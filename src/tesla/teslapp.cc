@@ -181,6 +181,10 @@ std::size_t TeslaPpReceiver::stored_records() const noexcept {
 
 void TeslaPpReceiver::receive(const wire::MacAnnounce& packet,
                               sim::SimTime local_now) {
+  // Announce content is adversarial input, rejected (never asserted)
+  // below; the contract covers configuration only.
+  DAP_REQUIRE(config_.mac_size > 0 && config_.self_mac_size > 0,
+              "TeslaPpReceiver::receive: receiver must be configured");
   auto& reg = obs::Registry::global();
   const obs::ScopedTimer timer(reg, telemetry_.rx_announce_latency);
   tick(local_now);
@@ -219,6 +223,8 @@ void TeslaPpReceiver::receive(const wire::MacAnnounce& packet,
 
 std::vector<AuthenticatedMessage> TeslaPpReceiver::receive(
     const wire::MessageReveal& packet, sim::SimTime local_now) {
+  DAP_REQUIRE(config_.self_mac_size > 0,
+              "TeslaPpReceiver::receive: receiver must be configured");
   return process_reveal(packet, local_now, nullptr);
 }
 

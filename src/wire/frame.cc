@@ -37,6 +37,8 @@ common::Bytes encode_wots_signature(
 
 std::optional<std::vector<common::Bytes>> decode_wots_signature(
     common::ByteView data) {
+  DAP_REQUIRE(data.data() != nullptr || data.empty(),
+              "decode_wots_signature: null view with nonzero length");
   common::Reader r(data);
   const auto count = r.u16();
   if (!count) return std::nullopt;

@@ -124,6 +124,11 @@ common::Bytes encode(const Packet& packet) {
 }
 
 std::optional<Packet> decode(common::ByteView data) {
+  // The bytes themselves are adversarial and must only ever be
+  // *rejected* (nullopt), never asserted on; the view's shape is the
+  // caller's contract.
+  DAP_REQUIRE(data.data() != nullptr || data.empty(),
+              "decode: null view with nonzero length");
   common::Reader r(data);
   const auto tag = r.u8();
   if (!tag) return std::nullopt;
