@@ -53,3 +53,9 @@ add_test(NAME chaos_soak_smoke COMMAND bench_chaos_soak --smoke)
 # Short fleet sweep with the same contract: exits non-zero when a forged
 # message authenticates or the flagship fleets fall below scale.
 add_test(NAME fleet_scale_smoke COMMAND bench_fleet_scale --smoke)
+
+# Relay-hardening soak: the standard fleet chaos cases (crash/restart,
+# healing partitions, degraded budgets, guard saturation) exit non-zero
+# on a forged auth, unbounded relay memory, or a missed reconvergence
+# bound.
+add_test(NAME fleet_chaos_smoke COMMAND bench_fleet_scale --chaos --smoke)

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/chaos.h"
 #include "bench_util.h"
 #include "common/parallel.h"
 #include "fleet/fleet.h"
@@ -74,15 +75,175 @@ bool has_cross_hop_chain(const std::vector<dap::obs::SpanEvent>& spans) {
   return false;
 }
 
+/// Worst per-depth reconvergence clock (0 when the spec had no faults).
+std::uint32_t worst_reconverge(const dap::fleet::FleetReport& report) {
+  std::uint32_t worst = 0;
+  for (std::size_t d = 1; d < report.reconverge_intervals.size(); ++d) {
+    worst = std::max(worst, report.reconverge_intervals[d]);
+  }
+  return worst;
+}
+
+/// The relay-hardening soak: the standard fleet chaos cases (crash +
+/// reboot skew, healing partitions, degraded budgets, guard saturation,
+/// combined) with the three invariants as the exit code — zero forged
+/// auths, relay memory <= guard capacity, every depth reconverged
+/// within its documented bound.
+int run_chaos(bool smoke, std::size_t threads) {
+  using namespace dap;
+  bench::banner(
+      std::string("fleet chaos — relay faults x bounded ingress guards") +
+          (smoke ? " (smoke)" : ""),
+      "relay crash/restart, healing partitions, degraded budgets, and tag "
+      "store saturation under flood, across multi-hop topologies",
+      "zero forged auths, relay memory <= guard capacity, every depth "
+      "reconverges within its documented bound");
+  std::cout << "[parallel engine: " << threads << " thread(s)]\n";
+
+  obs::Tracer::global().set_capacity(std::size_t{1} << 17);
+  obs::Tracer::global().enable(true);
+
+  const auto cases = analysis::standard_fleet_chaos_cases(smoke);
+
+  const obs::Snapshotter::HistogramFilter sim_time_only =
+      [](std::string_view name) {
+        return name.find("hop_latency") != std::string_view::npos;
+      };
+  std::vector<obs::Snapshotter> snapshotters;
+  snapshotters.reserve(cases.size());
+  for (const analysis::FleetChaosCase& c : cases) {
+    snapshotters.emplace_back(c.spec.id(), c.spec.interval_us, sim_time_only);
+  }
+
+  const auto results = [&] {
+    const bench::PhaseTimer phase("chaos");
+    return common::parallel_map<analysis::FleetChaosResult>(
+        cases.size(), [&cases, &snapshotters](std::size_t i) {
+          // Same per-scenario obs isolation as the clean sweep: private
+          // registry/tracer per case, merged in slot order.
+          obs::Registry local;
+          obs::Tracer local_tracer(std::size_t{1} << 16);
+          local_tracer.enable(obs::Tracer::global().enabled());
+          analysis::FleetChaosResult result;
+          {
+            const ScopedObsOverride scope(&local, &local_tracer);
+            result = analysis::run_fleet_chaos_case(cases[i],
+                                                    &snapshotters[i]);
+          }
+          obs::Registry::global().merge_from(local);
+          obs::Tracer::global().append_from(local_tracer);
+          return result;
+        });
+  }();
+
+  for (const obs::Snapshotter& snap : snapshotters) {
+    bench::append_snapshots(snap);
+  }
+
+  common::TextTable table({"case", "scenario", "auth rate", "forged ok",
+                           "evicted", "shed", "false drop", "peak/cap",
+                           "restarts", "reconv", "ok"});
+  common::CsvWriter csv(
+      bench::csv_path("fleet_chaos"),
+      {"case", "scenario", "kind", "max_depth", "cohorts", "members_total",
+       "forged_fraction", "auth_rate", "member_auths", "sentinel_auths",
+       "forged_accepted", "announces_unsafe", "guard_evicted", "guard_shed",
+       "guard_false_drops", "guard_peak_entries", "guard_capacity",
+       "relay_restarts", "dropped_while_down", "fault_clear_interval",
+       "reconverge_worst", "ok"});
+
+  bool ok = true;
+  std::uint64_t restarts = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t evicted = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const analysis::FleetChaosResult& result = results[i];
+    const fleet::FleetReport& report = result.report;
+    const fleet::ScenarioSpec& spec = cases[i].spec;
+    restarts += report.relay_restarts;
+    shed += report.guard_shed;
+    evicted += report.guard_evicted;
+    table.add_row(
+        {result.label, spec.id(), common::format_number(report.auth_rate),
+         std::to_string(report.forged_accepted),
+         std::to_string(report.guard_evicted),
+         std::to_string(report.guard_shed),
+         std::to_string(report.guard_false_drops),
+         std::to_string(report.guard_peak_entries) + "/" +
+             std::to_string(report.guard_capacity),
+         std::to_string(report.relay_restarts),
+         std::to_string(worst_reconverge(report)),
+         result.ok() ? "yes" : "NO"});
+    csv.row_text(
+        {result.label, spec.id(), fleet::topology_kind_name(spec.kind),
+         std::to_string(report.max_depth), std::to_string(report.cohort_count),
+         std::to_string(report.total_members),
+         common::format_number(spec.forged_fraction),
+         common::format_number(report.auth_rate),
+         std::to_string(report.member_auths),
+         std::to_string(report.sentinel_auths),
+         std::to_string(report.forged_accepted),
+         std::to_string(report.announces_unsafe),
+         std::to_string(report.guard_evicted),
+         std::to_string(report.guard_shed),
+         std::to_string(report.guard_false_drops),
+         std::to_string(report.guard_peak_entries),
+         std::to_string(report.guard_capacity),
+         std::to_string(report.relay_restarts),
+         std::to_string(report.dropped_while_down),
+         std::to_string(report.fault_clear_interval),
+         std::to_string(worst_reconverge(report)),
+         result.ok() ? "1" : "0"});
+    if (!result.zero_forged) {
+      std::cerr << "INVARIANT VIOLATION: forged message authenticated ("
+                << result.label << ")\n";
+      ok = false;
+    }
+    if (!result.memory_bounded) {
+      std::cerr << "INVARIANT VIOLATION: relay memory " <<
+          report.guard_peak_entries << " entries exceeds guard capacity "
+                << report.guard_capacity << " (" << result.label << ")\n";
+      ok = false;
+    }
+    if (!result.reconverged) {
+      std::cerr << "INVARIANT VIOLATION: a depth missed its reconvergence "
+                   "bound of " << cases[i].reconverge_within << " ("
+                << result.label << ")\n";
+      ok = false;
+    }
+  }
+  // The soak must actually bite: crash cycles executed, budget shed
+  // traffic, and the tag store overflowed somewhere across the family.
+  if (restarts == 0 || shed == 0 || evicted == 0) {
+    std::cerr << "INVARIANT VIOLATION: chaos did not engage (restarts "
+              << restarts << ", shed " << shed << ", evicted " << evicted
+              << ")\n";
+    ok = false;
+  }
+
+  std::cout << table.render();
+  std::cout << "\nRelay state is bounded by construction: the ingress guard "
+               "caps the tag\nstore at its configured capacity and the token "
+               "bucket sheds excess load,\nso a flood changes counters, not "
+               "memory. 'forged ok' must stay 0.\n";
+  bench::set_run_scenario(smoke ? "fleet_scale:chaos-smoke"
+                                : "fleet_scale:chaos-full");
+  bench::footer("fleet_chaos");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace dap;
   const std::size_t threads = bench::configure_threads(argc, argv);
   bool smoke = false;
+  bool chaos = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--chaos") == 0) chaos = true;
   }
+  if (chaos) return run_chaos(smoke, threads);
   bench::banner(
       std::string("fleet scale — multi-hop relay topologies x receiver "
                   "cohorts") +

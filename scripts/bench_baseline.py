@@ -53,7 +53,8 @@ import time
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 # suite -> (schema, default report file, [(bench name, binary relative to
-# the build dir, extra argv)])
+# the build dir, extra argv[, CSV/metrics series name when it differs
+# from the binary name])])
 SUITES = {
     "parallel": (
         "dap.bench_parallel.v2",
@@ -74,6 +75,13 @@ SUITES = {
             # The smoke pass is what CI runs and gates with bench_trend.py,
             # so its trajectory must be a first-class baseline entry.
             ("fleet_scale_smoke", "bench/fleet_scale", ["--smoke"]),
+            # Relay-hardening chaos soak: same binary, --chaos mode, its
+            # own CSV/metrics series (bench_out/fleet_chaos.*). Both the
+            # full soak and the CI smoke pass are gated trajectories.
+            ("fleet_chaos", "bench/fleet_scale", ["--chaos"],
+             "fleet_chaos"),
+            ("fleet_chaos_smoke", "bench/fleet_scale", ["--chaos", "--smoke"],
+             "fleet_chaos"),
         ],
     ),
 }
@@ -101,11 +109,14 @@ def trajectory_of(metrics):
     }
 
 
-def run_once(binary, extra_args, threads, scratch):
+def run_once(binary, extra_args, threads, scratch, series=None):
     """Runs one bench in `scratch` with DAP_THREADS pinned and
     $DAP_RUN_ID fixed to "baseline"; returns (wall_seconds, csv_bytes,
     metrics_dict_or_None, run_artifacts, returncode). run_artifacts maps
-    each RUN_DIR_ARTIFACTS name the bench produced to its bytes."""
+    each RUN_DIR_ARTIFACTS name the bench produced to its bytes.
+    `series` overrides the bench_out/<name>.{csv,metrics.json} stem when
+    a mode writes a different series than the binary name (e.g.
+    fleet_scale --chaos -> fleet_chaos)."""
     env = dict(os.environ)
     env["DAP_THREADS"] = str(threads)
     env["DAP_RUN_ID"] = "baseline"
@@ -118,7 +129,7 @@ def run_once(binary, extra_args, threads, scratch):
         stderr=subprocess.STDOUT,
     )
     wall = time.perf_counter() - start
-    name = pathlib.Path(binary).name
+    name = series or pathlib.Path(binary).name
     csv_path = pathlib.Path(scratch) / "bench_out" / (name + ".csv")
     csv_bytes = csv_path.read_bytes() if csv_path.exists() else None
     metrics = None
@@ -167,7 +178,9 @@ def main(argv):
         "benches": [],
     }
     failed = False
-    for name, rel, extra in benches:
+    for bench in benches:
+        name, rel, extra = bench[:3]
+        series = bench[3] if len(bench) > 3 else None
         binary = build / rel
         if not binary.exists():
             print(f"[{name}] SKIP: {binary} not built")
@@ -176,9 +189,9 @@ def main(argv):
         with tempfile.TemporaryDirectory() as serial_dir, \
                 tempfile.TemporaryDirectory() as parallel_dir:
             s_wall, s_csv, s_metrics, s_artifacts, s_rc = run_once(
-                binary, extra, 1, serial_dir)
+                binary, extra, 1, serial_dir, series)
             p_wall, p_csv, p_metrics, p_artifacts, p_rc = run_once(
-                binary, extra, threads, parallel_dir)
+                binary, extra, threads, parallel_dir, series)
         # Every artifact either side produced must exist AND match on the
         # other side — a bench that only snapshots at one thread count is
         # itself a determinism bug.

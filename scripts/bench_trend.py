@@ -24,6 +24,14 @@ Three gates, in order of severity:
      (--sim-p99-rel, default 0.05); wall-clock timer histograms vary
      with host load, so the band is loose (--wall-p99-rel, default 4.0,
      i.e. fail only on a 5x blowup).
+  4. bounded relay memory: whenever the run exports the fleet guard
+     gauges, fleet.guard.peak_entries must not exceed
+     fleet.guard.capacity — the O(capacity) relay data plane is a hard
+     invariant, gated without a baseline like gate 1.
+  5. guard ceilings: counters that measure collateral damage from the
+     ingress guard (fleet.guard.false_drop — authentic packets shed by
+     a bandwidth budget) may not exceed the baseline trajectory's value
+     by more than --guard-tol (relative, default 0.25).
 
 Baseline entries are matched to runs by scenario id first (the
 manifest's "scenario" field, e.g. "fleet_scale:smoke"), falling back to
@@ -60,6 +68,12 @@ RATIOS = {
 # Histograms recording *simulated* time are bitwise deterministic and get
 # the tight p99 band; everything else is a wall-clock timer.
 SIM_TIME_MARKER = "hop_latency"
+
+# Counters gated against a baseline *ceiling* (gate 5): going UP is the
+# regression. fleet.guard.false_drop counts authentic packets shed by a
+# relay's bandwidth budget — collateral the relay-hardening tier must
+# keep bounded.
+GUARD_CEILINGS = ["fleet.guard.false_drop"]
 
 # Wall-clock p99s below this many microseconds are pure scheduler noise;
 # skip the relative check for them.
@@ -119,6 +133,32 @@ def gate_forged(label, counters):
     ]
 
 
+def gate_guard_memory(label, gauges):
+    """Gate 4: relay memory bounded by construction, no baseline needed."""
+    capacity = gauges.get("fleet.guard.capacity", 0)
+    peak = gauges.get("fleet.guard.peak_entries", 0)
+    if capacity > 0 and peak > capacity:
+        return [
+            f"{label}: RELAY MEMORY: fleet.guard.peak_entries {peak:g} "
+            f"exceeds fleet.guard.capacity {capacity:g} — the bounded "
+            f"ingress guard leaked"
+        ]
+    return []
+
+
+def gate_guard_ceilings(label, base_counters, run_counters, rel):
+    """Gate 5: guard collateral counters may not grow past the baseline."""
+    failures = []
+    for name in GUARD_CEILINGS:
+        run_value = run_counters.get(name, 0)
+        ceiling = base_counters.get(name, 0) * (1.0 + rel)
+        if run_value > ceiling:
+            failures.append(
+                f"{label}: GUARD CEILING: {name} = {run_value} exceeds "
+                f"baseline ceiling {ceiling:.1f} (band +{rel * 100:.0f}%)")
+    return failures
+
+
 def gate_auth_rates(label, base_counters, run_counters, tol):
     failures = []
     base_rates = ratios_of(base_counters)
@@ -168,6 +208,7 @@ def check_run(baseline, run_dir, args):
     counters = metrics.get("counters", {})
 
     failures = gate_forged(label, counters)
+    failures += gate_guard_memory(label, metrics.get("gauges", {}))
 
     entry = match_entry(baseline, manifest)
     if entry is None:
@@ -188,6 +229,8 @@ def check_run(baseline, run_dir, args):
 
     failures += gate_auth_rates(label, trajectory.get("counters", {}),
                                 counters, args.auth_tol)
+    failures += gate_guard_ceilings(label, trajectory.get("counters", {}),
+                                    counters, args.guard_tol)
     failures += gate_p99(label, trajectory.get("histogram_p99", {}),
                          metrics.get("histograms", {}),
                          args.sim_p99_rel, args.wall_p99_rel)
@@ -203,6 +246,7 @@ SELF_TEST_COUNTERS = {
     "fleet.auths": 4700,
     "fleet.auth_opportunities": 5000,
     "fleet.forged_accepted": 0,
+    "fleet.guard.false_drop": 4,
 }
 
 SELF_TEST_HISTS = {
@@ -210,8 +254,13 @@ SELF_TEST_HISTS = {
     "crypto.hmac_us": {"count": 9000, "p99": 12.0},
 }
 
+SELF_TEST_GAUGES = {
+    "fleet.guard.peak_entries": 61.0,
+    "fleet.guard.capacity": 64.0,
+}
 
-def _write_run(root, name, scenario, counters, hists):
+
+def _write_run(root, name, scenario, counters, hists, gauges=None):
     run_dir = pathlib.Path(root) / name
     run_dir.mkdir(parents=True)
     (run_dir / "manifest.json").write_text(json.dumps({
@@ -225,6 +274,7 @@ def _write_run(root, name, scenario, counters, hists):
     (run_dir / "metrics.json").write_text(json.dumps({
         "schema": "dap.metrics.v2",
         "counters": counters,
+        "gauges": SELF_TEST_GAUGES if gauges is None else gauges,
         "histograms": hists,
     }))
     return run_dir
@@ -235,7 +285,8 @@ def self_test():
 
     def expect(case, run_dir, baseline_path, want_pass, want_marker=None):
         args = argparse.Namespace(baseline=str(baseline_path), auth_tol=0.01,
-                                  sim_p99_rel=0.05, wall_p99_rel=4.0)
+                                  sim_p99_rel=0.05, wall_p99_rel=4.0,
+                                  guard_tol=0.25)
         got = check_run(load_json(baseline_path), run_dir, args)
         if want_pass and got:
             failures.append(f"{case}: expected pass, got: {got}")
@@ -297,6 +348,20 @@ def self_test():
                           SELF_TEST_COUNTERS, wall_slow),
                baseline_path, want_pass=True)
 
+        leaked = dict(SELF_TEST_GAUGES,
+                      **{"fleet.guard.peak_entries": 90.0})
+        expect("relay memory above guard capacity",
+               _write_run(tmp, "r_mem", "fleet_scale:smoke",
+                          SELF_TEST_COUNTERS, SELF_TEST_HISTS, leaked),
+               baseline_path, want_pass=False, want_marker="RELAY MEMORY")
+
+        collateral = dict(SELF_TEST_COUNTERS,
+                          **{"fleet.guard.false_drop": 100})
+        expect("guard false-drop ceiling",
+               _write_run(tmp, "r_drop", "fleet_scale:smoke",
+                          collateral, SELF_TEST_HISTS),
+               baseline_path, want_pass=False, want_marker="GUARD CEILING")
+
         expect("unknown scenario",
                _write_run(tmp, "r_unknown", "fleet_scale:mystery",
                           SELF_TEST_COUNTERS, SELF_TEST_HISTS),
@@ -325,6 +390,9 @@ def main(argv):
     parser.add_argument("--wall-p99-rel", type=float, default=4.0,
                         help="relative p99 band for wall-clock histograms "
                              "(default 4.0)")
+    parser.add_argument("--guard-tol", type=float, default=0.25,
+                        help="relative ceiling band for guard collateral "
+                             "counters (default 0.25)")
     parser.add_argument("--self-test", action="store_true",
                         help="exercise the gates on synthetic doctored runs")
     args = parser.parse_args(argv)

@@ -21,6 +21,15 @@ cmake -B build -S . "${GEN[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+echo "== bench trend: pinned fleet-chaos smoke vs checked-in baseline =="
+# Same gate CI runs: the relay-hardening soak with a pinned run id,
+# trend-checked against BENCH_fleet.json (forged auths, relay memory
+# bound, guard collateral ceilings, auth rates, p99 bands).
+(cd build && DAP_RUN_ID=check-fleet-chaos-smoke \
+  bench/fleet_scale --chaos --smoke >/dev/null)
+python3 scripts/bench_trend.py --baseline BENCH_fleet.json \
+  --run build/bench_out/runs/check-fleet-chaos-smoke
+
 echo "== static analysis: repo lint + thread-safety gate =="
 python3 scripts/lint.py src
 python3 scripts/thread_safety_check.py

@@ -15,7 +15,8 @@ Layer order (low to high):
     sim                         clocks, channels, event queue
     tesla                       TESLA baselines (uses crypto, sim, wire)
     dap                         the paper's protocol (extends tesla)
-    core, fleet, analysis       top-level drivers, fleet sim, experiments
+    core, fleet                 top-level drivers; fleet sim
+    analysis                    experiments (may also drive fleet scenarios)
 """
 
 from typing import Dict, List, Tuple
@@ -31,8 +32,9 @@ ALLOWED: Dict[str, Tuple[str, ...]] = {
     "tesla": ("common", "obs", "wire", "crypto", "sim"),
     "dap": ("common", "obs", "wire", "crypto", "sim", "tesla"),
     "core": ("common", "obs", "sim", "game", "dap"),
-    "fleet": ("common", "obs", "wire", "crypto", "sim", "dap"),
-    "analysis": ("common", "obs", "crypto", "sim", "game", "tesla", "dap"),
+    "fleet": ("common", "obs", "wire", "crypto", "sim", "tesla", "dap"),
+    "analysis": ("common", "obs", "crypto", "sim", "game", "tesla", "dap",
+                 "fleet"),
 }
 
 MODULES = frozenset(ALLOWED)

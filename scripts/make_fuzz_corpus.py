@@ -179,6 +179,54 @@ def teslapp_seeds():
     }
 
 
+def fleet_scenario_seeds():
+    # Text seeds for the ScenarioSpec JSON dialect: valid specs across
+    # every topology kind (including a full guard + fault plan), plus
+    # malformed shapes that exercise each rejection path (unknown keys,
+    # non-pow2 guard capacity, resource-ceiling overflow, truncation).
+    chaos = (
+        '{"name": "chaos", "seed": 7, '
+        '"topology": {"kind": "tree", "depth": 2, "fanout": 1}, '
+        '"members_per_cohort": 5, "buffers": 6, "intervals": 10, '
+        '"interval_us": 200000, "forged_fraction": 0.25, '
+        '"guard": {"capacity": 64, "budget_mbps": 0.05, "burst_bits": 512}, '
+        '"faults": {'
+        '"relay_crashes": [{"node": 1, "at_interval": 2, '
+        '"downtime_intervals": 2, "reboot_skew_us": 150000}], '
+        '"partitions": [{"from": 0, "to": 1, "from_interval": 2, '
+        '"until_interval": 3}], '
+        '"degraded": [{"node": 1, "budget_mbps": 0.005}]}}'
+    )
+    seeds = {
+        "tree_chaos_full": chaos,
+        "gossip_minimal":
+            '{"topology": {"kind": "gossip", "relays": 4, "fanin": 2}}',
+        "grid_hop":
+            '{"topology": {"kind": "grid", "rows": 2, "cols": 3}, '
+            '"hop": {"loss": 0.1, "duplicate_probability": 0.2, '
+            '"latency_us": 1000, "jitter_us": 500}}',
+        "flood_attackers":
+            '{"topology": {"kind": "flood", "receivers": 4}, '
+            '"forged_fraction": 0.5, "attackers": [0], '
+            '"relay_dedup": false, "cohorts_at_leaves_only": true}',
+        "guard_only":
+            '{"topology": {"kind": "tree", "depth": 1, "fanout": 2}, '
+            '"guard": {"capacity": 16}}',
+        "unknown_key": '{"topology": {"kind": "tree"}, "bogus": 1}',
+        "bad_guard_capacity":
+            '{"topology": {"kind": "tree"}, "guard": {"capacity": 48}}',
+        "crash_on_root":
+            '{"topology": {"kind": "tree", "depth": 1, "fanout": 2}, '
+            '"faults": {"relay_crashes": [{"node": 0}]}}',
+        "overflow_nodes":
+            '{"topology": {"kind": "flood", "receivers": 100000000}}',
+        "truncated": '{"topology": {"kind": "tree",',
+        "not_json": "hello",
+        "empty": "",
+    }
+    return {name: text.encode() for name, text in seeds.items()}
+
+
 def write_corpus(subdir, seeds):
     directory = CORPUS / subdir
     directory.mkdir(parents=True, exist_ok=True)
@@ -191,6 +239,7 @@ def main():
     write_corpus("fuzz_wire_decode", WIRE_SEEDS)
     write_corpus("fuzz_dap_receiver", dap_seeds())
     write_corpus("fuzz_teslapp_receiver", teslapp_seeds())
+    write_corpus("fuzz_fleet_scenario", fleet_scenario_seeds())
 
 
 if __name__ == "__main__":

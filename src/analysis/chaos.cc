@@ -348,6 +348,144 @@ std::vector<ChaosReport> run_chaos_soaks(
       [&configs](std::size_t i) { return run_chaos_soak(configs[i]); });
 }
 
+FleetChaosResult run_fleet_chaos_case(const FleetChaosCase& chaos_case,
+                                      obs::Snapshotter* snapshotter) {
+  fleet::FleetSim sim(chaos_case.spec);
+  sim.set_snapshotter(snapshotter);
+  FleetChaosResult result;
+  result.label = chaos_case.label;
+  result.report = sim.run();
+  const fleet::FleetReport& report = result.report;
+  result.zero_forged = report.zero_forged();
+  result.memory_bounded = report.guard_peak_entries <= report.guard_capacity;
+  // Liveness: every depth back to full sentinel authentication within
+  // the documented bound. An empty vector means the spec scheduled no
+  // faults — nothing to reconverge from.
+  result.reconverged = true;
+  for (std::size_t d = 1; d < report.reconverge_intervals.size(); ++d) {
+    const std::uint32_t took = report.reconverge_intervals[d];
+    if (took == fleet::kNeverReconverged ||
+        took > chaos_case.reconverge_within) {
+      result.reconverged = false;
+    }
+  }
+  return result;
+}
+
+std::vector<FleetChaosResult> run_fleet_chaos_cases(
+    const std::vector<FleetChaosCase>& cases) {
+  // Deterministic like run_chaos_soaks: each case seeds its own RNGs,
+  // and per-slot telemetry merges in slot order.
+  return common::parallel_map<FleetChaosResult>(
+      cases.size(),
+      [&cases](std::size_t i) { return run_fleet_chaos_case(cases[i]); });
+}
+
+namespace {
+
+/// Chain 0 -> 1 -> 2 for the single-relay fault cases; the scenario ids
+/// stay distinct because each case uses a different forged fraction.
+fleet::ScenarioSpec fleet_chaos_chain(bool smoke) {
+  fleet::ScenarioSpec spec;
+  spec.name = "chaos";
+  spec.seed = 7;
+  spec.kind = fleet::TopologyKind::kTree;
+  spec.depth = 2;
+  spec.fanout = 1;
+  spec.members_per_cohort = smoke ? 5 : 40;
+  spec.buffers = 6;
+  spec.intervals = 10;
+  spec.interval_us = 200 * sim::kMillisecond;
+  spec.hop.latency_us = sim::kMillisecond;
+  return spec;
+}
+
+}  // namespace
+
+std::vector<FleetChaosCase> standard_fleet_chaos_cases(bool smoke) {
+  std::vector<FleetChaosCase> cases;
+
+  // Relay crash with a skewed reboot: downstream recovers on traffic
+  // alone; the crashed relay's cohort needs the full desync-detect ->
+  // handshake -> recalibrate cycle (4 intervals covers it).
+  {
+    FleetChaosCase c;
+    c.label = "crash-reboot";
+    c.spec = fleet_chaos_chain(smoke);
+    c.spec.faults.relay_crashes.push_back(
+        {1, 2, 2, 150 * sim::kMillisecond});
+    c.reconverge_within = 4;
+    cases.push_back(c);
+  }
+
+  // Healing partition: nothing desyncs, so reconvergence is immediate
+  // once the edge is back.
+  {
+    FleetChaosCase c;
+    c.label = "partition-heal";
+    c.spec = fleet_chaos_chain(smoke);
+    c.spec.forged_fraction = 0.25;
+    c.spec.faults.partitions.push_back({0, 1, 2, 3});
+    c.reconverge_within = 1;
+    cases.push_back(c);
+  }
+
+  // Degraded relay under a hard flood: the tight budget sheds the
+  // forged burst, but authentic announces lead each burst and reveals
+  // ride the refilled bucket, so the control stream stays live. Buffers
+  // cover the full offer load (1 authentic + 9 forged) so the sentinel
+  // reservoir never evicts the authentic copy.
+  {
+    FleetChaosCase c;
+    c.label = "degraded-flood";
+    c.spec = fleet_chaos_chain(smoke);
+    c.spec.forged_fraction = 0.9;
+    c.spec.buffers = 12;
+    c.spec.guard.burst_bits = 512.0;
+    c.spec.faults.degraded.push_back({1, 0.005});  // 5 kbit/s
+    c.reconverge_within = 1;
+    cases.push_back(c);
+  }
+
+  // Guard saturation: a 16-slot tag store under the same flood across a
+  // branching tree, plus a healing partition. Peak relay memory must
+  // hold at <= capacity while the overflow surfaces as evictions.
+  {
+    FleetChaosCase c;
+    c.label = "guard-saturation";
+    c.spec = fleet_chaos_chain(smoke);
+    c.spec.fanout = 2;
+    c.spec.members_per_cohort = smoke ? 10 : 60;
+    c.spec.forged_fraction = 0.9;
+    c.spec.buffers = 12;
+    c.spec.guard.capacity = 16;
+    c.spec.faults.partitions.push_back({0, 1, 2, 3});
+    c.reconverge_within = 1;
+    cases.push_back(c);
+  }
+
+  // Everything at once: crash + reboot skew, healing partition on the
+  // other branch, degraded budget below it, moderate flood.
+  {
+    FleetChaosCase c;
+    c.label = "combined";
+    c.spec = fleet_chaos_chain(smoke);
+    c.spec.fanout = 2;
+    c.spec.members_per_cohort = smoke ? 25 : 50;
+    c.spec.forged_fraction = 0.6;
+    c.spec.guard.capacity = 64;
+    c.spec.guard.burst_bits = 8192.0;
+    c.spec.faults.relay_crashes.push_back(
+        {1, 2, 1, 150 * sim::kMillisecond});
+    c.spec.faults.partitions.push_back({0, 2, 3, 4});
+    c.spec.faults.degraded.push_back({2, 0.05});
+    c.reconverge_within = 4;
+    cases.push_back(c);
+  }
+
+  return cases;
+}
+
 std::vector<std::pair<std::string, ChaosFaultMix>> standard_fault_mixes() {
   std::vector<std::pair<std::string, ChaosFaultMix>> mixes;
   mixes.emplace_back("jitter", ChaosFaultMix{.jitter = true});

@@ -23,6 +23,8 @@
 #include <utility>
 #include <vector>
 
+#include "fleet/fleet.h"
+#include "fleet/scenario.h"
 #include "sim/time.h"
 
 namespace dap::analysis {
@@ -90,5 +92,55 @@ std::vector<ChaosReport> run_chaos_soaks(
 /// The named fault mixes the soak suite iterates: each single-fault
 /// scenario plus a combined one.
 std::vector<std::pair<std::string, ChaosFaultMix>> standard_fault_mixes();
+
+// ---- Fleet-level chaos: relay faults over multi-hop topologies --------
+//
+// The single-link soak above stresses one receiver stack; the fleet
+// variant drives a whole ScenarioSpec — relay crash/restart, healing
+// link partitions, degraded-relay budgets — through FleetSim and holds
+// it to three invariants:
+//
+//   1. Safety: forged_accepted == 0, under every fault mix.
+//   2. Bounded relays: guard_peak_entries <= guard_capacity however
+//      hard the flood pushes (the O(capacity) relay data plane).
+//   3. Liveness: every topology depth reconverges (all of its cohorts
+//      sentinel-authenticate in the same interval again) within the
+//      case's documented bound after the last fault clears.
+
+struct FleetChaosCase {
+  std::string label;
+  fleet::ScenarioSpec spec;
+  /// Per-depth reconvergence bound, in intervals past the fault
+  /// horizon (spec.faults.last_clear_interval()).
+  std::uint32_t reconverge_within = 6;
+};
+
+struct FleetChaosResult {
+  std::string label;
+  fleet::FleetReport report;
+  bool zero_forged = false;
+  bool memory_bounded = false;
+  bool reconverged = false;
+  [[nodiscard]] bool ok() const noexcept {
+    return zero_forged && memory_bounded && reconverged;
+  }
+};
+
+/// Runs one fleet chaos case and evaluates the three invariants. An
+/// optional snapshotter samples the ambient registry at drain cadence
+/// (it must outlive the call).
+FleetChaosResult run_fleet_chaos_case(const FleetChaosCase& chaos_case,
+                                      obs::Snapshotter* snapshotter = nullptr);
+
+/// Fans the cases across the parallel engine (slot order preserved,
+/// telemetry merges deterministically like run_chaos_soaks).
+std::vector<FleetChaosResult> run_fleet_chaos_cases(
+    const std::vector<FleetChaosCase>& cases);
+
+/// The named relay-fault scenarios the fleet soak iterates: crash with
+/// reboot skew, healing partition, degraded budget under flood, guard
+/// saturation, and the combined mix. Smoke shrinks cohorts, not the
+/// fault plans — every mix still runs.
+std::vector<FleetChaosCase> standard_fleet_chaos_cases(bool smoke);
 
 }  // namespace dap::analysis

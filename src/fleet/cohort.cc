@@ -55,18 +55,83 @@ void ReceiverCohort::receive_announce(const wire::MacAnnounce& packet,
                                       sim::SimTime true_now) {
   DAP_REQUIRE(config_.dap.disclosure_delay > 0 && config_.dap.buffers > 0,
               "ReceiverCohort::receive_announce: cohort must be configured");
-  const sim::SimTime local_now = config_.clock.local_time(true_now);
+  const sim::SimTime local_now = local_time(true_now);
   ++stats_.announces_received;
   sentinel_.receive(packet, local_now);
   // Algorithm 2 line 3 for the statistical members: the loose-time
   // safety check, evaluated once for the whole cohort (shared clock).
-  if (!config_.clock.packet_safe(packet.interval,
-                                 config_.dap.disclosure_delay, local_now,
-                                 config_.dap.schedule)) {
+  if (!cohort_packet_safe(packet.interval, local_now)) {
     ++stats_.announces_unsafe;
     return;
   }
   round_for(packet.interval).macs.push_back(packet.mac);
+}
+
+sim::SimTime ReceiverCohort::local_time(sim::SimTime true_now) const noexcept {
+  return config_.clock.local_time(true_now) + skew_;
+}
+
+sim::SimTime ReceiverCohort::true_time_of(
+    sim::SimTime local_now) const noexcept {
+  const std::int64_t true_now = static_cast<std::int64_t>(local_now) -
+                                static_cast<std::int64_t>(skew_) -
+                                config_.clock.offset();
+  return true_now > 0 ? static_cast<sim::SimTime>(true_now) : 0;
+}
+
+bool ReceiverCohort::cohort_packet_safe(std::uint32_t interval,
+                                        sim::SimTime local_now) const {
+  if (calibration_.has_value()) {
+    return calibration_->packet_safe(interval, config_.dap.disclosure_delay,
+                                     local_now, config_.dap.schedule);
+  }
+  return config_.clock.packet_safe(interval, config_.dap.disclosure_delay,
+                                   local_now, config_.dap.schedule);
+}
+
+void ReceiverCohort::crash_restart(sim::SimTime true_now,
+                                   sim::SimTime reboot_skew_us) {
+  // Forward-only: the skew accumulates and is never snapped back — a
+  // backward correction would void the loose-sync bound (faults.h).
+  skew_ += reboot_skew_us;
+  calibration_.reset();  // volatile, like the sentinel's
+  rounds_.clear();
+  pending_.clear();
+  sentinel_.crash_restart(local_time(true_now));
+  ++stats_.crash_restarts;
+}
+
+void ReceiverCohort::enable_resync(
+    sim::SimTime handshake_latency_us,
+    std::function<bool(sim::SimTime true_now)> transport_up) {
+  common::Rng sync_rng(common::subseed(config_.seed, 0x7e55));
+  const common::Bytes pairwise = sync_rng.bytes(16);
+  sync_client_.emplace(pairwise, sync_rng.next_u64());
+  sync_responder_.emplace(pairwise);
+  sentinel_.set_resync_handler(
+      [this, handshake_latency_us, up = std::move(transport_up)](
+          sim::SimTime local_now) -> std::optional<tesla::SyncCalibration> {
+        const sim::SimTime true_now = true_time_of(local_now);
+        if (up && !up(true_now)) return std::nullopt;
+        // A real handshake over a fixed-latency control path: the bound
+        // it yields covers the accumulated reboot skew because the
+        // responder answers with TRUE sender time while the client
+        // anchors on its own (skewed) readings.
+        const tesla::SyncRequest request = sync_client_->begin(local_now);
+        const tesla::SyncResponse response = sync_responder_->respond(
+            request, true_now + handshake_latency_us);
+        const sim::SimTime arrival =
+            local_time(true_now + 2 * handshake_latency_us);
+        auto calibration = sync_client_->complete(
+            response, std::max(arrival, local_now));
+        if (calibration.has_value()) {
+          // The statistical members adopt the sentinel's calibration —
+          // without it their shared safety check would reject authentic
+          // announces forever after a skewed reboot.
+          calibration_ = *calibration;
+        }
+        return calibration;
+      });
 }
 
 void ReceiverCohort::enqueue_reveal(const wire::MessageReveal& packet) {
@@ -110,7 +175,7 @@ void ReceiverCohort::replay_member(Round& round, std::uint32_t interval,
 }
 
 std::vector<RevealOutcome> ReceiverCohort::drain(sim::SimTime true_now) {
-  const sim::SimTime local_now = config_.clock.local_time(true_now);
+  const sim::SimTime local_now = local_time(true_now);
   const auto sentinel_outcomes = sentinel_.drain_pending_batch(local_now);
   DAP_INVARIANT(sentinel_outcomes.size() == pending_.size(),
                 "sentinel queue diverged from cohort queue");

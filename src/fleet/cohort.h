@@ -29,6 +29,7 @@
 // where the 10^5-member cost is paid and sharded.
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <vector>
@@ -37,6 +38,7 @@
 #include "dap/dap.h"
 #include "sim/clock_model.h"
 #include "sim/time.h"
+#include "tesla/timesync.h"
 #include "wire/packet.h"
 
 namespace dap::fleet {
@@ -75,6 +77,8 @@ struct CohortStats {
   /// is lazy).
   std::uint64_t stored_records = 0;
   std::uint64_t stored_records_peak = 0;
+  /// Crash/restart cycles injected into this cohort.
+  std::uint64_t crash_restarts = 0;
 };
 
 /// Outcome of one reveal processed by drain(), in queue order.
@@ -112,6 +116,35 @@ class ReceiverCohort {
   /// pruned afterwards.
   std::vector<RevealOutcome> drain(sim::SimTime true_now);
 
+  // ---- Fault injection & recovery ---------------------------------------
+
+  /// Crash/restart at true time `true_now`: volatile state is lost on
+  /// every member (sentinel record buffers + calibration via
+  /// DapReceiver::crash_restart, statistical reservoirs and queued
+  /// reveals here), while the newest authenticated chain key survives as
+  /// the persistent anchor. `reboot_skew_us` models the oscillator
+  /// coming back AHEAD by that much (an RTC that lost time while down) —
+  /// a forward-only step, accumulated across crashes and never snapped
+  /// back (a backward correction would void the loose-sync bound); only
+  /// a fresh timesync calibration restores the safety check.
+  void crash_restart(sim::SimTime true_now, sim::SimTime reboot_skew_us = 0);
+
+  /// Wires desync recovery: the sentinel's ResyncController drives a
+  /// real TimeSyncClient/Responder handshake (one deterministic
+  /// transport per cohort, `handshake_latency_us` per leg). When
+  /// `transport_up` is given, attempts fail while it returns false (the
+  /// relay is down or partitioned). A successful handshake's
+  /// calibration is also adopted by the statistical members' shared
+  /// safety check — the cohort-level analogue of installing it in the
+  /// sentinel.
+  void enable_resync(
+      sim::SimTime handshake_latency_us,
+      std::function<bool(sim::SimTime true_now)> transport_up = nullptr);
+
+  /// The cohort oscillator's reading at true time `true_now`, including
+  /// accumulated reboot skew.
+  [[nodiscard]] sim::SimTime local_time(sim::SimTime true_now) const noexcept;
+
   [[nodiscard]] std::size_t members() const noexcept {
     return config_.members;
   }
@@ -146,6 +179,15 @@ class ReceiverCohort {
   [[nodiscard]] Round& round_for(std::uint32_t interval);
   void prune_rounds(std::uint32_t current_interval);
 
+  /// True time recovered from a local reading (inverts local_time).
+  [[nodiscard]] sim::SimTime true_time_of(
+      sim::SimTime local_now) const noexcept;
+  /// Members' loose-time safety check: the fresh calibration when one
+  /// exists, the believed oscillator bound otherwise (mirrors
+  /// DapReceiver::packet_safe).
+  [[nodiscard]] bool cohort_packet_safe(std::uint32_t interval,
+                                        sim::SimTime local_now) const;
+
   CohortConfig config_;
   std::size_t stat_members_;  // members - 1 (sentinel excluded)
   tesla::ChainAuthenticator auth_;
@@ -153,6 +195,15 @@ class ReceiverCohort {
   std::map<std::uint32_t, Round> rounds_;
   std::vector<wire::MessageReveal> pending_;
   CohortStats stats_;
+
+  /// Accumulated forward reboot skew (crash_restart); 0 in steady state.
+  sim::SimTime skew_ = 0;
+  /// Calibration adopted from the sentinel's last successful resync
+  /// handshake; dropped on crash (volatile state).
+  std::optional<tesla::SyncCalibration> calibration_;
+  /// Resync transport (enable_resync); one handshake pair per cohort.
+  std::optional<tesla::TimeSyncClient> sync_client_;
+  std::optional<tesla::TimeSyncResponder> sync_responder_;
 };
 
 }  // namespace dap::fleet

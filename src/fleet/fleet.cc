@@ -1,9 +1,11 @@
 #include "fleet/fleet.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "common/contracts.h"
 #include "common/parallel.h"
 #include "obs/registry.h"
 #include "sim/adversary.h"
@@ -67,6 +69,18 @@ FleetSim::FleetSim(const ScenarioSpec& spec)
   dap_config_.disclosure_delay = 1;
   dap_config_.buffers = spec_.buffers;
   dap_config_.schedule = sim::IntervalSchedule(0, spec_.interval_us);
+
+  // Fault scenarios arm desync recovery: reboot skew makes a rejoined
+  // cohort's announces fail the safety check until a resync handshake
+  // installs a fresh calibration, so the sentinel's ResyncController must
+  // be live for the fleet to reconverge.
+  if (!spec_.faults.empty()) {
+    dap_config_.resync.enabled = true;
+    dap_config_.resync.desync_threshold = 3;
+    dap_config_.resync.retry_budget = 6;
+    dap_config_.resync.backoff_initial = spec_.interval_us / 4;
+    dap_config_.resync.backoff_max = 2 * spec_.interval_us;
+  }
 }
 
 void FleetSim::set_channel_factory(ChannelFactory factory) {
@@ -91,7 +105,25 @@ void FleetSim::build_network(const common::Bytes& commitment) {
   media_.resize(nodes);
   cohorts_.resize(nodes);
   traffic_.assign(nodes, NodeTraffic{});
-  seen_.assign(nodes, {});
+  down_until_.assign(nodes, 0);
+
+  // One bounded ingress guard per node; degraded relays get a tighter
+  // bandwidth budget, everyone else the spec's fleet-wide one.
+  guards_.clear();
+  guards_.reserve(nodes);
+  bool any_budget = spec_.guard.budget_mbps > 0.0;
+  for (std::uint32_t v = 0; v < nodes; ++v) {
+    GuardConfig cfg = spec_.guard;
+    cfg.dedup = spec_.relay_dedup;
+    for (const DegradedRelaySpec& degraded : spec_.faults.degraded) {
+      if (degraded.node == v) {
+        cfg.budget_mbps = degraded.budget_mbps;
+        any_budget = true;
+      }
+    }
+    guards_.emplace_back(cfg);
+  }
+  guard_active_ = spec_.relay_dedup || any_budget;
 
   if (!channel_factory_) {
     channel_factory_ = [this](std::uint32_t, std::uint32_t) {
@@ -122,6 +154,29 @@ void FleetSim::build_network(const common::Bytes& commitment) {
     };
   }
 
+  // Healing link partitions: each partitioned edge's channel — whether it
+  // came from the default stack or a test-supplied factory — is wrapped
+  // in a BlackoutChannel gated on that edge's scheduled windows.
+  if (!spec_.faults.partitions.empty()) {
+    for (const LinkPartitionSpec& partition : spec_.faults.partitions) {
+      auto& windows = partition_windows_[{partition.from, partition.to}];
+      if (!windows) windows = std::make_shared<sim::FaultSchedule>();
+      windows->add_window(
+          dap_config_.schedule.interval_start(partition.from_interval),
+          dap_config_.schedule.interval_start(partition.until_interval));
+    }
+    ChannelFactory inner = std::move(channel_factory_);
+    channel_factory_ = [this, inner](std::uint32_t from, std::uint32_t to) {
+      std::unique_ptr<sim::Channel> channel = inner(from, to);
+      const auto it = partition_windows_.find({from, to});
+      if (it != partition_windows_.end()) {
+        channel = std::make_unique<sim::BlackoutChannel>(std::move(channel),
+                                                         it->second, queue_);
+      }
+      return channel;
+    };
+  }
+
   // Cohorts behind every non-root node, or just the leaves.
   std::vector<bool> hosts_cohort(nodes, false);
   if (spec_.cohorts_at_leaves_only) {
@@ -148,6 +203,14 @@ void FleetSim::build_network(const common::Bytes& commitment) {
           static_cast<std::int64_t>(max_off);
       cohort.clock = sim::LooseClock(offset, max_off);
       cohorts_[v] = std::make_unique<ReceiverCohort>(cohort, commitment);
+      if (!spec_.faults.empty()) {
+        // Resync transport rides the relay: handshakes fail while the
+        // node is crashed, succeed (one hop-latency per leg) otherwise.
+        cohorts_[v]->enable_resync(spec_.hop.latency_us,
+                                   [this, v](sim::SimTime true_now) {
+                                     return true_now >= down_until_[v];
+                                   });
+      }
     }
   }
 
@@ -171,17 +234,68 @@ void FleetSim::build_network(const common::Bytes& commitment) {
   hop_latency_by_depth_.assign(max_depth + 1, {});
   member_auth_by_depth_.assign(max_depth + 1, 0);
   sentinel_auth_by_depth_.assign(max_depth + 1, 0);
+  sentinel_auth_by_depth_interval_.assign(
+      max_depth + 1, std::vector<std::uint64_t>(spec_.intervals + 2, 0));
+  cohorts_at_depth_.assign(max_depth + 1, 0);
+  for (std::uint32_t v = 0; v < nodes; ++v) {
+    if (cohorts_[v]) ++cohorts_at_depth_[depths_[v]];
+  }
+}
+
+void FleetSim::schedule_faults() {
+  const sim::IntervalSchedule& sched = dap_config_.schedule;
+  const sim::SimTime interval = spec_.interval_us;
+  for (const RelayCrashSpec& crash : spec_.faults.relay_crashes) {
+    // Crash a quarter-interval in, before that interval's announce: the
+    // guard state and every buffered record die with the node, ingress
+    // goes deaf for `downtime_intervals`, then the node rejoins with its
+    // oscillator ahead by `reboot_skew_us`.
+    const sim::SimTime t_crash =
+        sched.interval_start(crash.at_interval) + interval / 4;
+    const sim::SimTime t_up =
+        t_crash + static_cast<sim::SimTime>(crash.downtime_intervals) * interval;
+    const std::uint32_t node = crash.node;
+    const sim::SimTime skew = crash.reboot_skew_us;
+    queue_.schedule_at(t_crash, [this, node, t_up, skew] {
+      down_until_[node] = t_up;
+      guards_[node].reset(queue_.now());
+      if (cohorts_[node]) cohorts_[node]->crash_restart(queue_.now(), skew);
+      ++report_.relay_restarts;
+    });
+  }
+}
+
+bool FleetSim::is_authentic_packet(const wire::Packet& packet) const {
+  if (const auto* announce = std::get_if<wire::MacAnnounce>(&packet)) {
+    return announce_sent_at_.count(fnv1a64(announce->mac)) != 0;
+  }
+  if (const auto* reveal = std::get_if<wire::MessageReveal>(&packet)) {
+    return !is_forged_payload(reveal->message);
+  }
+  return false;
 }
 
 void FleetSim::on_packet(std::uint32_t from, std::uint32_t node,
                          const wire::Packet& packet, sim::SimTime now) {
   NodeTraffic& traffic = traffic_[node];
   ++traffic.packets_in;
-  if (spec_.relay_dedup) {
-    const std::uint64_t hash = fnv1a64(wire::encode(packet));
-    if (!seen_[node].insert(hash).second) {
-      ++traffic.deduped;
-      return;
+  if (now < down_until_[node]) {
+    // Crashed relay: deaf until it rejoins. Nothing is remembered.
+    ++traffic.dropped_down;
+    return;
+  }
+  if (guard_active_) {
+    const common::Bytes encoded = wire::encode(packet);
+    switch (guards_[node].admit(fnv1a64(encoded), encoded.size() * 8, now)) {
+      case IngressGuard::Verdict::kDuplicate:
+        ++traffic.deduped;
+        return;
+      case IngressGuard::Verdict::kShed:
+        ++traffic.shed;
+        if (is_authentic_packet(packet)) guards_[node].note_false_drop();
+        return;
+      case IngressGuard::Verdict::kAdmit:
+        break;
     }
   }
   if (const auto* announce = std::get_if<wire::MacAnnounce>(&packet)) {
@@ -269,6 +383,9 @@ void FleetSim::drain_all() {
       if (outcome.sentinel_authenticated) {
         ++report_.sentinel_auths;
         ++sentinel_auth_by_depth_[d];
+        if (outcome.interval < sentinel_auth_by_depth_interval_[d].size()) {
+          ++sentinel_auth_by_depth_interval_[d][outcome.interval];
+        }
       }
     }
   }
@@ -279,12 +396,13 @@ void FleetSim::drain_all() {
 }
 
 FleetReport FleetSim::run() {
-  if (ran_) throw std::logic_error("FleetSim: run() is single-shot");
+  DAP_REQUIRE(!ran_, "FleetSim: run() is single-shot");
   ran_ = true;
 
   const common::Bytes sender_seed = rng_.fork(0x5eed).bytes(16);
   protocol::DapSender sender(dap_config_, sender_seed);
   build_network(sender.chain().commitment());
+  schedule_faults();
 
   sim::FloodingForger forger(dap_config_.sender_id, dap_config_.mac_size,
                              rng_.fork(0xf04));
@@ -399,18 +517,50 @@ void FleetSim::flush_live_telemetry() {
   flush_counter("fleet.forged_accepted", report_.forged_accepted,
                 flushed_.forged_accepted);
   std::uint64_t deduped = 0;
-  for (const NodeTraffic& t : traffic_) deduped += t.deduped;
+  std::uint64_t dropped_down = 0;
+  for (const NodeTraffic& t : traffic_) {
+    deduped += t.deduped;
+    dropped_down += t.dropped_down;
+  }
   flush_counter("fleet.dedup_dropped", deduped, flushed_.dedup_dropped);
+  flush_counter("fleet.dropped_while_down", dropped_down,
+                flushed_.dropped_while_down);
+  flush_counter("fleet.relay_restarts", report_.relay_restarts,
+                flushed_.relay_restarts);
 
   const std::uint32_t max_depth = topo_.depth();
+  std::uint64_t evicted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t false_drops = 0;
+  std::vector<std::uint64_t> evicted_by_depth(max_depth + 1, 0);
+  std::vector<std::uint64_t> shed_by_depth(max_depth + 1, 0);
+  for (std::size_t v = 0; v < guards_.size(); ++v) {
+    const GuardStats& g = guards_[v].stats();
+    evicted += g.evicted;
+    shed += g.shed;
+    false_drops += g.false_drops;
+    evicted_by_depth[depths_[v]] += g.evicted;
+    shed_by_depth[depths_[v]] += g.shed;
+  }
+  flush_counter("fleet.guard.evicted", evicted, flushed_.guard_evicted);
+  flush_counter("fleet.guard.shed", shed, flushed_.guard_shed);
+  flush_counter("fleet.guard.false_drop", false_drops,
+                flushed_.guard_false_drops);
+
   flushed_.announces_in_by_depth.resize(max_depth + 1, 0);
   flushed_.member_auth_by_depth.resize(max_depth + 1, 0);
   flushed_.sentinel_auth_by_depth.resize(max_depth + 1, 0);
   flushed_.hop_latency_flushed.resize(max_depth + 1, 0);
+  flushed_.guard_evicted_by_depth.resize(max_depth + 1, 0);
+  flushed_.guard_shed_by_depth.resize(max_depth + 1, 0);
   for (std::uint32_t d = 1; d <= max_depth; ++d) {
     const std::string prefix = "fleet.d" + std::to_string(d) + ".";
     flush_counter(prefix + "announces_in", announces_in_by_depth_[d],
                   flushed_.announces_in_by_depth[d]);
+    flush_counter(prefix + "guard_evicted", evicted_by_depth[d],
+                  flushed_.guard_evicted_by_depth[d]);
+    flush_counter(prefix + "guard_shed", shed_by_depth[d],
+                  flushed_.guard_shed_by_depth[d]);
     flush_counter(prefix + "member_auths", member_auth_by_depth_[d],
                   flushed_.member_auth_by_depth[d]);
     flush_counter(prefix + "sentinel_auths", sentinel_auth_by_depth_[d],
@@ -439,9 +589,39 @@ void FleetSim::rollup() {
   }
   for (std::uint32_t v = 0; v < topo_.node_count; ++v) {
     report_.dedup_dropped += traffic_[v].deduped;
+    report_.dropped_while_down += traffic_[v].dropped_down;
     if (media_[v]) {
       report_.duplicated_frames += media_[v]->duplicated_frames();
       report_.total_bits += media_[v]->total_bits();
+    }
+  }
+  report_.guard_capacity = spec_.guard.capacity;
+  for (const IngressGuard& guard : guards_) {
+    const GuardStats& g = guard.stats();
+    report_.guard_evicted += g.evicted;
+    report_.guard_shed += g.shed;
+    report_.guard_false_drops += g.false_drops;
+    report_.guard_peak_entries = std::max<std::uint64_t>(
+        report_.guard_peak_entries, guard.peak_occupancy());
+  }
+
+  // Reconvergence clock: for every depth, intervals past the fault
+  // horizon until all of its cohorts sentinel-authenticate in the same
+  // announce interval again.
+  report_.fault_clear_interval = spec_.faults.last_clear_interval();
+  if (!spec_.faults.empty()) {
+    const std::uint32_t clear = report_.fault_clear_interval;
+    report_.reconverge_intervals.assign(report_.max_depth + 1, 0);
+    for (std::uint32_t d = 1; d <= report_.max_depth; ++d) {
+      if (cohorts_at_depth_[d] == 0) continue;
+      std::uint32_t reconverged = kNeverReconverged;
+      for (std::uint32_t i = std::max(clear, 1U); i <= spec_.intervals; ++i) {
+        if (sentinel_auth_by_depth_interval_[d][i] == cohorts_at_depth_[d]) {
+          reconverged = i - std::min(i, clear);
+          break;
+        }
+      }
+      report_.reconverge_intervals[d] = reconverged;
     }
   }
   const double opportunities = static_cast<double>(report_.total_members) *
@@ -467,6 +647,12 @@ void FleetSim::rollup() {
           report_.member_auths + report_.sentinel_auths);
   reg.add(reg.counter("fleet.auth_opportunities"),
           report_.total_members * report_.intervals);
+  // The bounded-relay-memory invariant, exported for trend gating:
+  // peak_entries <= capacity regardless of flood pressure.
+  reg.set(reg.gauge("fleet.guard.peak_entries"),
+          static_cast<double>(report_.guard_peak_entries));
+  reg.set(reg.gauge("fleet.guard.capacity"),
+          static_cast<double>(report_.guard_capacity));
   if (snapshotter_ != nullptr) {
     snapshotter_->sample(reg, queue_.now());
   }

@@ -24,10 +24,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "fleet/cohort.h"
+#include "fleet/guard.h"
 #include "fleet/scenario.h"
 #include "fleet/topology.h"
 #include "obs/snapshot.h"
@@ -42,8 +43,14 @@ namespace dap::fleet {
 struct NodeTraffic {
   std::uint64_t packets_in = 0;   // deliveries reaching this node's ingress
   std::uint64_t deduped = 0;      // dropped as already-forwarded
+  std::uint64_t shed = 0;         // dropped by the guard's bandwidth budget
+  std::uint64_t dropped_down = 0; // arrived while the relay was crashed
   std::uint64_t forwarded = 0;    // broadcasts re-issued downstream
 };
+
+/// Sentinel value in FleetReport::reconverge_intervals: the depth never
+/// returned to full sentinel authentication after the fault horizon.
+inline constexpr std::uint32_t kNeverReconverged = UINT32_MAX;
 
 struct FleetReport {
   std::uint64_t total_members = 0;
@@ -64,6 +71,28 @@ struct FleetReport {
   std::uint64_t dedup_dropped = 0;
   std::uint64_t duplicated_frames = 0;
   std::uint64_t total_bits = 0;
+  // ---- Ingress-guard accounting (bounded relay data plane) ------------
+  /// Packets evicted from a relay's fixed-capacity tag store (slot reuse).
+  std::uint64_t guard_evicted = 0;
+  /// Packets shed by a relay's bandwidth budget.
+  std::uint64_t guard_shed = 0;
+  /// Authentic packets among the shed ones (collateral of the budget).
+  std::uint64_t guard_false_drops = 0;
+  /// Max tag-store occupancy over all relays; <= guard_capacity always.
+  std::uint64_t guard_peak_entries = 0;
+  std::uint64_t guard_capacity = 0;
+  // ---- Fault injection --------------------------------------------------
+  /// Relay crash/restart cycles executed.
+  std::uint64_t relay_restarts = 0;
+  /// Packets that arrived at a crashed (deaf) relay.
+  std::uint64_t dropped_while_down = 0;
+  /// First interval with every scheduled fault cleared (0 = no faults).
+  std::uint32_t fault_clear_interval = 0;
+  /// Per depth (index 1..max_depth; index 0 unused): intervals past the
+  /// fault horizon until every cohort at that depth authenticates its
+  /// sentinel again in the same interval. 0 = immediate, kNeverReconverged
+  /// = never within the run. Empty when the spec schedules no faults.
+  std::vector<std::uint32_t> reconverge_intervals;
   /// Peak statistical-member records stored across all cohorts
   /// (x 56 bits = the defense-cost memory bound, Fig. 8's quantity).
   std::uint64_t stored_records_peak = 0;
@@ -98,8 +127,8 @@ class FleetSim {
   /// snapshotter must outlive it. nullptr detaches.
   void set_snapshotter(obs::Snapshotter* snapshotter);
 
-  /// Executes the full scenario. Callable once; throws std::logic_error
-  /// on a second call.
+  /// Executes the full scenario. Single-shot by contract: a second call
+  /// violates a DAP_REQUIRE precondition.
   FleetReport run();
 
   /// The simulation clock — exposed so tests can wire schedule-driven
@@ -115,8 +144,12 @@ class FleetSim {
 
  private:
   void build_network(const common::Bytes& commitment);
+  void schedule_faults();
   void on_packet(std::uint32_t from, std::uint32_t node,
                  const wire::Packet& packet, sim::SimTime now);
+  /// Authentic control stream? (root announce MAC or genuine reveal) —
+  /// classifies budget sheds as false drops.
+  [[nodiscard]] bool is_authentic_packet(const wire::Packet& packet) const;
   void drain_all();
   void rollup();
   /// Adds the counters/samples accrued since the previous flush to the
@@ -138,10 +171,22 @@ class FleetSim {
   std::vector<std::unique_ptr<sim::Medium>> media_;       // by node
   std::vector<std::unique_ptr<ReceiverCohort>> cohorts_;  // by node
   std::vector<NodeTraffic> traffic_;                      // by node
-  /// Relay dedup. Membership-only (never iterated), so hash layout can
-  /// never leak into outputs and O(1) lookup stays on the per-packet
-  /// hot path.
-  std::vector<std::unordered_set<std::uint64_t>> seen_;
+  /// Bounded ingress guard per node: fixed-capacity dedup tag store plus
+  /// optional bandwidth budget. Replaces the historical unbounded
+  /// per-relay `seen_` sets — relay memory is O(guard capacity) however
+  /// hard the flood pushes.
+  std::vector<IngressGuard> guards_;
+  /// True while both dedup and every budget are disabled — skips the
+  /// per-packet encode + guard probe entirely.
+  bool guard_active_ = false;
+  /// Crash state: node v drops all ingress while now < down_until_[v].
+  std::vector<sim::SimTime> down_until_;
+  /// Healing link partitions, keyed by directed edge; consulted by the
+  /// BlackoutChannel wrapper around the channel factory. Ordered map:
+  /// built once pre-run, but keep lookup deterministic on principle.
+  std::map<std::pair<std::uint32_t, std::uint32_t>,
+           std::shared_ptr<sim::FaultSchedule>>
+      partition_windows_;
   /// Authentic announce MACs (hashed) -> root send time, for per-depth
   /// hop-latency accounting of the genuine control stream. Ordered map:
   /// output-adjacent state must be deterministic by construction.
@@ -152,6 +197,10 @@ class FleetSim {
   FleetReport report_;
   std::vector<std::uint64_t> member_auth_by_depth_;
   std::vector<std::uint64_t> sentinel_auth_by_depth_;
+  /// [depth][announce interval] -> sentinel auths, for the per-depth
+  /// reconvergence clock after the fault horizon.
+  std::vector<std::vector<std::uint64_t>> sentinel_auth_by_depth_interval_;
+  std::vector<std::uint64_t> cohorts_at_depth_;
 
   obs::Snapshotter* snapshotter_ = nullptr;
 
@@ -180,6 +229,13 @@ class FleetSim {
     std::uint64_t forged_announces_sent = 0;
     std::uint64_t forged_accepted = 0;
     std::uint64_t dedup_dropped = 0;
+    std::uint64_t guard_evicted = 0;
+    std::uint64_t guard_shed = 0;
+    std::uint64_t guard_false_drops = 0;
+    std::uint64_t relay_restarts = 0;
+    std::uint64_t dropped_while_down = 0;
+    std::vector<std::uint64_t> guard_evicted_by_depth;
+    std::vector<std::uint64_t> guard_shed_by_depth;
     std::vector<std::uint64_t> announces_in_by_depth;
     std::vector<std::uint64_t> member_auth_by_depth;
     std::vector<std::uint64_t> sentinel_auth_by_depth;

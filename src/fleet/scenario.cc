@@ -196,6 +196,11 @@ std::uint64_t as_uint(const JsonValue& v, const std::string& where) {
     throw std::invalid_argument("scenario json: " + where +
                                 " must be a non-negative integer");
   }
+  // Cap at 2^53 (the last exactly-representable range): anything larger
+  // is a typo or an attack, and the cast below must stay defined.
+  if (num > 9007199254740992.0) {
+    throw std::invalid_argument("scenario json: " + where + " is too large");
+  }
   return static_cast<std::uint64_t>(num);
 }
 
@@ -248,7 +253,58 @@ std::string quote(const std::string& s) {
   return out;
 }
 
+const JsonArray& as_array(const JsonValue& v, const std::string& where) {
+  const auto* array = std::get_if<JsonArray>(&v.value);
+  if (array == nullptr) {
+    throw std::invalid_argument("scenario json: " + where +
+                                " must be an array");
+  }
+  return *array;
+}
+
+/// Untrusted-input ceilings: a spec is a scenario description, not a
+/// resource grant — parsing one must never commit the process to huge
+/// allocations before anyone decides to run it.
+constexpr std::uint64_t kMaxNodes = 1ULL << 22;          // relay graph
+constexpr std::uint64_t kMaxMembersPerCohort = 1ULL << 24;
+constexpr std::uint64_t kMaxBuffers = 1ULL << 16;
+constexpr std::uint64_t kMaxIntervals = 1ULL << 20;
+constexpr std::size_t kMaxGuardCapacity = 1ULL << 22;
+
+/// Overflow-safe estimate of the node count a topology spec implies.
+double estimated_nodes(const ScenarioSpec& spec) {
+  switch (spec.kind) {
+    case TopologyKind::kTree: {
+      if (spec.fanout <= 1) return static_cast<double>(spec.depth) + 1.0;
+      const double f = static_cast<double>(spec.fanout);
+      return (std::pow(f, static_cast<double>(spec.depth) + 1.0) - 1.0) /
+             (f - 1.0);
+    }
+    case TopologyKind::kGrid:
+      return static_cast<double>(spec.rows) *
+                 static_cast<double>(spec.cols) + 1.0;
+    case TopologyKind::kGossip:
+      return static_cast<double>(spec.relays) + 1.0;
+    case TopologyKind::kFlood:
+      return static_cast<double>(spec.receivers) + 1.0;
+  }
+  return 0.0;
+}
+
 }  // namespace
+
+std::uint32_t FaultSpec::last_clear_interval() const noexcept {
+  std::uint32_t clear = 0;
+  for (const RelayCrashSpec& crash : relay_crashes) {
+    const std::uint64_t up = static_cast<std::uint64_t>(crash.at_interval) +
+                             crash.downtime_intervals;
+    if (up > clear) clear = static_cast<std::uint32_t>(up);
+  }
+  for (const LinkPartitionSpec& partition : partitions) {
+    if (partition.until_interval > clear) clear = partition.until_interval;
+  }
+  return clear;
+}
 
 Topology ScenarioSpec::build_topology() const {
   switch (kind) {
@@ -291,7 +347,8 @@ std::string ScenarioSpec::id() const {
   }
   return std::string(topology_kind_name(kind)) + "_" + shape + "_m" +
          std::to_string(members_per_cohort) + "_p" +
-         common::format_number(forged_fraction);
+         common::format_number(forged_fraction) +
+         (faults.empty() ? "" : "_chaos");
 }
 
 std::string ScenarioSpec::to_json() const {
@@ -322,6 +379,61 @@ std::string ScenarioSpec::to_json() const {
   }
   attacker_list += "]";
 
+  std::string guard_json =
+      "{\"capacity\": " + std::to_string(guard.capacity) +
+      ", \"budget_mbps\": " + common::format_number(guard.budget_mbps) +
+      ", \"burst_bits\": " + common::format_number(guard.burst_bits) + "}";
+
+  // Fault plan: sub-arrays appear only when non-empty, so a fault-free
+  // spec's JSON is unchanged and the emitted form is canonical.
+  std::string fault_json;
+  if (!faults.empty()) {
+    fault_json = ", \"faults\": {";
+    std::string sep;
+    if (!faults.relay_crashes.empty()) {
+      fault_json += "\"relay_crashes\": [";
+      for (std::size_t i = 0; i < faults.relay_crashes.size(); ++i) {
+        const RelayCrashSpec& c = faults.relay_crashes[i];
+        fault_json += (i == 0 ? "" : ", ");
+        fault_json += "{\"node\": " + std::to_string(c.node) +
+                      ", \"at_interval\": " + std::to_string(c.at_interval) +
+                      ", \"downtime_intervals\": " +
+                      std::to_string(c.downtime_intervals) +
+                      ", \"reboot_skew_us\": " +
+                      std::to_string(c.reboot_skew_us) + "}";
+      }
+      fault_json += "]";
+      sep = ", ";
+    }
+    if (!faults.partitions.empty()) {
+      fault_json += sep + "\"partitions\": [";
+      for (std::size_t i = 0; i < faults.partitions.size(); ++i) {
+        const LinkPartitionSpec& p = faults.partitions[i];
+        fault_json += (i == 0 ? "" : ", ");
+        fault_json += "{\"from\": " + std::to_string(p.from) +
+                      ", \"to\": " + std::to_string(p.to) +
+                      ", \"from_interval\": " +
+                      std::to_string(p.from_interval) +
+                      ", \"until_interval\": " +
+                      std::to_string(p.until_interval) + "}";
+      }
+      fault_json += "]";
+      sep = ", ";
+    }
+    if (!faults.degraded.empty()) {
+      fault_json += sep + "\"degraded\": [";
+      for (std::size_t i = 0; i < faults.degraded.size(); ++i) {
+        const DegradedRelaySpec& d = faults.degraded[i];
+        fault_json += (i == 0 ? "" : ", ");
+        fault_json += "{\"node\": " + std::to_string(d.node) +
+                      ", \"budget_mbps\": " +
+                      common::format_number(d.budget_mbps) + "}";
+      }
+      fault_json += "]";
+    }
+    fault_json += "}";
+  }
+
   return "{\"name\": " + quote(name) +
          ", \"seed\": " + std::to_string(seed) +
          ", \"topology\": " + topo +
@@ -334,6 +446,7 @@ std::string ScenarioSpec::to_json() const {
          ", \"forged_fraction\": " + common::format_number(forged_fraction) +
          ", \"attackers\": " + attacker_list +
          ", \"relay_dedup\": " + (relay_dedup ? "true" : "false") +
+         ", \"guard\": " + guard_json + fault_json +
          ", \"hop\": {\"loss\": " + common::format_number(hop.loss) +
          ", \"duplicate_probability\": " +
          common::format_number(hop.duplicate_probability) +
@@ -348,7 +461,7 @@ ScenarioSpec ScenarioSpec::parse(const std::string& json) {
                       {"name", "seed", "topology", "members_per_cohort",
                        "buffers", "cohorts_at_leaves_only", "intervals",
                        "interval_us", "forged_fraction", "attackers",
-                       "relay_dedup", "hop"},
+                       "relay_dedup", "guard", "faults", "hop"},
                       "document");
 
   ScenarioSpec spec;
@@ -431,6 +544,93 @@ ScenarioSpec ScenarioSpec::parse(const std::string& json) {
   if (const auto it = object.find("relay_dedup"); it != object.end()) {
     spec.relay_dedup = as_bool(it->second, "relay_dedup");
   }
+  if (const auto it = object.find("guard"); it != object.end()) {
+    const JsonObject& guard = as_object(it->second, "guard");
+    reject_unknown_keys(guard, {"capacity", "budget_mbps", "burst_bits"},
+                        "guard");
+    if (const auto g = guard.find("capacity"); g != guard.end()) {
+      spec.guard.capacity =
+          static_cast<std::size_t>(as_uint(g->second, "capacity"));
+    }
+    if (const auto g = guard.find("budget_mbps"); g != guard.end()) {
+      spec.guard.budget_mbps = as_number(g->second, "budget_mbps");
+    }
+    if (const auto g = guard.find("burst_bits"); g != guard.end()) {
+      spec.guard.burst_bits = as_number(g->second, "burst_bits");
+    }
+  }
+  if (const auto it = object.find("faults"); it != object.end()) {
+    const JsonObject& faults = as_object(it->second, "faults");
+    reject_unknown_keys(faults, {"relay_crashes", "partitions", "degraded"},
+                        "faults");
+    if (const auto f = faults.find("relay_crashes"); f != faults.end()) {
+      for (const JsonValue& v : as_array(f->second, "relay_crashes")) {
+        const JsonObject& crash = as_object(v, "relay_crashes[]");
+        reject_unknown_keys(crash,
+                            {"node", "at_interval", "downtime_intervals",
+                             "reboot_skew_us"},
+                            "relay_crashes[]");
+        RelayCrashSpec out;
+        if (const auto c = crash.find("node"); c != crash.end()) {
+          out.node = static_cast<std::uint32_t>(as_uint(c->second, "node"));
+        }
+        if (const auto c = crash.find("at_interval"); c != crash.end()) {
+          out.at_interval =
+              static_cast<std::uint32_t>(as_uint(c->second, "at_interval"));
+        }
+        if (const auto c = crash.find("downtime_intervals");
+            c != crash.end()) {
+          out.downtime_intervals = static_cast<std::uint32_t>(
+              as_uint(c->second, "downtime_intervals"));
+        }
+        if (const auto c = crash.find("reboot_skew_us"); c != crash.end()) {
+          out.reboot_skew_us = as_uint(c->second, "reboot_skew_us");
+        }
+        spec.faults.relay_crashes.push_back(out);
+      }
+    }
+    if (const auto f = faults.find("partitions"); f != faults.end()) {
+      for (const JsonValue& v : as_array(f->second, "partitions")) {
+        const JsonObject& partition = as_object(v, "partitions[]");
+        reject_unknown_keys(partition,
+                            {"from", "to", "from_interval", "until_interval"},
+                            "partitions[]");
+        LinkPartitionSpec out;
+        if (const auto p = partition.find("from"); p != partition.end()) {
+          out.from = static_cast<std::uint32_t>(as_uint(p->second, "from"));
+        }
+        if (const auto p = partition.find("to"); p != partition.end()) {
+          out.to = static_cast<std::uint32_t>(as_uint(p->second, "to"));
+        }
+        if (const auto p = partition.find("from_interval");
+            p != partition.end()) {
+          out.from_interval =
+              static_cast<std::uint32_t>(as_uint(p->second, "from_interval"));
+        }
+        if (const auto p = partition.find("until_interval");
+            p != partition.end()) {
+          out.until_interval = static_cast<std::uint32_t>(
+              as_uint(p->second, "until_interval"));
+        }
+        spec.faults.partitions.push_back(out);
+      }
+    }
+    if (const auto f = faults.find("degraded"); f != faults.end()) {
+      for (const JsonValue& v : as_array(f->second, "degraded")) {
+        const JsonObject& degraded = as_object(v, "degraded[]");
+        reject_unknown_keys(degraded, {"node", "budget_mbps"}, "degraded[]");
+        DegradedRelaySpec out;
+        if (const auto d = degraded.find("node"); d != degraded.end()) {
+          out.node = static_cast<std::uint32_t>(as_uint(d->second, "node"));
+        }
+        if (const auto d = degraded.find("budget_mbps");
+            d != degraded.end()) {
+          out.budget_mbps = as_number(d->second, "budget_mbps");
+        }
+        spec.faults.degraded.push_back(out);
+      }
+    }
+  }
   if (const auto it = object.find("hop"); it != object.end()) {
     const JsonObject& hop = as_object(it->second, "hop");
     reject_unknown_keys(
@@ -456,18 +656,24 @@ ScenarioSpec ScenarioSpec::parse(const std::string& json) {
 }
 
 void ScenarioSpec::validate() const {
-  if (members_per_cohort == 0) {
+  if (members_per_cohort == 0 || members_per_cohort > kMaxMembersPerCohort) {
     throw std::invalid_argument(
-        "ScenarioSpec: members_per_cohort must be >= 1");
+        "ScenarioSpec: members_per_cohort must be in [1, 2^24]");
   }
-  if (buffers == 0) {
-    throw std::invalid_argument("ScenarioSpec: buffers must be >= 1");
+  if (buffers == 0 || buffers > kMaxBuffers) {
+    throw std::invalid_argument("ScenarioSpec: buffers must be in [1, 2^16]");
   }
-  if (intervals == 0) {
-    throw std::invalid_argument("ScenarioSpec: intervals must be >= 1");
+  if (intervals == 0 || intervals > kMaxIntervals) {
+    throw std::invalid_argument(
+        "ScenarioSpec: intervals must be in [1, 2^20]");
   }
-  if (interval_us == 0) {
-    throw std::invalid_argument("ScenarioSpec: interval_us must be >= 1");
+  if (interval_us == 0 ||
+      static_cast<double>(interval_us) *
+              (static_cast<double>(intervals) + 8.0) >
+          9.0e18) {
+    throw std::invalid_argument(
+        "ScenarioSpec: interval_us out of range (run would overflow "
+        "sim time)");
   }
   if (forged_fraction < 0.0 || forged_fraction >= 1.0) {
     throw std::invalid_argument(
@@ -480,6 +686,25 @@ void ScenarioSpec::validate() const {
     throw std::invalid_argument(
         "ScenarioSpec: hop.duplicate_probability must be in [0, 1]");
   }
+  if (guard.capacity == 0 || guard.capacity > kMaxGuardCapacity ||
+      (guard.capacity & (guard.capacity - 1)) != 0) {
+    throw std::invalid_argument(
+        "ScenarioSpec: guard.capacity must be a power of two in [1, 2^22]");
+  }
+  if (!std::isfinite(guard.budget_mbps) || guard.budget_mbps < 0.0) {
+    throw std::invalid_argument(
+        "ScenarioSpec: guard.budget_mbps must be finite and >= 0");
+  }
+  if (!std::isfinite(guard.burst_bits) || guard.burst_bits < 0.0) {
+    throw std::invalid_argument(
+        "ScenarioSpec: guard.burst_bits must be finite and >= 0");
+  }
+  // Resource ceiling BEFORE materializing the graph: a parsed spec is
+  // untrusted input, and the topology builders allocate O(nodes).
+  if (estimated_nodes(*this) > static_cast<double>(kMaxNodes)) {
+    throw std::invalid_argument(
+        "ScenarioSpec: topology implies more than 2^22 nodes");
+  }
   const Topology topo = build_topology();  // validates the shape itself
   const auto adjacency = topo.adjacency();
   for (const std::uint32_t a : attackers) {
@@ -489,6 +714,61 @@ void ScenarioSpec::validate() const {
     if (adjacency[a].empty()) {
       throw std::invalid_argument(
           "ScenarioSpec: attacker node has no out-edges to inject into");
+    }
+  }
+  for (const RelayCrashSpec& crash : faults.relay_crashes) {
+    if (crash.node == 0 || crash.node >= topo.node_count) {
+      throw std::invalid_argument(
+          "ScenarioSpec: relay_crashes node must be a non-root node");
+    }
+    if (crash.at_interval == 0 || crash.at_interval > intervals) {
+      throw std::invalid_argument(
+          "ScenarioSpec: relay_crashes at_interval must be in [1, "
+          "intervals]");
+    }
+    if (crash.downtime_intervals == 0 ||
+        crash.downtime_intervals > kMaxIntervals) {
+      throw std::invalid_argument(
+          "ScenarioSpec: relay_crashes downtime_intervals must be in [1, "
+          "2^20]");
+    }
+    if (crash.reboot_skew_us >
+        static_cast<sim::SimTime>(kMaxIntervals) * interval_us) {
+      throw std::invalid_argument(
+          "ScenarioSpec: relay_crashes reboot_skew_us out of range");
+    }
+  }
+  for (const LinkPartitionSpec& partition : faults.partitions) {
+    if (partition.from >= topo.node_count ||
+        partition.to >= topo.node_count) {
+      throw std::invalid_argument(
+          "ScenarioSpec: partition endpoint out of range");
+    }
+    bool edge = false;
+    for (const std::uint32_t to : adjacency[partition.from]) {
+      if (to == partition.to) {
+        edge = true;
+        break;
+      }
+    }
+    if (!edge) {
+      throw std::invalid_argument(
+          "ScenarioSpec: partition does not match a topology edge");
+    }
+    if (partition.from_interval == 0 ||
+        partition.until_interval <= partition.from_interval) {
+      throw std::invalid_argument(
+          "ScenarioSpec: partition window must satisfy 1 <= from < until");
+    }
+  }
+  for (const DegradedRelaySpec& degraded : faults.degraded) {
+    if (degraded.node >= topo.node_count) {
+      throw std::invalid_argument(
+          "ScenarioSpec: degraded node out of range");
+    }
+    if (!std::isfinite(degraded.budget_mbps) || degraded.budget_mbps <= 0.0) {
+      throw std::invalid_argument(
+          "ScenarioSpec: degraded budget_mbps must be finite and > 0");
     }
   }
 }

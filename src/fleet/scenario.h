@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "fleet/guard.h"
 #include "fleet/topology.h"
 #include "sim/time.h"
 
@@ -29,6 +30,53 @@ struct HopSpec {
   sim::SimTime latency_us = sim::kMillisecond;
   /// Uniform extra delay in [0, jitter_us] on top of latency_us.
   sim::SimTime jitter_us = 0;
+};
+
+/// Relay crash/restart: the node's guard state and in-flight forwards
+/// are lost, the node is deaf for `downtime_intervals`, then it rejoins.
+/// An optional positive reboot skew models the oscillator coming back
+/// wrong (an RTC that lost time while powered down): the node's cohort
+/// reads its clock `reboot_skew_us` AHEAD of its believed bound until a
+/// resync handshake recalibrates it — forward-only, so TESLA's
+/// no-forgery argument is preserved (see sim/faults.h ClockStepFault).
+struct RelayCrashSpec {
+  std::uint32_t node = 1;
+  std::uint32_t at_interval = 1;
+  std::uint32_t downtime_intervals = 1;
+  sim::SimTime reboot_skew_us = 0;
+};
+
+/// Directed link outage over whole intervals: the (from -> to) edge
+/// drops every frame in [start of from_interval, start of until_interval)
+/// and heals at until_interval.
+struct LinkPartitionSpec {
+  std::uint32_t from = 0;
+  std::uint32_t to = 1;
+  std::uint32_t from_interval = 1;
+  std::uint32_t until_interval = 2;
+};
+
+/// Per-node bandwidth-budget override (a degraded relay: same guard,
+/// tighter token bucket).
+struct DegradedRelaySpec {
+  std::uint32_t node = 1;
+  double budget_mbps = 1.0;
+};
+
+/// Schedule-driven relay fault plan; empty = no fault injection.
+struct FaultSpec {
+  std::vector<RelayCrashSpec> relay_crashes;
+  std::vector<LinkPartitionSpec> partitions;
+  std::vector<DegradedRelaySpec> degraded;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return relay_crashes.empty() && partitions.empty() && degraded.empty();
+  }
+  /// First interval index at which every scheduled fault has cleared
+  /// (crashes rejoined, partitions healed) — reconvergence clocks start
+  /// here. 0 when no fault is scheduled. Degraded budgets never clear
+  /// and do not extend the horizon.
+  [[nodiscard]] std::uint32_t last_clear_interval() const noexcept;
 };
 
 struct ScenarioSpec {
@@ -64,7 +112,17 @@ struct ScenarioSpec {
 
   /// Drop packets a relay has already forwarded (hash of the encoded
   /// packet). Keeps multi-parent topologies from amplifying traffic.
+  /// Dedup state lives in the fixed-capacity IngressGuard tag store, so
+  /// relay memory is O(guard.capacity) regardless of flood intensity.
   bool relay_dedup = true;
+
+  /// Per-relay ingress guard: tag-store capacity plus the optional
+  /// bandwidth budget (GuardConfig::dedup is driven by relay_dedup).
+  GuardConfig guard{};
+
+  /// Relay fault plan (crash/restart, healing partitions, degraded
+  /// budgets). Non-empty plans also enable sentinel resync recovery.
+  FaultSpec faults{};
 
   HopSpec hop{};
 

@@ -150,6 +150,58 @@ TEST(ChaosSoak, ResyncTelemetryVisibleInRegistryExport) {
   EXPECT_GE(latency->p99(), latency->p50());
 }
 
+// ------------------------------------------------- fleet-level chaos
+
+TEST(FleetChaos, EveryStandardCaseHoldsAllThreeInvariants) {
+  // Relay crash/reboot-skew, healing partitions, degraded budgets, and
+  // guard saturation across multi-hop topologies: zero forged auths,
+  // relay memory bounded by the guard capacity, and every depth back to
+  // full sentinel authentication within the case's documented bound.
+  const auto cases = analysis::standard_fleet_chaos_cases(/*smoke=*/true);
+  ASSERT_GE(cases.size(), 5u);
+  const auto results = analysis::run_fleet_chaos_cases(cases);
+  ASSERT_EQ(results.size(), cases.size());
+  for (const auto& result : results) {
+    EXPECT_TRUE(result.zero_forged)
+        << result.label << ": forged message authenticated";
+    EXPECT_TRUE(result.memory_bounded)
+        << result.label << ": guard peak " << result.report.guard_peak_entries
+        << " exceeds capacity " << result.report.guard_capacity;
+    EXPECT_TRUE(result.reconverged) << result.label << ": a depth missed its "
+                                    << "reconvergence bound";
+  }
+}
+
+TEST(FleetChaos, CasesExerciseEveryFaultKindAndStressTheGuard) {
+  // The standard family must actually inject what it claims: at least
+  // one crash cycle, one healed partition, budget shedding, and tag
+  // evictions somewhere across the cases.
+  const auto cases = analysis::standard_fleet_chaos_cases(/*smoke=*/true);
+  const auto results = analysis::run_fleet_chaos_cases(cases);
+  std::uint64_t restarts = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t evicted = 0;
+  std::uint64_t dropped_down = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& result = results[i];
+    restarts += result.report.relay_restarts;
+    shed += result.report.guard_shed;
+    evicted += result.report.guard_evicted;
+    dropped_down += result.report.dropped_while_down;
+    // Crashes and partitions clear at a positive interval; a plan made
+    // only of degraded budgets never clears (horizon stays 0).
+    const auto& faults = cases[i].spec.faults;
+    if (!faults.relay_crashes.empty() || !faults.partitions.empty()) {
+      EXPECT_GT(result.report.fault_clear_interval, 0u) << result.label;
+    }
+    EXPECT_FALSE(result.report.reconverge_intervals.empty()) << result.label;
+  }
+  EXPECT_GT(restarts, 0u);
+  EXPECT_GT(dropped_down, 0u);
+  EXPECT_GT(shed, 0u);
+  EXPECT_GT(evicted, 0u);
+}
+
 // --------------------------------------- desync -> resync -> recover
 
 TEST(DapResilience, DriftingClockDesyncsThenResyncsThenAccepts) {

@@ -230,6 +230,117 @@ TEST(Scenario, IdAndTotals) {
   EXPECT_EQ(leaves_only.total_members(), 9u * 25u);
 }
 
+TEST(Scenario, GuardAndFaultsRoundTripWithChaosId) {
+  fleet::ScenarioSpec spec = sample_spec();
+  spec.guard.capacity = 256;
+  spec.guard.budget_mbps = 2.5;
+  spec.guard.burst_bits = 4096.0;
+  spec.faults.relay_crashes.push_back({1, 2, 1, 50 * sim::kMillisecond});
+  spec.faults.partitions.push_back({0, 1, 2, 3});
+  spec.faults.degraded.push_back({2, 0.5});
+  const fleet::ScenarioSpec parsed =
+      fleet::ScenarioSpec::parse(spec.to_json());
+  EXPECT_EQ(parsed.to_json(), spec.to_json());
+  EXPECT_EQ(parsed.guard.capacity, 256u);
+  EXPECT_DOUBLE_EQ(parsed.guard.budget_mbps, 2.5);
+  ASSERT_EQ(parsed.faults.relay_crashes.size(), 1u);
+  EXPECT_EQ(parsed.faults.relay_crashes[0].node, 1u);
+  EXPECT_EQ(parsed.faults.relay_crashes[0].reboot_skew_us,
+            50 * sim::kMillisecond);
+  ASSERT_EQ(parsed.faults.partitions.size(), 1u);
+  EXPECT_EQ(parsed.faults.partitions[0].until_interval, 3u);
+  ASSERT_EQ(parsed.faults.degraded.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed.faults.degraded[0].budget_mbps, 0.5);
+  // Fault plans mark the scenario id so baselines never mix chaos and
+  // clean runs under one key.
+  EXPECT_EQ(spec.id(), "tree_d2f3_m25_p0.5_chaos");
+  // A faultless spec emits no faults block at all (canonical form).
+  EXPECT_EQ(sample_spec().to_json().find("\"faults\""), std::string::npos);
+  // Crashes rejoin at 3, partition heals at 3 -> horizon is interval 3.
+  EXPECT_EQ(spec.faults.last_clear_interval(), 3u);
+}
+
+TEST(Scenario, ValidateRejectsBadGuardAndFaults) {
+  const auto with = [](auto mutate) {
+    fleet::ScenarioSpec spec;
+    spec.kind = fleet::TopologyKind::kTree;
+    spec.depth = 2;
+    spec.fanout = 2;
+    mutate(spec);
+    return spec;
+  };
+  EXPECT_THROW(with([](fleet::ScenarioSpec& s) {
+                 s.guard.capacity = 48;  // not a power of two
+               }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(with([](fleet::ScenarioSpec& s) {
+                 s.guard.budget_mbps = -1.0;
+               }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(with([](fleet::ScenarioSpec& s) {
+                 s.faults.relay_crashes.push_back({0, 1, 1, 0});  // root
+               }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(with([](fleet::ScenarioSpec& s) {
+                 s.faults.relay_crashes.push_back({1, 0, 1, 0});  // at 0
+               }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(with([](fleet::ScenarioSpec& s) {
+                 // (1, 2) is not an edge of the depth-2 fanout-2 tree.
+                 s.faults.partitions.push_back({1, 2, 1, 2});
+               }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(with([](fleet::ScenarioSpec& s) {
+                 // until must exceed from.
+                 s.faults.partitions.push_back({0, 1, 2, 2});
+               }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(with([](fleet::ScenarioSpec& s) {
+                 s.faults.degraded.push_back({1, 0.0});
+               }).validate(),
+               std::invalid_argument);
+  EXPECT_NO_THROW(with([](fleet::ScenarioSpec& s) {
+                    s.faults.relay_crashes.push_back({1, 1, 1, 0});
+                    s.faults.partitions.push_back({0, 1, 1, 2});
+                    s.faults.degraded.push_back({1, 0.5});
+                  }).validate());
+}
+
+TEST(Scenario, ParseEnforcesResourceCeilings) {
+  // An untrusted spec must not be able to command an absurd allocation:
+  // validate() rejects it from the estimated node count alone, before
+  // any topology is built.
+  EXPECT_THROW(fleet::ScenarioSpec::parse(
+                   "{\"topology\": {\"kind\": \"tree\", \"depth\": 60, "
+                   "\"fanout\": 2}}"),
+               std::invalid_argument);
+  EXPECT_THROW(fleet::ScenarioSpec::parse(
+                   "{\"topology\": {\"kind\": \"flood\", "
+                   "\"receivers\": 100000000}}"),
+               std::invalid_argument);
+  EXPECT_THROW(fleet::ScenarioSpec::parse(
+                   "{\"topology\": {\"kind\": \"flood\"}, "
+                   "\"members_per_cohort\": 999999999999}"),
+               std::invalid_argument);
+  // Integers beyond 2^53 are not exactly representable in the JSON
+  // number model: rejected instead of silently rounded (or worse, UB on
+  // the double -> uint64 cast).
+  EXPECT_THROW(fleet::ScenarioSpec::parse(
+                   "{\"topology\": {\"kind\": \"flood\"}, "
+                   "\"seed\": 99999999999999999999}"),
+               std::invalid_argument);
+  // Unknown keys inside the nested blocks are rejected too.
+  EXPECT_THROW(fleet::ScenarioSpec::parse(
+                   "{\"topology\": {\"kind\": \"flood\"}, "
+                   "\"guard\": {\"capacity\": 64, \"typo\": 1}}"),
+               std::invalid_argument);
+  EXPECT_THROW(fleet::ScenarioSpec::parse(
+                   "{\"topology\": {\"kind\": \"flood\"}, "
+                   "\"faults\": {\"relay_crashes\": [{\"node\": 1, "
+                   "\"typo\": 2}]}}"),
+               std::invalid_argument);
+}
+
 // --------------------------------------------------------------- cohorts
 
 protocol::DapConfig cohort_dap_config() {
@@ -489,12 +600,18 @@ TEST(FleetSim, CohortPlacementFollowsSpec) {
   EXPECT_DOUBLE_EQ(report.auth_rate, 1.0);
 }
 
-TEST(FleetSim, RunIsSingleShotAndFactoriesLockAfterRun) {
+TEST(FleetSim, FactoriesLockAfterRun) {
+  // run() itself is single-shot by DAP_REQUIRE contract (abort, not an
+  // exception — not exercisable in-process); the factory setters still
+  // throw so misuse in test harnesses stays catchable.
   fleet::FleetSim sim(small_tree_spec());
   (void)sim.run();
-  EXPECT_THROW((void)sim.run(), std::logic_error);
   EXPECT_THROW(sim.set_channel_factory([](std::uint32_t, std::uint32_t) {
     return std::make_unique<sim::PerfectChannel>();
+  }),
+               std::logic_error);
+  EXPECT_THROW(sim.set_latency_factory([](std::uint32_t, std::uint32_t) {
+    return std::make_unique<sim::FixedLatency>(100);
   }),
                std::logic_error);
 }
@@ -735,6 +852,193 @@ TEST(FleetSim, BlackoutOnOneHopComposesWithCleanHops) {
   EXPECT_EQ(report.sentinel_auths, 2u * 2u);
   EXPECT_NEAR(report.auth_rate, 2.0 / 3.0, 1e-12);
   EXPECT_TRUE(report.zero_forged());
+}
+
+// --------------------------------- bounded guards & relay fault injection
+
+TEST(FleetSim, GuardBoundsRelayMemoryUnderFlood) {
+  // A hard flood used to grow every relay's dedup set without bound;
+  // with the guard, peak per-relay state is capped at the configured
+  // capacity and the overflow surfaces as eviction counts instead.
+  fleet::ScenarioSpec spec = small_tree_spec();
+  spec.intervals = 5;
+  spec.members_per_cohort = 10;
+  spec.forged_fraction = 0.9;  // 9 forged copies per authentic announce
+  spec.guard.capacity = 16;
+  fleet::FleetSim sim(spec);
+  const fleet::FleetReport report = sim.run();
+  EXPECT_EQ(report.guard_capacity, 16u);
+  EXPECT_LE(report.guard_peak_entries, 16u);
+  EXPECT_GT(report.guard_evicted, 0u);
+  EXPECT_TRUE(report.zero_forged());
+  EXPECT_GT(report.auth_rate, 0.0);
+}
+
+TEST(FleetSim, DegradedRelayBudgetShedsFloodNotForgedAcceptance) {
+  // Chain 0 -> 1 -> 2 with a tight bandwidth budget on relay 1: the
+  // flood is shed at that hop instead of being forwarded downstream,
+  // and integrity is untouched.
+  fleet::ScenarioSpec spec = small_tree_spec();
+  spec.depth = 2;
+  spec.fanout = 1;
+  spec.intervals = 5;
+  spec.forged_fraction = 0.9;
+  spec.guard.burst_bits = 512.0;  // a couple of frames of headroom
+  spec.faults.degraded.push_back({1, 0.001});  // 1 kbit/s
+  fleet::FleetSim sim(spec);
+  const fleet::FleetReport report = sim.run();
+  EXPECT_GT(sim.node_traffic(1).shed, 0u);
+  EXPECT_EQ(sim.node_traffic(2).shed, 0u);  // only node 1 is degraded
+  EXPECT_GT(report.guard_shed, 0u);
+  // Downstream sees at most what the budget let through.
+  EXPECT_LT(sim.node_traffic(2).packets_in, sim.node_traffic(1).packets_in);
+  EXPECT_TRUE(report.zero_forged());
+}
+
+TEST(FleetSim, RelayCrashMidChainDesyncsAndReconverges) {
+  // Chain 0 -> 1 -> 2. Node 1 crashes just before interval 2's
+  // announce, stays deaf for two intervals, and reboots with its
+  // oscillator 150 ms ahead. Downstream (node 2) recovers as soon as
+  // traffic flows again; node 1's own cohort must first detect the
+  // desync (streak of unsafe announces), run the resync handshake, and
+  // only then resume authenticating — on the SAME chain anchor it held
+  // before the crash.
+  fleet::ScenarioSpec spec = small_tree_spec();
+  spec.depth = 2;
+  spec.fanout = 1;
+  spec.intervals = 10;
+  spec.members_per_cohort = 5;
+  spec.faults.relay_crashes.push_back({1, 2, 2, 150 * sim::kMillisecond});
+  fleet::FleetSim sim(spec);
+  const fleet::FleetReport report = sim.run();
+
+  EXPECT_EQ(report.relay_restarts, 1u);
+  EXPECT_GT(report.dropped_while_down, 0u);
+  EXPECT_TRUE(report.zero_forged());
+
+  const fleet::ReceiverCohort* crashed = sim.cohort_at(1);
+  ASSERT_NE(crashed, nullptr);
+  EXPECT_EQ(crashed->stats().crash_restarts, 1u);
+  // The skewed reboot shows up as a streak of unsafe announces. The
+  // sentinel counts all three suspects; the cohort's shared check only
+  // sees two, because the episode-opening third announce resolves the
+  // handshake inside the sentinel before the cohort evaluates it.
+  EXPECT_GE(crashed->stats().announces_unsafe, 2u);
+  EXPECT_GE(crashed->sentinel().resync_stats().suspect_events, 3u);
+  // The streak opens a desync episode and resolves via the handshake.
+  EXPECT_GE(crashed->sentinel().resync_stats().desync_episodes, 1u);
+  EXPECT_GE(crashed->sentinel().resync_stats().successes, 1u);
+  // Chain anchor survived the crash: the sentinel authenticates again
+  // after recovery (weak auth still walks back to its stored key).
+  EXPECT_GE(crashed->stats().sentinel_auths, 2u);
+
+  // Reconvergence bounds, measured from the fault horizon (interval 4).
+  EXPECT_EQ(report.fault_clear_interval, 4u);
+  ASSERT_EQ(report.reconverge_intervals.size(), 3u);
+  // Depth 2 only had to wait for traffic: immediate reconvergence.
+  EXPECT_LE(report.reconverge_intervals[2], 1u);
+  // Depth 1 needed the full detect -> handshake -> recalibrate cycle.
+  EXPECT_NE(report.reconverge_intervals[1], fleet::kNeverReconverged);
+  EXPECT_LE(report.reconverge_intervals[1], 4u);
+}
+
+TEST(FleetSim, LinkPartitionHealsAndFleetRecovers) {
+  // Chain 0 -> 1 -> 2; the (0,1) edge is partitioned for interval 2 and
+  // heals at interval 3. Both cohorts lose the blocked traffic and
+  // reconverge immediately once the edge is back.
+  fleet::ScenarioSpec spec = small_tree_spec();
+  spec.depth = 2;
+  spec.fanout = 1;
+  spec.intervals = 5;
+  spec.members_per_cohort = 5;
+  spec.faults.partitions.push_back({0, 1, 2, 3});
+  fleet::FleetSim sim(spec);
+  const fleet::FleetReport report = sim.run();
+  // Interval 1's reveal (start(2) + interval/8) and interval 2's
+  // announce fall inside the window: 10 root broadcasts, 2 blocked.
+  EXPECT_EQ(sim.node_traffic(1).packets_in, 8u);
+  EXPECT_EQ(report.relay_restarts, 0u);
+  EXPECT_EQ(report.fault_clear_interval, 3u);
+  ASSERT_EQ(report.reconverge_intervals.size(), 3u);
+  EXPECT_EQ(report.reconverge_intervals[1], 0u);
+  EXPECT_EQ(report.reconverge_intervals[2], 0u);
+  // Intervals 3..5 authenticate fully at both cohorts.
+  EXPECT_GE(report.sentinel_auths, 2u * 3u);
+  EXPECT_TRUE(report.zero_forged());
+}
+
+TEST(FleetSim, ChaosReportIsIdenticalAcrossThreadCounts) {
+  // The full fault mix — crash + reboot skew, healing partition,
+  // degraded budget, flood — must stay bitwise deterministic at any
+  // DAP_THREADS, like the clean fleet.
+  const auto run = [](std::size_t threads) {
+    ThreadGuard guard(threads);
+    fleet::ScenarioSpec spec = small_tree_spec();
+    spec.depth = 2;
+    spec.fanout = 2;
+    spec.intervals = 8;
+    spec.members_per_cohort = 25;
+    spec.forged_fraction = 0.6;
+    spec.guard.capacity = 64;
+    spec.guard.burst_bits = 8192.0;
+    spec.faults.relay_crashes.push_back({1, 2, 1, 150 * sim::kMillisecond});
+    spec.faults.partitions.push_back({0, 2, 3, 4});
+    spec.faults.degraded.push_back({2, 0.05});
+    fleet::FleetSim sim(spec);
+    return sim.run();
+  };
+  const fleet::FleetReport a = run(1);
+  const fleet::FleetReport b = run(4);
+  EXPECT_EQ(a.member_auths, b.member_auths);
+  EXPECT_EQ(a.sentinel_auths, b.sentinel_auths);
+  EXPECT_EQ(a.forged_accepted, b.forged_accepted);
+  EXPECT_EQ(a.guard_evicted, b.guard_evicted);
+  EXPECT_EQ(a.guard_shed, b.guard_shed);
+  EXPECT_EQ(a.guard_false_drops, b.guard_false_drops);
+  EXPECT_EQ(a.guard_peak_entries, b.guard_peak_entries);
+  EXPECT_EQ(a.relay_restarts, b.relay_restarts);
+  EXPECT_EQ(a.dropped_while_down, b.dropped_while_down);
+  EXPECT_EQ(a.reconverge_intervals, b.reconverge_intervals);
+  EXPECT_EQ(a.total_bits, b.total_bits);
+  EXPECT_EQ(a.forged_accepted, 0u);
+}
+
+TEST(FleetSim, GuardCountersReachRegistry) {
+  auto& reg = obs::Registry::global();
+  const auto counter_value = [&reg](const char* name) {
+    const std::uint64_t* v = reg.find_counter(name);
+    return v == nullptr ? 0 : *v;
+  };
+  const std::uint64_t evicted_before = counter_value("fleet.guard.evicted");
+  const std::uint64_t shed_before = counter_value("fleet.guard.shed");
+  const std::uint64_t restarts_before = counter_value("fleet.relay_restarts");
+  const std::uint64_t d1_shed_before = counter_value("fleet.d1.guard_shed");
+
+  fleet::ScenarioSpec spec = small_tree_spec();
+  spec.depth = 2;
+  spec.fanout = 1;
+  spec.intervals = 5;
+  spec.forged_fraction = 0.9;
+  spec.guard.capacity = 8;
+  spec.guard.burst_bits = 4096.0;
+  spec.faults.relay_crashes.push_back({2, 2, 1, 0});
+  spec.faults.degraded.push_back({1, 0.01});
+  fleet::FleetSim sim(spec);
+  const fleet::FleetReport report = sim.run();
+
+  EXPECT_EQ(counter_value("fleet.guard.evicted") - evicted_before,
+            report.guard_evicted);
+  EXPECT_EQ(counter_value("fleet.guard.shed") - shed_before,
+            report.guard_shed);
+  EXPECT_EQ(counter_value("fleet.relay_restarts") - restarts_before,
+            report.relay_restarts);
+  // Per-depth split: the only budgeted relay sits at depth 1, so the
+  // whole shed count lands in its bucket.
+  EXPECT_EQ(counter_value("fleet.d1.guard_shed") - d1_shed_before,
+            report.guard_shed);
+  const double* peak = reg.find_gauge("fleet.guard.peak_entries");
+  ASSERT_NE(peak, nullptr);
+  EXPECT_LE(*peak, static_cast<double>(report.guard_capacity));
 }
 
 }  // namespace
