@@ -23,6 +23,7 @@ set(DAP_BENCH_PLAIN
   population_dynamics
   chaos_soak
   fleet_scale
+  crypto_throughput
 )
 
 foreach(name ${DAP_BENCH_PLAIN})
@@ -53,6 +54,10 @@ add_test(NAME chaos_soak_smoke COMMAND bench_chaos_soak --smoke)
 # Short fleet sweep with the same contract: exits non-zero when a forged
 # message authenticates or the flagship fleets fall below scale.
 add_test(NAME fleet_scale_smoke COMMAND bench_fleet_scale --smoke)
+
+# Batched-crypto equivalence smoke: exits non-zero when any multi-lane
+# digest diverges from the scalar oracle.
+add_test(NAME crypto_throughput_smoke COMMAND bench_crypto_throughput --smoke)
 
 # Relay-hardening soak: the standard fleet chaos cases (crash/restart,
 # healing partitions, degraded budgets, guard saturation) exit non-zero

@@ -30,6 +30,10 @@ Two suites share the harness:
                      per flagship topology, cohort drains sharded across
                      the pool, plus the --smoke pass CI gates on) ->
                      BENCH_fleet.json, schema dap.bench_fleet.v2
+  --suite crypto     the batched-crypto throughput bench (digest-checksum
+                     CSV as the identity contract, speedup gauges as the
+                     gated trajectory) -> BENCH_crypto.json, schema
+                     dap.bench_crypto.v1
 
 Stdlib only. Usage:
 
@@ -63,6 +67,21 @@ SUITES = {
             ("montecarlo_dap", "bench/montecarlo_dap", []),
             ("fig7_optimal_m", "bench/fig7_optimal_m", []),
             ("chaos_soak", "bench/chaos_soak", ["--smoke"]),
+        ],
+    ),
+    "crypto": (
+        "dap.bench_crypto.v1",
+        "BENCH_crypto.json",
+        [
+            # Full run: the speedup gauges (bench.crypto.*_speedup) are
+            # the host-stable throughput trajectory bench_trend.py gates;
+            # the CSV carries only counts + digest checksums, so the
+            # 1-vs-N-thread identity check covers the batched backend's
+            # bit-exactness contract.
+            ("crypto_throughput", "bench/crypto_throughput", []),
+            # The smoke pass is what CI runs and gates.
+            ("crypto_throughput_smoke", "bench/crypto_throughput",
+             ["--smoke"], "crypto_throughput"),
         ],
     ),
     "fleet": (
@@ -106,6 +125,9 @@ def trajectory_of(metrics):
             for name, hist in metrics.get("histograms", {}).items()
             if hist.get("count", 0) > 0
         },
+        # Gauges carry the crypto-throughput speedup ratios (host-stable,
+        # unlike absolute hashes/sec) that bench_trend.py gates.
+        "gauges": metrics.get("gauges", {}),
     }
 
 

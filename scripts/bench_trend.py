@@ -32,6 +32,13 @@ Three gates, in order of severity:
      ingress guard (fleet.guard.false_drop — authentic packets shed by
      a bandwidth budget) may not exceed the baseline trajectory's value
      by more than --guard-tol (relative, default 0.25).
+  6. crypto throughput: the batched-backend speedup gauges
+     (bench.crypto.*_speedup) may not fall more than --throughput-tol
+     (relative, default 0.25) below the baseline trajectory's value.
+     Speedups are ratios of two in-process measurements on the same
+     host, so unlike absolute hashes/sec they are stable across CI
+     hosts; a >10% drop means the multi-lane kernels or the HMAC
+     midstate caching regressed.
 
 Baseline entries are matched to runs by scenario id first (the
 manifest's "scenario" field, e.g. "fleet_scale:smoke"), falling back to
@@ -78,6 +85,12 @@ GUARD_CEILINGS = ["fleet.guard.false_drop"]
 # Wall-clock p99s below this many microseconds are pure scheduler noise;
 # skip the relative check for them.
 WALL_P99_FLOOR_US = 50.0
+
+# Gauges gated as host-stable speedup ratios (gate 6): every
+# bench.crypto.*_speedup gauge present in the baseline trajectory must
+# hold up in the run.
+SPEEDUP_PREFIX = "bench.crypto."
+SPEEDUP_SUFFIX = "_speedup"
 
 
 def load_json(path):
@@ -159,6 +172,28 @@ def gate_guard_ceilings(label, base_counters, run_counters, rel):
     return failures
 
 
+def gate_throughput(label, base_gauges, run_gauges, rel):
+    """Gate 6: batched-crypto speedup ratios may not sag below baseline."""
+    failures = []
+    for name, base in sorted(base_gauges.items()):
+        if not (name.startswith(SPEEDUP_PREFIX)
+                and name.endswith(SPEEDUP_SUFFIX)):
+            continue
+        if not isinstance(base, (int, float)) or base <= 0:
+            continue
+        run_value = run_gauges.get(name)
+        if run_value is None:
+            failures.append(
+                f"{label}: THROUGHPUT: {name} missing from run "
+                f"(baseline {base:.2f}x) — speedup gauge gone")
+            continue
+        if run_value < base * (1.0 - rel):
+            failures.append(
+                f"{label}: THROUGHPUT: {name} dropped {base:.2f}x -> "
+                f"{run_value:.2f}x (band -{rel * 100:.0f}%)")
+    return failures
+
+
 def gate_auth_rates(label, base_counters, run_counters, tol):
     failures = []
     base_rates = ratios_of(base_counters)
@@ -234,6 +269,9 @@ def check_run(baseline, run_dir, args):
     failures += gate_p99(label, trajectory.get("histogram_p99", {}),
                          metrics.get("histograms", {}),
                          args.sim_p99_rel, args.wall_p99_rel)
+    failures += gate_throughput(label, trajectory.get("gauges", {}),
+                                metrics.get("gauges", {}),
+                                args.throughput_tol)
     return failures
 
 
@@ -257,6 +295,8 @@ SELF_TEST_HISTS = {
 SELF_TEST_GAUGES = {
     "fleet.guard.peak_entries": 61.0,
     "fleet.guard.capacity": 64.0,
+    "bench.crypto.sha256_avx2_speedup": 3.0,
+    "bench.crypto.sha256_avx2_per_sec": 9.0e6,  # informational, not gated
 }
 
 
@@ -286,7 +326,7 @@ def self_test():
     def expect(case, run_dir, baseline_path, want_pass, want_marker=None):
         args = argparse.Namespace(baseline=str(baseline_path), auth_tol=0.01,
                                   sim_p99_rel=0.05, wall_p99_rel=4.0,
-                                  guard_tol=0.25)
+                                  guard_tol=0.25, throughput_tol=0.25)
         got = check_run(load_json(baseline_path), run_dir, args)
         if want_pass and got:
             failures.append(f"{case}: expected pass, got: {got}")
@@ -313,6 +353,7 @@ def self_test():
                     "histogram_p99": {
                         n: h["p99"] for n, h in SELF_TEST_HISTS.items()
                     },
+                    "gauges": SELF_TEST_GAUGES,
                 },
             }],
         }))
@@ -362,6 +403,21 @@ def self_test():
                           collateral, SELF_TEST_HISTS),
                baseline_path, want_pass=False, want_marker="GUARD CEILING")
 
+        slow_crypto = dict(SELF_TEST_GAUGES,
+                           **{"bench.crypto.sha256_avx2_speedup": 2.0})
+        expect("crypto speedup regression",
+               _write_run(tmp, "r_slow", "fleet_scale:smoke",
+                          SELF_TEST_COUNTERS, SELF_TEST_HISTS, slow_crypto),
+               baseline_path, want_pass=False, want_marker="THROUGHPUT")
+
+        fast_crypto = dict(SELF_TEST_GAUGES,
+                           **{"bench.crypto.sha256_avx2_speedup": 2.85,
+                              "bench.crypto.sha256_avx2_per_sec": 1.0})
+        expect("crypto speedup jitter within band, per_sec ungated",
+               _write_run(tmp, "r_fastish", "fleet_scale:smoke",
+                          SELF_TEST_COUNTERS, SELF_TEST_HISTS, fast_crypto),
+               baseline_path, want_pass=True)
+
         expect("unknown scenario",
                _write_run(tmp, "r_unknown", "fleet_scale:mystery",
                           SELF_TEST_COUNTERS, SELF_TEST_HISTS),
@@ -393,6 +449,13 @@ def main(argv):
     parser.add_argument("--guard-tol", type=float, default=0.25,
                         help="relative ceiling band for guard collateral "
                              "counters (default 0.25)")
+    # 0.25: a real regression (losing midstates or a SIMD tier) halves
+    # the ratio or worse; run-to-run and cross-microarch jitter stays
+    # well inside a quarter once the bench's best-of windows are long
+    # enough.
+    parser.add_argument("--throughput-tol", type=float, default=0.25,
+                        help="max relative drop in bench.crypto.*_speedup "
+                             "gauges (default 0.25)")
     parser.add_argument("--self-test", action="store_true",
                         help="exercise the gates on synthetic doctored runs")
     args = parser.parse_args(argv)

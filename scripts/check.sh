@@ -29,6 +29,12 @@ echo "== bench trend: pinned fleet-chaos smoke vs checked-in baseline =="
   bench/fleet_scale --chaos --smoke >/dev/null)
 python3 scripts/bench_trend.py --baseline BENCH_fleet.json \
   --run build/bench_out/runs/check-fleet-chaos-smoke
+# Batched-crypto throughput gate: digest equivalence is the bench's own
+# exit code; the speedup gauges are trend-checked against BENCH_crypto.json.
+(cd build && DAP_RUN_ID=check-crypto-smoke \
+  bench/crypto_throughput --smoke >/dev/null)
+python3 scripts/bench_trend.py --baseline BENCH_crypto.json \
+  --run build/bench_out/runs/check-crypto-smoke
 
 echo "== static analysis: repo lint + thread-safety gate =="
 python3 scripts/lint.py src
@@ -68,6 +74,7 @@ cmake --build build-tsan
 # test_fleet rides along: cohort drains fan reservoir replay across the
 # same pool.
 TSAN_OPTIONS=halt_on_error=1 DAP_THREADS=4 \
-  ctest --test-dir build-tsan -L 'test_parallel|test_fleet' --output-on-failure
+  ctest --test-dir build-tsan -L 'test_parallel|test_fleet|test_crypto_batch' \
+  --output-on-failure
 
 echo "== all checks passed =="

@@ -28,4 +28,26 @@ bool verify_mac(common::ByteView key, common::ByteView message,
   return common::constant_time_equal(expect, tag);
 }
 
+common::Bytes compute_mac(const HmacKey& key, common::ByteView message,
+                          std::size_t size) {
+  if (size == 0 || size > kSha256DigestSize) {
+    throw std::invalid_argument("compute_mac: size must be in [1, 32]");
+  }
+  const Digest full = key.mac(message);
+  return common::Bytes(full.begin(),
+                       full.begin() + static_cast<std::ptrdiff_t>(size));
+}
+
+common::Bytes micro_mac(const HmacKey& recv_key, common::ByteView mac,
+                        std::size_t size) {
+  return compute_mac(recv_key, mac, size);
+}
+
+bool verify_mac(const HmacKey& key, common::ByteView message,
+                common::ByteView tag) {
+  if (tag.empty() || tag.size() > kSha256DigestSize) return false;
+  const common::Bytes expect = compute_mac(key, message, tag.size());
+  return common::constant_time_equal(expect, tag);
+}
+
 }  // namespace dap::crypto

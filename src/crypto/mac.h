@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "common/bytes.h"
+#include "crypto/hmac.h"
 
 namespace dap::crypto {
 
@@ -34,6 +35,16 @@ common::Bytes micro_mac(common::ByteView recv_key, common::ByteView mac,
 
 /// Constant-time verification of a (possibly truncated) tag.
 bool verify_mac(common::ByteView key, common::ByteView message,
+                common::ByteView tag);
+
+/// Precomputed-key overloads: same tags, but the ipad/opad midstates are
+/// paid once per HmacKey instead of once per call. Use for keys applied
+/// to many messages (K_recv, per-interval MAC keys during a drain).
+common::Bytes compute_mac(const HmacKey& key, common::ByteView message,
+                          std::size_t size = kMacSize);
+common::Bytes micro_mac(const HmacKey& recv_key, common::ByteView mac,
+                        std::size_t size = kMicroMacSize);
+bool verify_mac(const HmacKey& key, common::ByteView message,
                 common::ByteView tag);
 
 /// Bits of storage DAP uses per buffered record (μMAC + index).

@@ -1,5 +1,6 @@
 #include "crypto/prf.h"
 
+#include <array>
 #include <stdexcept>
 
 #include "crypto/hmac.h"
@@ -44,16 +45,31 @@ std::string_view domain_label(PrfDomain domain) noexcept {
   return "unknown";
 }
 
+const HmacKey& prf_key(PrfDomain domain) noexcept {
+  // Domain labels never change, so the seven pad midstates are computed
+  // exactly once per process. Initialization is thread-safe (magic
+  // statics) and the array is immutable afterwards.
+  static const std::array<HmacKey, 7> keys = [] {
+    std::array<HmacKey, 7> out;
+    for (std::uint8_t d = 0; d < 7; ++d) {
+      const std::string_view label = domain_label(static_cast<PrfDomain>(d));
+      out[d] = HmacKey(common::ByteView(
+          reinterpret_cast<const std::uint8_t*>(label.data()), label.size()));
+    }
+    return out;
+  }();
+  const auto index = static_cast<std::size_t>(domain);
+  return keys[index < keys.size() ? index : 0];
+}
+
 Digest prf(PrfDomain domain, common::ByteView input) noexcept {
   const PrfTelemetry& telemetry = prf_telemetry();
   obs::Registry::global().add(telemetry.calls);
   const obs::ScopedTimer timer(telemetry.latency);
   // HMAC keyed by the domain label: distinct labels yield computationally
-  // independent functions of the same input.
-  const std::string_view label = domain_label(domain);
-  const common::ByteView key(
-      reinterpret_cast<const std::uint8_t*>(label.data()), label.size());
-  return hmac_sha256(key, input);
+  // independent functions of the same input. The cached per-domain key
+  // skips the per-call ipad/opad recomputation.
+  return prf_key(domain).mac(input);
 }
 
 common::Bytes prf_bytes(PrfDomain domain, common::ByteView input,

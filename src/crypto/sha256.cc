@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstring>
 
+#include "common/contracts.h"
+
 namespace dap::crypto {
 
 namespace {
@@ -48,7 +50,24 @@ void Sha256::reset() noexcept {
   total_bytes_ = 0;
 }
 
-void Sha256::process_block(const std::uint8_t* block) noexcept {
+Sha256Midstate sha256_initial_midstate() noexcept {
+  return Sha256Midstate{kInitialState, 0};
+}
+
+Sha256Midstate Sha256::midstate() const noexcept {
+  DAP_REQUIRE(buffered_ == 0,
+              "Sha256::midstate: only valid on a block boundary");
+  return Sha256Midstate{state_, total_bytes_};
+}
+
+void Sha256::restore(const Sha256Midstate& ms) noexcept {
+  state_ = ms.state;
+  buffered_ = 0;
+  total_bytes_ = ms.bytes;
+}
+
+void sha256_compress(std::uint32_t state[8],
+                     const std::uint8_t* block) noexcept {
   std::array<std::uint32_t, 64> w;
   for (int i = 0; i < 16; ++i) {
     w[static_cast<std::size_t>(i)] = load_be32(block + 4 * i);
@@ -61,8 +80,8 @@ void Sha256::process_block(const std::uint8_t* block) noexcept {
     w[i] = w[i - 16] + s0 + w[i - 7] + s1;
   }
 
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
 
   for (std::size_t i = 0; i < 64; ++i) {
     const std::uint32_t s1 =
@@ -83,14 +102,18 @@ void Sha256::process_block(const std::uint8_t* block) noexcept {
     a = temp1 + temp2;
   }
 
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+  state[5] += f;
+  state[6] += g;
+  state[7] += h;
+}
+
+void Sha256::process_block(const std::uint8_t* block) noexcept {
+  sha256_compress(state_.data(), block);
 }
 
 void Sha256::update(common::ByteView data) noexcept {

@@ -14,8 +14,29 @@
 namespace dap::crypto {
 
 inline constexpr std::size_t kSha256DigestSize = 32;
+inline constexpr std::size_t kSha256BlockSize = 64;
 
 using Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+/// Compression-function state captured after absorbing a whole number of
+/// 64-byte blocks. A midstate is resumable: restoring it and absorbing
+/// the rest of the stream yields the same digest as hashing the whole
+/// stream from scratch. HMAC keys cache the ipad/opad midstates so each
+/// MAC costs 2 compressions instead of 4 (see crypto/hmac.h), and the
+/// batched backend (crypto/sha256_batch.h) seeds its lanes from them.
+struct Sha256Midstate {
+  std::array<std::uint32_t, 8> state{};
+  std::uint64_t bytes = 0;  // absorbed so far; always a multiple of 64
+};
+
+/// The FIPS 180-4 initial chaining value (H^(0)) as a midstate.
+[[nodiscard]] Sha256Midstate sha256_initial_midstate() noexcept;
+
+/// One application of the SHA-256 compression function: folds a 64-byte
+/// block into `state` in place. This scalar routine is the reference
+/// oracle every batched backend is tested against bit-for-bit.
+void sha256_compress(std::uint32_t state[8],
+                     const std::uint8_t* block) noexcept;
 
 class Sha256 {
  public:
@@ -30,6 +51,15 @@ class Sha256 {
 
   /// Returns the object to its freshly-constructed state.
   void reset() noexcept;
+
+  /// Captures the current compression state. Only valid on block
+  /// boundaries (no partial input buffered) — the buffered tail would be
+  /// lost. Checked by contract in the implementation.
+  [[nodiscard]] Sha256Midstate midstate() const noexcept;
+
+  /// Restores a previously captured midstate: the object behaves as if
+  /// it had just absorbed `ms.bytes` bytes of the original stream.
+  void restore(const Sha256Midstate& ms) noexcept;
 
  private:
   void process_block(const std::uint8_t* block) noexcept;

@@ -1,5 +1,7 @@
 #include "dap/dap.h"
 
+#include <iterator>
+#include <optional>
 #include <stdexcept>
 
 #include "common/contracts.h"
@@ -49,7 +51,13 @@ wire::MacAnnounce DapSender::announce(std::uint32_t i,
   wire::MacAnnounce p;
   p.sender = config_.sender_id;
   p.interval = i;
-  p.mac = crypto::compute_mac(chain_.mac_key(i), message, config_.mac_size);
+  auto key_it = mac_key_cache_.find(i);
+  if (key_it == mac_key_cache_.end()) {
+    key_it = mac_key_cache_
+                 .try_emplace(i, crypto::HmacKey(chain_.mac_key(i)))
+                 .first;
+  }
+  p.mac = crypto::compute_mac(key_it->second, message, config_.mac_size);
   DAP_ENSURE(p.mac.size() == config_.mac_size,
              "announce: MAC must have the configured broadcast size");
   return p;
@@ -121,6 +129,7 @@ DapReceiver::DapReceiver(const DapConfig& config, common::Bytes commitment,
     : config_(config),
       telemetry_(make_telemetry()),
       local_secret_(std::move(local_secret)),
+      local_secret_key_(local_secret_),
       clock_(clock),
       rng_(rng),
       auth_(crypto::PrfDomain::kChainStep, config.key_size,
@@ -218,7 +227,7 @@ bool DapReceiver::degrade_or_admit(sim::SimTime local_now) {
 
 common::Bytes DapReceiver::micro_mac_of(common::ByteView mac) const {
   common::Bytes out =
-      crypto::micro_mac(local_secret_, mac, config_.micro_mac_size);
+      crypto::micro_mac(local_secret_key_, mac, config_.micro_mac_size);
   DAP_ENSURE(out.size() == config_.micro_mac_size,
              "micro_mac_of: re-MAC must have the configured record size");
   return out;
@@ -314,10 +323,26 @@ DapReceiver::drain_pending_batch(sim::SimTime local_now) {
   reg.add(telemetry_.batched_reveals, pending_.size());
   BatchContext batch;
   last_drain_verdicts_.reserve(pending_.size());
-  while (!pending_.empty()) {
-    const wire::MessageReveal packet = std::move(pending_.front());
-    pending_.pop_front();
-    out.push_back(process_reveal(packet, local_now, &batch));
+  // Weak authentication for the whole drain runs upfront through
+  // ChainAuthenticator::accept_many, which feeds the gap walks to the
+  // multi-lane SHA-256 backend. This is safe because nothing on the
+  // per-reveal path before accept() (stats, tracer, tick/resync) touches
+  // the authenticator, so batched verdicts equal sequential ones.
+  std::vector<wire::MessageReveal> packets(
+      std::make_move_iterator(pending_.begin()),
+      std::make_move_iterator(pending_.end()));
+  pending_.clear();
+  std::vector<tesla::KeyReveal> reveals;
+  reveals.reserve(packets.size());
+  for (const wire::MessageReveal& p : packets) {
+    reveals.push_back(tesla::KeyReveal{p.interval, p.key});
+  }
+  const std::vector<bool> verdicts = auth_.accept_many(reveals);
+  DAP_INVARIANT(verdicts.size() == packets.size(),
+                "drain_pending_batch: one weak-auth verdict per reveal");
+  for (std::size_t k = 0; k < packets.size(); ++k) {
+    const bool weak_ok = verdicts[k];
+    out.push_back(process_reveal(packets[k], local_now, &batch, &weak_ok));
     last_drain_verdicts_.push_back(last_verdict_);
   }
   return out;
@@ -325,7 +350,7 @@ DapReceiver::drain_pending_batch(sim::SimTime local_now) {
 
 std::optional<tesla::AuthenticatedMessage> DapReceiver::process_reveal(
     const wire::MessageReveal& packet, sim::SimTime local_now,
-    BatchContext* batch) {
+    BatchContext* batch, const bool* precomputed_accept) {
   auto& reg = obs::Registry::global();
   const obs::ScopedTimer timer(reg, telemetry_.rx_reveal_latency);
   ++stats_.reveals_received;
@@ -335,8 +360,13 @@ std::optional<tesla::AuthenticatedMessage> DapReceiver::process_reveal(
   tick(local_now);
   // Algorithm 2 line 16: weak authentication of the disclosed key. Never
   // cached across a batch — same-interval reveals can carry different
-  // key bytes, and each candidate must be judged on its own.
-  if (!auth_.accept(packet.interval, packet.key)) {
+  // key bytes, and each candidate must be judged on its own (batched
+  // drains judge the whole queue upfront via accept_many and hand the
+  // per-reveal verdict in here).
+  const bool weak_ok = precomputed_accept != nullptr
+                           ? *precomputed_accept
+                           : auth_.accept(packet.interval, packet.key);
+  if (!weak_ok) {
     ++stats_.weak_auth_failures;
     reg.add(telemetry_.weak_auth_failures);
     obs::Tracer::global().record(obs::TraceKind::kWeakAuthFail, local_now,
@@ -350,8 +380,8 @@ std::optional<tesla::AuthenticatedMessage> DapReceiver::process_reveal(
   // In a batch the interval's MAC key F'(K_i) is derived once and shared
   // by every reveal of that interval (the key is authentic regardless of
   // which reveal's bytes authenticated it).
-  common::Bytes mac_key;
-  const common::Bytes* cached = nullptr;
+  std::optional<crypto::HmacKey> local_key;
+  const crypto::HmacKey* cached = nullptr;
   if (batch != nullptr) {
     const auto it = batch->mac_keys.find(packet.interval);
     if (it != batch->mac_keys.end()) cached = &it->second;
@@ -368,13 +398,15 @@ std::optional<tesla::AuthenticatedMessage> DapReceiver::process_reveal(
       last_verdict_ = tesla::RevealVerdict::kKeyPruned;
       return std::nullopt;
     }
-    mac_key = *std::move(derived);
     ++stats_.mac_key_derivations;
     reg.add(telemetry_.mac_key_derivations);
     if (batch != nullptr) {
-      cached = &batch->mac_keys.emplace(packet.interval, mac_key).first->second;
+      cached = &batch->mac_keys
+                    .try_emplace(packet.interval, crypto::HmacKey(*derived))
+                    .first->second;
     } else {
-      cached = &mac_key;
+      local_key.emplace(common::ByteView(*derived));
+      cached = &*local_key;
     }
   }
   const common::Bytes expected_mac =

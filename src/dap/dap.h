@@ -92,6 +92,10 @@ class DapSender {
   DapConfig config_;
   crypto::KeyChain chain_;
   std::map<std::uint32_t, std::vector<common::Bytes>> announced_;
+  /// Precomputed HMAC state per interval MAC key: multi-message streams
+  /// (P_{i,1..m}) pay the ipad/opad setup once per interval, not per
+  /// announce.
+  std::map<std::uint32_t, crypto::HmacKey> mac_key_cache_;
 };
 
 struct DapStats {
@@ -249,18 +253,21 @@ class DapReceiver {
   void adopt_calibration(tesla::SyncCalibration calibration);
 
   /// Per-drain cache: MAC keys already derived for this batch, keyed by
-  /// interval. Accept/reject outcomes are NEVER cached — two reveals for
-  /// the same interval can carry different key bytes, and each must be
-  /// judged on its own.
+  /// interval and held as precomputed HMAC state (each MAC then costs 2
+  /// compressions instead of 4). Accept/reject outcomes are NEVER cached
+  /// — two reveals for the same interval can carry different key bytes,
+  /// and each must be judged on its own.
   struct BatchContext {
-    std::map<std::uint32_t, common::Bytes> mac_keys;
+    std::map<std::uint32_t, crypto::HmacKey> mac_keys;
   };
 
   /// Shared reveal path: receive() passes no context (derive per
-  /// reveal), drain_pending_batch() passes one per drain.
+  /// reveal), drain_pending_batch() passes one per drain plus the
+  /// pre-batched weak-auth verdict from ChainAuthenticator::accept_many
+  /// (null = run the scalar accept inline).
   std::optional<tesla::AuthenticatedMessage> process_reveal(
       const wire::MessageReveal& packet, sim::SimTime local_now,
-      BatchContext* batch);
+      BatchContext* batch, const bool* precomputed_accept = nullptr);
 
   /// Degradation policy: true when the offer must be shed because the
   /// record pool is saturated; adjusts effective_buffers_ both ways.
@@ -294,6 +301,9 @@ class DapReceiver {
   DapConfig config_;
   Telemetry telemetry_;
   common::Bytes local_secret_;
+  /// K_recv as precomputed HMAC state: every μMAC re-MAC costs 2
+  /// compressions instead of 4 for the lifetime of the receiver.
+  crypto::HmacKey local_secret_key_;
   sim::LooseClock clock_;
   common::Rng rng_;
   tesla::ChainAuthenticator auth_;

@@ -180,25 +180,35 @@ std::vector<RevealOutcome> ReceiverCohort::drain(sim::SimTime true_now) {
   DAP_INVARIANT(sentinel_outcomes.size() == pending_.size(),
                 "sentinel queue diverged from cohort queue");
 
-  // Serial pre-pass: weak auth (mutates the chain authenticator), one
-  // MAC-key derivation per interval per drain, and the per-reveal match
-  // table over the round's announce arrivals.
+  // Weak auth for the whole queue runs upfront through accept_many
+  // (multi-lane gap walks); verdicts and authenticator state are exactly
+  // the sequential ones. Same-interval reveals still carry independent
+  // key bytes — accept_many judges each candidate on its own.
+  std::vector<tesla::KeyReveal> reveals;
+  reveals.reserve(pending_.size());
+  for (const wire::MessageReveal& p : pending_) {
+    reveals.push_back(tesla::KeyReveal{p.interval, p.key});
+  }
+  const std::vector<bool> weak_verdicts = auth_.accept_many(reveals);
+
+  // Serial pre-pass: one MAC-key derivation per interval per drain (held
+  // as precomputed HMAC state, so every per-reveal MAC costs two
+  // compressions), and the per-reveal match table over the round's
+  // announce arrivals.
   struct Plan {
     std::uint32_t interval = 0;
     bool valid = false;
     Round* round = nullptr;
     std::vector<std::uint8_t> is_match;
   };
-  std::map<std::uint32_t, common::Bytes> drain_mac_keys;
+  std::map<std::uint32_t, crypto::HmacKey> drain_mac_keys;
   std::vector<Plan> plans(pending_.size());
   for (std::size_t p = 0; p < pending_.size(); ++p) {
     const wire::MessageReveal& packet = pending_[p];
     Plan& plan = plans[p];
     plan.interval = packet.interval;
     ++stats_.reveals_received;
-    // Never cached across reveals: same-interval reveals can carry
-    // different key bytes and each candidate is judged on its own.
-    if (!auth_.accept(packet.interval, packet.key)) {
+    if (!weak_verdicts[p]) {
       ++stats_.weak_auth_failures;
       continue;
     }
@@ -207,8 +217,9 @@ std::vector<RevealOutcome> ReceiverCohort::drain(sim::SimTime true_now) {
       auto mac_key = auth_.mac_key(packet.interval);
       if (!mac_key) continue;  // pruned below the chain floor
       ++stats_.mac_key_derivations;
-      key_it =
-          drain_mac_keys.emplace(packet.interval, std::move(*mac_key)).first;
+      key_it = drain_mac_keys
+                   .try_emplace(packet.interval, crypto::HmacKey(*mac_key))
+                   .first;
     }
     plan.valid = true;
     const common::Bytes expected_mac = crypto::compute_mac(

@@ -480,7 +480,13 @@ TEST(DapBatchReveal, SharedIntervalDerivesKeyOnce) {
     if (serial.receive(reveal, mid(2))) ++serial_ok;
     batched.enqueue(reveal);
   }
+  auto& reg = obs::Registry::global();
+  const auto midstate_hits = reg.counter("crypto.hmac_midstate_hits");
+  const std::uint64_t hits_before = reg.value(midstate_hits);
   const auto batch_out = batched.drain_pending_batch(mid(2));
+  // The drain's 33 MACs all reuse the interval key's precomputed
+  // ipad/opad midstates instead of recomputing the pads per MAC.
+  EXPECT_GE(reg.value(midstate_hits), hits_before + 33);
   std::size_t batch_ok = 0;
   for (const auto& r : batch_out) {
     if (r) ++batch_ok;
