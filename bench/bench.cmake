@@ -24,6 +24,7 @@ set(DAP_BENCH_PLAIN
   chaos_soak
   fleet_scale
   crypto_throughput
+  game_loop
 )
 
 foreach(name ${DAP_BENCH_PLAIN})
@@ -64,3 +65,8 @@ add_test(NAME crypto_throughput_smoke COMMAND bench_crypto_throughput --smoke)
 # on a forged auth, unbounded relay memory, or a missed reconvergence
 # bound.
 add_test(NAME fleet_chaos_smoke COMMAND bench_fleet_scale --chaos --smoke)
+
+# Game-loop smoke: the adaptive adversary must converge to the offline
+# ESS within tolerance with zero forged auths, and the DAP / TESLA++ /
+# MABS memory-vs-bandwidth separation must hold.
+add_test(NAME game_loop_smoke COMMAND bench_game_loop --smoke)

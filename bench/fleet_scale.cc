@@ -94,8 +94,10 @@ int run_chaos(bool smoke, std::size_t threads) {
   bench::banner(
       std::string("fleet chaos — relay faults x bounded ingress guards") +
           (smoke ? " (smoke)" : ""),
-      "relay crash/restart, healing partitions, degraded budgets, and tag "
-      "store saturation under flood, across multi-hop topologies",
+      "relay crash/restart, healing partitions, degraded budgets, tag store "
+      "saturation under flood, and the strategy adversaries (adaptive "
+      "replicator, Sybil cohorts, poisoned gossip), across multi-hop "
+      "topologies",
       "zero forged auths, relay memory <= guard capacity, every depth "
       "reconverges within its documented bound");
   std::cout << "[parallel engine: " << threads << " thread(s)]\n";
@@ -103,7 +105,14 @@ int run_chaos(bool smoke, std::size_t threads) {
   obs::Tracer::global().set_capacity(std::size_t{1} << 17);
   obs::Tracer::global().enable(true);
 
-  const auto cases = analysis::standard_fleet_chaos_cases(smoke);
+  auto cases = analysis::standard_fleet_chaos_cases(smoke);
+  {
+    // The strategy adversaries join the same soak under the same safety
+    // bar: no fault plans, so their reconvergence term is trivially met,
+    // but every forged packet they coordinate must still bounce.
+    const auto strategy_cases = analysis::strategy_fleet_chaos_cases(smoke);
+    cases.insert(cases.end(), strategy_cases.begin(), strategy_cases.end());
+  }
 
   const obs::Snapshotter::HistogramFilter sim_time_only =
       [](std::string_view name) {

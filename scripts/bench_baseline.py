@@ -34,6 +34,11 @@ Two suites share the harness:
                      CSV as the identity contract, speedup gauges as the
                      gated trajectory) -> BENCH_crypto.json, schema
                      dap.bench_crypto.v1
+  --suite game       the evolutionary-game loop bench (adaptive-attacker
+                     ESS sweep + DAP/TESLA++/MABS protocol curves; the
+                     strategy.ess_gap gauges and strategy.forged_accepted
+                     counter are the gated trajectory) -> BENCH_game.json,
+                     schema dap.bench_game.v1
 
 Stdlib only. Usage:
 
@@ -82,6 +87,20 @@ SUITES = {
             # The smoke pass is what CI runs and gates.
             ("crypto_throughput_smoke", "bench/crypto_throughput",
              ["--smoke"], "crypto_throughput"),
+        ],
+    ),
+    "game": (
+        "dap.bench_game.v1",
+        "BENCH_game.json",
+        [
+            # Full sweep: three topologies x three learning rates, plus
+            # the three-protocol bandwidth/defense-cost curves. The
+            # parallel ESS scenarios republish their gauges in slot
+            # order, so the 1-vs-N identity check covers them too.
+            ("game_loop", "bench/game_loop", []),
+            # The smoke pass is what CI runs and gates.
+            ("game_loop_smoke", "bench/game_loop", ["--smoke"],
+             "game_loop"),
         ],
     ),
     "fleet": (

@@ -9,7 +9,7 @@ schema dap.metrics.v2). The baseline is a report from
 scripts/bench_baseline.py whose entries carry a "trajectory" object — the
 serial reference run's counters, rates and histogram p99s.
 
-Three gates, in order of severity:
+Seven gates, in order of severity:
 
   1. forged authentication: any counter whose name contains
      "forged_accepted" must be exactly 0. A forged announce surviving
@@ -39,6 +39,14 @@ Three gates, in order of severity:
      host, so unlike absolute hashes/sec they are stable across CI
      hosts; a >10% drop means the multi-lane kernels or the HMAC
      midstate caching regressed.
+  7. ESS convergence: any gauge whose name contains "ess_gap" (the
+     adaptive attacker's |empirical - oracle| attack-share gap from
+     bench/game_loop and the strategy chaos cases) must stay at or
+     below --ess-gap-max (default 0.2). Like gate 1 it needs no
+     baseline: the offline replicator solution is the reference. The
+     companion strategy.forged_accepted counter rides gate 1 — a
+     forged authentication under an adaptive/Sybil adversary fails
+     hard regardless of the gap.
 
 Baseline entries are matched to runs by scenario id first (the
 manifest's "scenario" field, e.g. "fleet_scale:smoke"), falling back to
@@ -159,6 +167,19 @@ def gate_guard_memory(label, gauges):
     return []
 
 
+def gate_ess_gap(label, gauges, gap_max):
+    """Gate 7: adaptive-attacker ESS convergence, no baseline needed —
+    the offline replicator solution is the reference."""
+    return [
+        f"{label}: ESS GAP: gauge {name} = {value:g} exceeds "
+        f"--ess-gap-max {gap_max:g} — the adaptive attacker stopped "
+        f"tracking the replicator equilibrium"
+        for name, value in sorted(gauges.items())
+        if "ess_gap" in name and isinstance(value, (int, float))
+        and value > gap_max
+    ]
+
+
 def gate_guard_ceilings(label, base_counters, run_counters, rel):
     """Gate 5: guard collateral counters may not grow past the baseline."""
     failures = []
@@ -244,6 +265,8 @@ def check_run(baseline, run_dir, args):
 
     failures = gate_forged(label, counters)
     failures += gate_guard_memory(label, metrics.get("gauges", {}))
+    failures += gate_ess_gap(label, metrics.get("gauges", {}),
+                             args.ess_gap_max)
 
     entry = match_entry(baseline, manifest)
     if entry is None:
@@ -297,6 +320,7 @@ SELF_TEST_GAUGES = {
     "fleet.guard.capacity": 64.0,
     "bench.crypto.sha256_avx2_speedup": 3.0,
     "bench.crypto.sha256_avx2_per_sec": 9.0e6,  # informational, not gated
+    "strategy.ess_gap": 0.05,  # converged adaptive attacker
 }
 
 
@@ -326,7 +350,8 @@ def self_test():
     def expect(case, run_dir, baseline_path, want_pass, want_marker=None):
         args = argparse.Namespace(baseline=str(baseline_path), auth_tol=0.01,
                                   sim_p99_rel=0.05, wall_p99_rel=4.0,
-                                  guard_tol=0.25, throughput_tol=0.25)
+                                  guard_tol=0.25, throughput_tol=0.25,
+                                  ess_gap_max=0.2)
         got = check_run(load_json(baseline_path), run_dir, args)
         if want_pass and got:
             failures.append(f"{case}: expected pass, got: {got}")
@@ -418,6 +443,21 @@ def self_test():
                           SELF_TEST_COUNTERS, SELF_TEST_HISTS, fast_crypto),
                baseline_path, want_pass=True)
 
+        diverged = dict(SELF_TEST_GAUGES,
+                        **{"strategy.ess_gap": 0.05,
+                           "strategy.ess_gap.tree_eta0.25": 0.41})
+        expect("adaptive attacker off the equilibrium",
+               _write_run(tmp, "r_ess", "fleet_scale:smoke",
+                          SELF_TEST_COUNTERS, SELF_TEST_HISTS, diverged),
+               baseline_path, want_pass=False, want_marker="ESS GAP")
+
+        strategy_forged = dict(SELF_TEST_COUNTERS,
+                               **{"strategy.forged_accepted": 2})
+        expect("forged auth under a strategy adversary",
+               _write_run(tmp, "r_strat_forged", "fleet_scale:smoke",
+                          strategy_forged, SELF_TEST_HISTS),
+               baseline_path, want_pass=False, want_marker="FORGED AUTH")
+
         expect("unknown scenario",
                _write_run(tmp, "r_unknown", "fleet_scale:mystery",
                           SELF_TEST_COUNTERS, SELF_TEST_HISTS),
@@ -456,6 +496,9 @@ def main(argv):
     parser.add_argument("--throughput-tol", type=float, default=0.25,
                         help="max relative drop in bench.crypto.*_speedup "
                              "gauges (default 0.25)")
+    parser.add_argument("--ess-gap-max", type=float, default=0.2,
+                        help="max adaptive-attacker ESS convergence gap for "
+                             "*ess_gap* gauges (default 0.2)")
     parser.add_argument("--self-test", action="store_true",
                         help="exercise the gates on synthetic doctored runs")
     args = parser.parse_args(argv)

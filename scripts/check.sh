@@ -35,6 +35,13 @@ python3 scripts/bench_trend.py --baseline BENCH_fleet.json \
   bench/crypto_throughput --smoke >/dev/null)
 python3 scripts/bench_trend.py --baseline BENCH_crypto.json \
   --run build/bench_out/runs/check-crypto-smoke
+# Game-loop gate: ESS convergence (gate 7, strategy.ess_gap vs the
+# offline replicator oracle) plus zero forged auths under the adaptive
+# adversary, trend-checked against BENCH_game.json.
+(cd build && DAP_RUN_ID=check-game-smoke \
+  bench/game_loop --smoke >/dev/null)
+python3 scripts/bench_trend.py --baseline BENCH_game.json \
+  --run build/bench_out/runs/check-game-smoke
 
 echo "== static analysis: repo lint + thread-safety gate =="
 python3 scripts/lint.py src
@@ -72,9 +79,11 @@ cmake --build build-tsan
 # DAP_THREADS=4 forces real worker threads through the pool even on
 # single-core machines, so TSan sees genuine cross-thread handoff.
 # test_fleet rides along: cohort drains fan reservoir replay across the
-# same pool.
+# same pool. test_strategy joins for the same reason: strategy-driven
+# fleet runs share the pool with cooperative-verification drains.
 TSAN_OPTIONS=halt_on_error=1 DAP_THREADS=4 \
-  ctest --test-dir build-tsan -L 'test_parallel|test_fleet|test_crypto_batch' \
+  ctest --test-dir build-tsan \
+  -L 'test_parallel|test_fleet|test_crypto_batch|test_strategy' \
   --output-on-failure
 
 echo "== all checks passed =="

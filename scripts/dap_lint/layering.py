@@ -20,7 +20,12 @@ Layer order (low to high):
     tesla                       TESLA baselines (uses crypto, sim, wire)
     dap                         the paper's protocol (extends tesla)
     core, fleet                 top-level drivers; fleet sim
-    analysis                    experiments (may also drive fleet scenarios)
+    strategy                    adaptive adversaries, cooperative
+                                verification, MABS baseline (may use
+                                game + fleet + tesla; game can never
+                                depend back on strategy)
+    analysis                    experiments (may also drive fleet and
+                                strategy scenarios)
 """
 
 from typing import Dict, List, Tuple
@@ -40,8 +45,10 @@ ALLOWED: Dict[str, Tuple[str, ...]] = {
     "core": ("common", "obs", "sim", "game", "dap"),
     "fleet": ("common", "obs", "wire", "crypto", "crypto_batch", "sim",
               "tesla", "dap"),
+    "strategy": ("common", "obs", "wire", "crypto", "crypto_batch", "sim",
+                 "game", "tesla", "dap", "fleet"),
     "analysis": ("common", "obs", "crypto", "crypto_batch", "sim", "game",
-                 "tesla", "dap", "fleet"),
+                 "tesla", "dap", "fleet", "strategy"),
 }
 
 MODULES = frozenset(ALLOWED)

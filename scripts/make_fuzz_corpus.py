@@ -181,9 +181,11 @@ def teslapp_seeds():
 
 def fleet_scenario_seeds():
     # Text seeds for the ScenarioSpec JSON dialect: valid specs across
-    # every topology kind (including a full guard + fault plan), plus
-    # malformed shapes that exercise each rejection path (unknown keys,
-    # non-pow2 guard capacity, resource-ceiling overflow, truncation).
+    # every topology kind (including a full guard + fault plan and the
+    # strategy block's adaptive/sybil/coop extensions), plus malformed
+    # shapes that exercise each rejection path (unknown keys, non-pow2
+    # guard capacity, out-of-range strategy knobs, resource-ceiling
+    # overflow, truncation).
     chaos = (
         '{"name": "chaos", "seed": 7, '
         '"topology": {"kind": "tree", "depth": 2, "fanout": 1}, '
@@ -212,6 +214,30 @@ def fleet_scenario_seeds():
         "guard_only":
             '{"topology": {"kind": "tree", "depth": 1, "fanout": 2}, '
             '"guard": {"capacity": 16}}',
+        "strategy_full":
+            '{"topology": {"kind": "tree", "depth": 2, "fanout": 1}, '
+            '"members_per_cohort": 4, "buffers": 2, "intervals": 8, '
+            '"forged_fraction": 0.75, '
+            '"strategy": {'
+            '"adaptive": {"enabled": true, "learning_rate": 0.4, '
+            '"initial_share": 0.5, "reward": 200, "cost": 180}, '
+            '"sybil": {"enabled": true, "cohort": 3, '
+            '"reveal_stagger_us": 1000}, '
+            '"coop": {"enabled": true, "audit_fraction": 0.5, '
+            '"poisoned": true}}}',
+        "strategy_sybil_only":
+            '{"topology": {"kind": "gossip", "relays": 3, "fanin": 2}, '
+            '"strategy": {"sybil": {"enabled": true, "cohort": 8}}}',
+        "strategy_bad_rate":
+            '{"topology": {"kind": "tree"}, "forged_fraction": 0.5, '
+            '"strategy": {"adaptive": {"enabled": true, '
+            '"learning_rate": 2.5}}}',
+        "strategy_unknown_key":
+            '{"topology": {"kind": "tree"}, '
+            '"strategy": {"coop": {"enabled": true, "audit_fractino": 1}}}',
+        "strategy_poison_without_coop":
+            '{"topology": {"kind": "tree"}, '
+            '"strategy": {"coop": {"poisoned": true}}}',
         "unknown_key": '{"topology": {"kind": "tree"}, "bogus": 1}',
         "bad_guard_capacity":
             '{"topology": {"kind": "tree"}, "guard": {"capacity": 48}}',

@@ -15,6 +15,7 @@
 #include "sim/event_queue.h"
 #include "sim/faults.h"
 #include "sim/medium.h"
+#include "strategy/runner.h"
 #include "tesla/teslapp.h"
 #include "tesla/timesync.h"
 
@@ -350,11 +351,17 @@ std::vector<ChaosReport> run_chaos_soaks(
 
 FleetChaosResult run_fleet_chaos_case(const FleetChaosCase& chaos_case,
                                       obs::Snapshotter* snapshotter) {
-  fleet::FleetSim sim(chaos_case.spec);
-  sim.set_snapshotter(snapshotter);
   FleetChaosResult result;
   result.label = chaos_case.label;
-  result.report = sim.run();
+  if (chaos_case.spec.strategy.engaged()) {
+    // Strategy extensions need their coordinators wired around the sim;
+    // the runner owns that and reports the same FleetReport.
+    result.report = strategy::run_scenario(chaos_case.spec, snapshotter).report;
+  } else {
+    fleet::FleetSim sim(chaos_case.spec);
+    sim.set_snapshotter(snapshotter);
+    result.report = sim.run();
+  }
   const fleet::FleetReport& report = result.report;
   result.zero_forged = report.zero_forged();
   result.memory_bounded = report.guard_peak_entries <= report.guard_capacity;
@@ -480,6 +487,72 @@ std::vector<FleetChaosCase> standard_fleet_chaos_cases(bool smoke) {
     c.spec.faults.partitions.push_back({0, 2, 3, 4});
     c.spec.faults.degraded.push_back({2, 0.05});
     c.reconverge_within = 4;
+    cases.push_back(c);
+  }
+
+  return cases;
+}
+
+std::vector<FleetChaosCase> strategy_fleet_chaos_cases(bool smoke) {
+  std::vector<FleetChaosCase> cases;
+
+  // Adaptive replicator attacker on a small-reservoir cohort: m = 2 and
+  // F = 3 forged copies put the reservoir success at P = 0.5, so the
+  // oracle's rest point is interior (~0.74) and the learner genuinely
+  // has to track it while the fleet rejects every forged copy.
+  {
+    FleetChaosCase c;
+    c.label = "adaptive-replicator";
+    c.spec = fleet_chaos_chain(smoke);
+    c.spec.name = "strategy";
+    c.spec.buffers = 2;
+    c.spec.intervals = smoke ? 24 : 48;
+    c.spec.forged_fraction = 0.75;
+    c.spec.strategy.adaptive.enabled = true;
+    cases.push_back(c);
+  }
+
+  // Sybil cohort: coordinated identities reveal one self-consistent
+  // forged chain with staggered timing and distinct payloads, stressing
+  // dedup and the tag store at every hop. The chain's anchor is wrong,
+  // so weak authentication must reject all of it.
+  {
+    FleetChaosCase c;
+    c.label = "sybil-cohort";
+    c.spec = fleet_chaos_chain(smoke);
+    c.spec.name = "strategy";
+    c.spec.strategy.sybil.enabled = true;
+    c.spec.strategy.sybil.cohort = smoke ? 3 : 8;
+    cases.push_back(c);
+  }
+
+  // Cooperative verification under the Sybil flood: drained cohorts
+  // gossip invalid verdicts root-ward to leaf-ward, so followers skip
+  // the redundant walks the forged chain forces.
+  {
+    FleetChaosCase c;
+    c.label = "sybil-coop";
+    c.spec = fleet_chaos_chain(smoke);
+    c.spec.name = "strategy";
+    c.spec.strategy.sybil.enabled = true;
+    c.spec.strategy.sybil.cohort = smoke ? 3 : 8;
+    c.spec.strategy.coop.enabled = true;
+    cases.push_back(c);
+  }
+
+  // Poisoned gossip: the first-drained cohort lies about its *valid*
+  // walks. Skips only ever downgrade weak verdicts to rejections and
+  // the sentinel verifies everything itself, so this is at worst a
+  // liveness attack — audits catch it, and forged stays zero.
+  {
+    FleetChaosCase c;
+    c.label = "coop-poisoned";
+    c.spec = fleet_chaos_chain(smoke);
+    c.spec.name = "strategy";
+    c.spec.forged_fraction = 0.5;
+    c.spec.strategy.coop.enabled = true;
+    c.spec.strategy.coop.audit_fraction = 0.5;
+    c.spec.strategy.coop.poisoned = true;
     cases.push_back(c);
   }
 

@@ -128,7 +128,10 @@ struct FleetChaosResult {
 
 /// Runs one fleet chaos case and evaluates the three invariants. An
 /// optional snapshotter samples the ambient registry at drain cadence
-/// (it must outlive the call).
+/// (it must outlive the call). Specs with strategy extensions engaged
+/// are routed through strategy::run_scenario, so the adaptive attacker,
+/// Sybil cohort, and cooperative verification all run — and are held to
+/// the same safety bar as the relay-fault mixes.
 FleetChaosResult run_fleet_chaos_case(const FleetChaosCase& chaos_case,
                                       obs::Snapshotter* snapshotter = nullptr);
 
@@ -142,5 +145,13 @@ std::vector<FleetChaosResult> run_fleet_chaos_cases(
 /// saturation, and the combined mix. Smoke shrinks cohorts, not the
 /// fault plans — every mix still runs.
 std::vector<FleetChaosCase> standard_fleet_chaos_cases(bool smoke);
+
+/// Strategy-adversary soak cases: the adaptive replicator attacker, a
+/// Sybil cohort revealing a shared forged chain across relay hops,
+/// cooperative verification under that Sybil flood, and the poisoned
+/// gossip variant. None schedule relay faults (reconvergence is
+/// trivially satisfied); the load-bearing invariants are zero forged
+/// authentications and bounded relay memory under every adversary.
+std::vector<FleetChaosCase> strategy_fleet_chaos_cases(bool smoke);
 
 }  // namespace dap::analysis

@@ -97,6 +97,8 @@ void ReceiverCohort::crash_restart(sim::SimTime true_now,
   calibration_.reset();  // volatile, like the sentinel's
   rounds_.clear();
   pending_.clear();
+  hints_.clear();
+  last_walks_.clear();
   sentinel_.crash_restart(local_time(true_now));
   ++stats_.crash_restarts;
 }
@@ -137,6 +139,18 @@ void ReceiverCohort::enable_resync(
 void ReceiverCohort::enqueue_reveal(const wire::MessageReveal& packet) {
   sentinel_.enqueue(packet);
   pending_.push_back(packet);
+}
+
+void ReceiverCohort::install_hints(std::vector<RevealHint> hints,
+                                   double audit_fraction,
+                                   std::uint64_t audit_seed) {
+  if (audit_fraction < 0.0 || audit_fraction > 1.0) {
+    throw std::invalid_argument(
+        "ReceiverCohort::install_hints: audit_fraction must be in [0, 1]");
+  }
+  hints_ = std::move(hints);
+  audit_fraction_ = audit_fraction;
+  audit_seed_ = audit_seed;
 }
 
 void ReceiverCohort::replay_member(Round& round, std::uint32_t interval,
@@ -180,16 +194,61 @@ std::vector<RevealOutcome> ReceiverCohort::drain(sim::SimTime true_now) {
   DAP_INVARIANT(sentinel_outcomes.size() == pending_.size(),
                 "sentinel queue diverged from cohort queue");
 
-  // Weak auth for the whole queue runs upfront through accept_many
+  // Cooperative verification: a pending reveal matching an installed
+  // *invalid* hint skips its chain walk (treated as a weak-auth
+  // failure) unless the deterministic audit draw selects it for a local
+  // re-walk. Skipping a genuinely-invalid reveal leaves authenticator
+  // state identical (failed weak auth installs nothing); a poisoned
+  // hint can only suppress a genuine reveal — never admit a forged one.
+  std::vector<std::uint8_t> skip_walk(pending_.size(), 0);
+  std::vector<const RevealHint*> hint_of(pending_.size(), nullptr);
+  if (!hints_.empty()) {
+    for (std::size_t p = 0; p < pending_.size(); ++p) {
+      for (const RevealHint& hint : hints_) {
+        if (hint.interval == pending_[p].interval &&
+            common::constant_time_equal(hint.key, pending_[p].key)) {
+          hint_of[p] = &hint;
+          break;
+        }
+      }
+      if (hint_of[p] == nullptr) continue;
+      if (unit_double(common::subseed(audit_seed_, p)) < audit_fraction_) {
+        ++stats_.hint_audits;  // audit: walk it anyway, compare verdicts
+      } else {
+        skip_walk[p] = 1;
+        ++stats_.walks_skipped;
+      }
+    }
+  }
+
+  // Weak auth for the walked subset runs upfront through accept_many
   // (multi-lane gap walks); verdicts and authenticator state are exactly
   // the sequential ones. Same-interval reveals still carry independent
   // key bytes — accept_many judges each candidate on its own.
   std::vector<tesla::KeyReveal> reveals;
+  std::vector<std::size_t> walk_index;
   reveals.reserve(pending_.size());
-  for (const wire::MessageReveal& p : pending_) {
-    reveals.push_back(tesla::KeyReveal{p.interval, p.key});
+  walk_index.reserve(pending_.size());
+  for (std::size_t p = 0; p < pending_.size(); ++p) {
+    if (skip_walk[p] != 0) continue;
+    reveals.push_back(tesla::KeyReveal{pending_[p].interval, pending_[p].key});
+    walk_index.push_back(p);
   }
-  const std::vector<bool> weak_verdicts = auth_.accept_many(reveals);
+  const std::vector<bool> walk_verdicts = auth_.accept_many(reveals);
+  std::vector<bool> weak_verdicts(pending_.size(), false);
+  last_walks_.clear();
+  for (std::size_t w = 0; w < walk_index.size(); ++w) {
+    const std::size_t p = walk_index[w];
+    weak_verdicts[p] = walk_verdicts[w];
+    last_walks_.push_back(WalkResult{pending_[p].interval, pending_[p].key,
+                                     walk_verdicts[w]});
+    if (hint_of[p] != nullptr && walk_verdicts[w]) {
+      // The hint claimed invalid; the audit walk says valid: poisoned.
+      ++stats_.poisoned_hints;
+      poisoned_sources_.push_back(hint_of[p]->source);
+    }
+  }
+  hints_.clear();
 
   // Serial pre-pass: one MAC-key derivation per interval per drain (held
   // as precomputed HMAC state, so every per-reveal MAC costs two

@@ -79,6 +79,37 @@ struct CohortStats {
   std::uint64_t stored_records_peak = 0;
   /// Crash/restart cycles injected into this cohort.
   std::uint64_t crash_restarts = 0;
+  // ---- Cooperative verification (install_hints) -------------------------
+  /// Chain walks skipped because a neighbor's invalid-verdict hint
+  /// covered the reveal (and the audit draw did not select it).
+  std::uint64_t walks_skipped = 0;
+  /// Hinted reveals the deterministic audit draw re-walked locally.
+  std::uint64_t hint_audits = 0;
+  /// Audited hints whose local walk contradicted them (the hint claimed
+  /// invalid, the walk said valid) — poisoned gossip, source distrusted.
+  std::uint64_t poisoned_hints = 0;
+};
+
+/// Verdict hint gossiped from an already-drained cohort: "a reveal for
+/// `interval` carrying exactly `key` failed weak authentication at
+/// `source`". Only *invalid* verdicts are ever shared — a remote "valid"
+/// claim could smuggle a forged key past the chain walk, while trusting
+/// a remote "invalid" claim can at worst suppress a genuine reveal (a
+/// liveness loss the audit fraction bounds), never admit a forged one.
+struct RevealHint {
+  std::uint32_t interval = 0;
+  common::Bytes key;
+  /// Topology node id of the cohort whose walk produced the verdict.
+  std::uint32_t source = 0;
+};
+
+/// One weak-auth chain walk the latest drain actually performed (i.e.
+/// was not skipped under a hint); harvested by cooperative-verification
+/// coordinators to gossip the invalid verdicts onward.
+struct WalkResult {
+  std::uint32_t interval = 0;
+  common::Bytes key;
+  bool weak_valid = false;
 };
 
 /// Outcome of one reveal processed by drain(), in queue order.
@@ -156,6 +187,35 @@ class ReceiverCohort {
   /// (post-replay counts; test introspection).
   [[nodiscard]] std::uint64_t stored_for_interval(std::uint32_t i) const;
 
+  // ---- Cooperative verification -----------------------------------------
+
+  /// Installs invalid-verdict hints for the NEXT drain (consumed by it).
+  /// A pending reveal matching a hint (interval + exact key bytes) skips
+  /// its weak-auth chain walk and is treated as a weak-auth failure —
+  /// except that a deterministic `audit_fraction` of hinted reveals
+  /// (drawn from `audit_seed`, reproducible at any thread count) is
+  /// re-walked locally and the verdicts compared: a walk that
+  /// contradicts its hint marks the hint's source as poisoned. The
+  /// sentinel member still verifies everything, so cohort-level
+  /// zero-forged accounting is unaffected by any hint.
+  void install_hints(std::vector<RevealHint> hints, double audit_fraction,
+                     std::uint64_t audit_seed);
+
+  /// Chain walks the latest drain performed, in queue order (valid and
+  /// invalid verdicts both — the coordinator shares only the invalid
+  /// ones, or lies about the valid ones in poisoned mode).
+  [[nodiscard]] const std::vector<WalkResult>& last_drain_walks()
+      const noexcept {
+    return last_walks_;
+  }
+
+  /// Source node ids of hints whose audit walk contradicted them
+  /// (accumulated across drains).
+  [[nodiscard]] const std::vector<std::uint32_t>& poisoned_sources()
+      const noexcept {
+    return poisoned_sources_;
+  }
+
  private:
   /// Per-interval shared state: the announce arrival list plus every
   /// statistical member's reservoir over it.
@@ -195,6 +255,15 @@ class ReceiverCohort {
   std::map<std::uint32_t, Round> rounds_;
   std::vector<wire::MessageReveal> pending_;
   CohortStats stats_;
+
+  /// Cooperative-verification state: hints armed for the next drain
+  /// (cleared by it), the walks that drain performed, and every hint
+  /// source an audit has caught lying.
+  std::vector<RevealHint> hints_;
+  double audit_fraction_ = 0.0;
+  std::uint64_t audit_seed_ = 0;
+  std::vector<WalkResult> last_walks_;
+  std::vector<std::uint32_t> poisoned_sources_;
 
   /// Accumulated forward reboot skew (crash_restart); 0 in steady state.
   sim::SimTime skew_ = 0;

@@ -100,6 +100,36 @@ void FleetSim::set_snapshotter(obs::Snapshotter* snapshotter) {
   snapshotter_ = snapshotter;
 }
 
+void FleetSim::set_drain_observer(
+    std::function<void(const DrainObservation&)> fn) {
+  if (ran_) {
+    throw std::logic_error("FleetSim: set_drain_observer must precede run()");
+  }
+  drain_observer_ = std::move(fn);
+}
+
+void FleetSim::set_drain_participant(DrainParticipant* participant) {
+  if (ran_) {
+    throw std::logic_error(
+        "FleetSim: set_drain_participant must precede run()");
+  }
+  drain_participant_ = participant;
+}
+
+void FleetSim::inject(std::uint32_t node, const wire::Packet& packet) {
+  DAP_REQUIRE(ran_, "FleetSim::inject: only valid while run() executes");
+  DAP_REQUIRE(node < media_.size() && media_[node] != nullptr,
+              "FleetSim::inject: node has no medium (no out-edges)");
+  if (const auto* announce = std::get_if<wire::MacAnnounce>(&packet)) {
+    if (announce_sent_at_.count(fnv1a64(announce->mac)) == 0) {
+      ++report_.forged_announces_sent;
+    }
+  } else if (const auto* reveal = std::get_if<wire::MessageReveal>(&packet)) {
+    if (is_forged_payload(reveal->message)) ++report_.forged_reveals_sent;
+  }
+  media_[node]->broadcast(packet);
+}
+
 void FleetSim::build_network(const common::Bytes& commitment) {
   const std::uint32_t nodes = topo_.node_count;
   media_.resize(nodes);
@@ -352,8 +382,27 @@ void FleetSim::drain_all() {
   for (std::uint32_t v = 0; v < topo_.node_count; ++v) {
     if (!cohorts_[v]) continue;
     const std::uint32_t d = depths_[v];
-    for (const RevealOutcome& outcome : cohorts_[v]->drain(now)) {
+    if (drain_participant_ != nullptr) {
+      drain_participant_->before_drain(v, *cohorts_[v]);
+    }
+    const std::vector<RevealOutcome> outcomes = cohorts_[v]->drain(now);
+    if (drain_participant_ != nullptr) {
+      drain_participant_->after_drain(v, *cohorts_[v], outcomes);
+    }
+    for (const RevealOutcome& outcome : outcomes) {
       const bool forged = is_forged_payload(outcome.message);
+      if (drain_observer_) {
+        DrainObservation observed;
+        observed.node = v;
+        observed.interval = outcome.interval;
+        observed.forged = forged;
+        observed.members_authenticated = outcome.members_authenticated;
+        observed.members_total = cohorts_[v]->members() > 0
+                                     ? cohorts_[v]->members() - 1
+                                     : 0;  // exclude the sentinel
+        observed.sentinel_authenticated = outcome.sentinel_authenticated;
+        drain_observer_(observed);
+      }
       // Verify span: closes this announce's causal chain at this node,
       // tagged with the sentinel's verdict (reject reason on failure).
       const auto ctx_it = trace_by_interval_.find(outcome.interval);
@@ -412,8 +461,12 @@ FleetReport FleetSim::run() {
   if (attacker_nodes.empty() && spec_.forged_fraction > 0.0) {
     attacker_nodes.push_back(0);
   }
+  // With the adaptive adversary engaged the strategy layer owns announce
+  // flooding (it decides per interval whether to attack, via inject());
+  // running the static flood too would double-attack. The static forged
+  // reveal below still runs — weak auth must reject it either way.
   const std::size_t forged_per_attacker =
-      spec_.forged_fraction > 0.0
+      spec_.forged_fraction > 0.0 && !spec_.strategy.adaptive.enabled
           ? sim::FloodingForger::copies_for_fraction(1, spec_.forged_fraction)
           : 0;
 

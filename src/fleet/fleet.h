@@ -39,6 +39,36 @@
 
 namespace dap::fleet {
 
+/// One cohort drain outcome, surfaced to an installed drain observer.
+/// Generic feedback channel: the strategy layer's adaptive adversary
+/// derives its per-interval authentication signal from these without
+/// fleet depending back on strategy (layering stays acyclic).
+struct DrainObservation {
+  std::uint32_t node = 0;
+  std::uint32_t interval = 0;
+  /// Payload carried the forged tag (authentications count toward
+  /// FleetReport::forged_accepted, which must stay 0).
+  bool forged = false;
+  std::uint64_t members_authenticated = 0;
+  /// Statistical members of the cohort (denominator for auth share).
+  std::uint64_t members_total = 0;
+  bool sentinel_authenticated = false;
+};
+
+/// Hook around every cohort drain, invoked in node-id order inside
+/// drain_all() — deterministic at any thread count. Cooperative
+/// verification implements this to pass verdict hints root-ward ->
+/// leaf-ward between cohorts of the same sweep.
+class DrainParticipant {
+ public:
+  virtual ~DrainParticipant() = default;
+  /// Called before cohort `node` drains (install hints here).
+  virtual void before_drain(std::uint32_t node, ReceiverCohort& cohort) = 0;
+  /// Called after, with the drain's outcomes (harvest verdicts here).
+  virtual void after_drain(std::uint32_t node, ReceiverCohort& cohort,
+                           const std::vector<RevealOutcome>& outcomes) = 0;
+};
+
 /// Per-node relay accounting (test introspection).
 struct NodeTraffic {
   std::uint64_t packets_in = 0;   // deliveries reaching this node's ingress
@@ -127,6 +157,20 @@ class FleetSim {
   /// snapshotter must outlive it. nullptr detaches.
   void set_snapshotter(obs::Snapshotter* snapshotter);
 
+  /// Observer invoked once per RevealOutcome during every drain sweep
+  /// (node-id order). Must be installed before run(); nullptr detaches.
+  void set_drain_observer(std::function<void(const DrainObservation&)> fn);
+  /// Participant hooked around every cohort drain. Must be installed
+  /// before run(); the participant must outlive it. nullptr detaches.
+  void set_drain_participant(DrainParticipant* participant);
+
+  /// Broadcasts `packet` from node `v`'s medium. Only valid while run()
+  /// is executing (call it from events scheduled on queue()): the media
+  /// are built by run(). Forged-traffic counters are maintained from
+  /// the packet's payload, so injected attack traffic shows up in the
+  /// report exactly like the built-in adversaries'.
+  void inject(std::uint32_t node, const wire::Packet& packet);
+
   /// Executes the full scenario. Single-shot by contract: a second call
   /// violates a DAP_REQUIRE precondition.
   FleetReport run();
@@ -203,6 +247,8 @@ class FleetSim {
   std::vector<std::uint64_t> cohorts_at_depth_;
 
   obs::Snapshotter* snapshotter_ = nullptr;
+  std::function<void(const DrainObservation&)> drain_observer_;
+  DrainParticipant* drain_participant_ = nullptr;
 
   /// Causal tracing: each authentic announce gets one trace id at the
   /// sender; spans chain send -> relay hops -> verify across the

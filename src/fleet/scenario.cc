@@ -348,7 +348,12 @@ std::string ScenarioSpec::id() const {
   return std::string(topology_kind_name(kind)) + "_" + shape + "_m" +
          std::to_string(members_per_cohort) + "_p" +
          common::format_number(forged_fraction) +
-         (faults.empty() ? "" : "_chaos");
+         (faults.empty() ? "" : "_chaos") +
+         (strategy.adaptive.enabled ? "_adapt" : "") +
+         (strategy.sybil.enabled ? "_sybil" : "") +
+         (strategy.coop.enabled
+              ? (strategy.coop.poisoned ? "_coop_poison" : "_coop")
+              : "");
 }
 
 std::string ScenarioSpec::to_json() const {
@@ -434,6 +439,41 @@ std::string ScenarioSpec::to_json() const {
     fault_json += "}";
   }
 
+  // Strategy block: emitted only when engaged, and within it only the
+  // enabled sub-blocks, so a plain spec's JSON is unchanged and the
+  // emitted form stays canonical.
+  std::string strategy_json;
+  if (strategy.engaged()) {
+    strategy_json = ", \"strategy\": {";
+    std::string sep;
+    if (strategy.adaptive.enabled) {
+      strategy_json +=
+          "\"adaptive\": {\"enabled\": true, \"learning_rate\": " +
+          common::format_number(strategy.adaptive.learning_rate) +
+          ", \"initial_share\": " +
+          common::format_number(strategy.adaptive.initial_share) +
+          ", \"reward\": " + common::format_number(strategy.adaptive.reward) +
+          ", \"cost\": " + common::format_number(strategy.adaptive.cost) +
+          "}";
+      sep = ", ";
+    }
+    if (strategy.sybil.enabled) {
+      strategy_json += sep + "\"sybil\": {\"enabled\": true, \"cohort\": " +
+                       std::to_string(strategy.sybil.cohort) +
+                       ", \"reveal_stagger_us\": " +
+                       std::to_string(strategy.sybil.reveal_stagger_us) + "}";
+      sep = ", ";
+    }
+    if (strategy.coop.enabled) {
+      strategy_json +=
+          sep + "\"coop\": {\"enabled\": true, \"audit_fraction\": " +
+          common::format_number(strategy.coop.audit_fraction) +
+          ", \"poisoned\": " + (strategy.coop.poisoned ? "true" : "false") +
+          "}";
+    }
+    strategy_json += "}";
+  }
+
   return "{\"name\": " + quote(name) +
          ", \"seed\": " + std::to_string(seed) +
          ", \"topology\": " + topo +
@@ -446,7 +486,7 @@ std::string ScenarioSpec::to_json() const {
          ", \"forged_fraction\": " + common::format_number(forged_fraction) +
          ", \"attackers\": " + attacker_list +
          ", \"relay_dedup\": " + (relay_dedup ? "true" : "false") +
-         ", \"guard\": " + guard_json + fault_json +
+         ", \"guard\": " + guard_json + fault_json + strategy_json +
          ", \"hop\": {\"loss\": " + common::format_number(hop.loss) +
          ", \"duplicate_probability\": " +
          common::format_number(hop.duplicate_probability) +
@@ -461,7 +501,7 @@ ScenarioSpec ScenarioSpec::parse(const std::string& json) {
                       {"name", "seed", "topology", "members_per_cohort",
                        "buffers", "cohorts_at_leaves_only", "intervals",
                        "interval_us", "forged_fraction", "attackers",
-                       "relay_dedup", "guard", "faults", "hop"},
+                       "relay_dedup", "guard", "faults", "strategy", "hop"},
                       "document");
 
   ScenarioSpec spec;
@@ -481,11 +521,13 @@ ScenarioSpec ScenarioSpec::parse(const std::string& json) {
   if (kind_it == topo.end()) {
     throw std::invalid_argument("scenario json: topology missing \"kind\"");
   }
-  spec.kind = topology_kind_from_name(as_string(kind_it->second, "kind"));
+  spec.kind =
+      topology_kind_from_name(as_string(kind_it->second, "topology.kind"));
   const auto topo_uint = [&topo](const char* key, std::uint32_t fallback) {
     const auto it = topo.find(key);
     if (it == topo.end()) return fallback;
-    return static_cast<std::uint32_t>(as_uint(it->second, key));
+    return static_cast<std::uint32_t>(
+        as_uint(it->second, std::string("topology.") + key));
   };
   switch (spec.kind) {
     case TopologyKind::kTree:
@@ -536,9 +578,9 @@ ScenarioSpec ScenarioSpec::parse(const std::string& json) {
       throw std::invalid_argument(
           "scenario json: attackers must be an array");
     }
-    for (const JsonValue& v : *array) {
-      spec.attackers.push_back(
-          static_cast<std::uint32_t>(as_uint(v, "attackers[]")));
+    for (std::size_t i = 0; i < array->size(); ++i) {
+      spec.attackers.push_back(static_cast<std::uint32_t>(as_uint(
+          (*array)[i], "attackers[" + std::to_string(i) + "]")));
     }
   }
   if (const auto it = object.find("relay_dedup"); it != object.end()) {
@@ -550,13 +592,13 @@ ScenarioSpec ScenarioSpec::parse(const std::string& json) {
                         "guard");
     if (const auto g = guard.find("capacity"); g != guard.end()) {
       spec.guard.capacity =
-          static_cast<std::size_t>(as_uint(g->second, "capacity"));
+          static_cast<std::size_t>(as_uint(g->second, "guard.capacity"));
     }
     if (const auto g = guard.find("budget_mbps"); g != guard.end()) {
-      spec.guard.budget_mbps = as_number(g->second, "budget_mbps");
+      spec.guard.budget_mbps = as_number(g->second, "guard.budget_mbps");
     }
     if (const auto g = guard.find("burst_bits"); g != guard.end()) {
-      spec.guard.burst_bits = as_number(g->second, "burst_bits");
+      spec.guard.burst_bits = as_number(g->second, "guard.burst_bits");
     }
   }
   if (const auto it = object.find("faults"); it != object.end()) {
@@ -564,68 +606,78 @@ ScenarioSpec ScenarioSpec::parse(const std::string& json) {
     reject_unknown_keys(faults, {"relay_crashes", "partitions", "degraded"},
                         "faults");
     if (const auto f = faults.find("relay_crashes"); f != faults.end()) {
-      for (const JsonValue& v : as_array(f->second, "relay_crashes")) {
-        const JsonObject& crash = as_object(v, "relay_crashes[]");
+      const JsonArray& crashes = as_array(f->second, "faults.relay_crashes");
+      for (std::size_t i = 0; i < crashes.size(); ++i) {
+        const std::string at =
+            "faults.relay_crashes[" + std::to_string(i) + "]";
+        const JsonObject& crash = as_object(crashes[i], at);
         reject_unknown_keys(crash,
                             {"node", "at_interval", "downtime_intervals",
                              "reboot_skew_us"},
-                            "relay_crashes[]");
+                            at);
         RelayCrashSpec out;
         if (const auto c = crash.find("node"); c != crash.end()) {
-          out.node = static_cast<std::uint32_t>(as_uint(c->second, "node"));
+          out.node =
+              static_cast<std::uint32_t>(as_uint(c->second, at + ".node"));
         }
         if (const auto c = crash.find("at_interval"); c != crash.end()) {
-          out.at_interval =
-              static_cast<std::uint32_t>(as_uint(c->second, "at_interval"));
+          out.at_interval = static_cast<std::uint32_t>(
+              as_uint(c->second, at + ".at_interval"));
         }
         if (const auto c = crash.find("downtime_intervals");
             c != crash.end()) {
           out.downtime_intervals = static_cast<std::uint32_t>(
-              as_uint(c->second, "downtime_intervals"));
+              as_uint(c->second, at + ".downtime_intervals"));
         }
         if (const auto c = crash.find("reboot_skew_us"); c != crash.end()) {
-          out.reboot_skew_us = as_uint(c->second, "reboot_skew_us");
+          out.reboot_skew_us = as_uint(c->second, at + ".reboot_skew_us");
         }
         spec.faults.relay_crashes.push_back(out);
       }
     }
     if (const auto f = faults.find("partitions"); f != faults.end()) {
-      for (const JsonValue& v : as_array(f->second, "partitions")) {
-        const JsonObject& partition = as_object(v, "partitions[]");
+      const JsonArray& partitions = as_array(f->second, "faults.partitions");
+      for (std::size_t i = 0; i < partitions.size(); ++i) {
+        const std::string at = "faults.partitions[" + std::to_string(i) + "]";
+        const JsonObject& partition = as_object(partitions[i], at);
         reject_unknown_keys(partition,
                             {"from", "to", "from_interval", "until_interval"},
-                            "partitions[]");
+                            at);
         LinkPartitionSpec out;
         if (const auto p = partition.find("from"); p != partition.end()) {
-          out.from = static_cast<std::uint32_t>(as_uint(p->second, "from"));
+          out.from =
+              static_cast<std::uint32_t>(as_uint(p->second, at + ".from"));
         }
         if (const auto p = partition.find("to"); p != partition.end()) {
-          out.to = static_cast<std::uint32_t>(as_uint(p->second, "to"));
+          out.to = static_cast<std::uint32_t>(as_uint(p->second, at + ".to"));
         }
         if (const auto p = partition.find("from_interval");
             p != partition.end()) {
-          out.from_interval =
-              static_cast<std::uint32_t>(as_uint(p->second, "from_interval"));
+          out.from_interval = static_cast<std::uint32_t>(
+              as_uint(p->second, at + ".from_interval"));
         }
         if (const auto p = partition.find("until_interval");
             p != partition.end()) {
           out.until_interval = static_cast<std::uint32_t>(
-              as_uint(p->second, "until_interval"));
+              as_uint(p->second, at + ".until_interval"));
         }
         spec.faults.partitions.push_back(out);
       }
     }
     if (const auto f = faults.find("degraded"); f != faults.end()) {
-      for (const JsonValue& v : as_array(f->second, "degraded")) {
-        const JsonObject& degraded = as_object(v, "degraded[]");
-        reject_unknown_keys(degraded, {"node", "budget_mbps"}, "degraded[]");
+      const JsonArray& degraded_list = as_array(f->second, "faults.degraded");
+      for (std::size_t i = 0; i < degraded_list.size(); ++i) {
+        const std::string at = "faults.degraded[" + std::to_string(i) + "]";
+        const JsonObject& degraded = as_object(degraded_list[i], at);
+        reject_unknown_keys(degraded, {"node", "budget_mbps"}, at);
         DegradedRelaySpec out;
         if (const auto d = degraded.find("node"); d != degraded.end()) {
-          out.node = static_cast<std::uint32_t>(as_uint(d->second, "node"));
+          out.node =
+              static_cast<std::uint32_t>(as_uint(d->second, at + ".node"));
         }
         if (const auto d = degraded.find("budget_mbps");
             d != degraded.end()) {
-          out.budget_mbps = as_number(d->second, "budget_mbps");
+          out.budget_mbps = as_number(d->second, at + ".budget_mbps");
         }
         spec.faults.degraded.push_back(out);
       }
@@ -637,17 +689,81 @@ ScenarioSpec ScenarioSpec::parse(const std::string& json) {
         hop, {"loss", "duplicate_probability", "latency_us", "jitter_us"},
         "hop");
     if (const auto h = hop.find("loss"); h != hop.end()) {
-      spec.hop.loss = as_number(h->second, "loss");
+      spec.hop.loss = as_number(h->second, "hop.loss");
     }
     if (const auto h = hop.find("duplicate_probability"); h != hop.end()) {
       spec.hop.duplicate_probability =
-          as_number(h->second, "duplicate_probability");
+          as_number(h->second, "hop.duplicate_probability");
     }
     if (const auto h = hop.find("latency_us"); h != hop.end()) {
-      spec.hop.latency_us = as_uint(h->second, "latency_us");
+      spec.hop.latency_us = as_uint(h->second, "hop.latency_us");
     }
     if (const auto h = hop.find("jitter_us"); h != hop.end()) {
-      spec.hop.jitter_us = as_uint(h->second, "jitter_us");
+      spec.hop.jitter_us = as_uint(h->second, "hop.jitter_us");
+    }
+  }
+  if (const auto it = object.find("strategy"); it != object.end()) {
+    const JsonObject& strategy = as_object(it->second, "strategy");
+    reject_unknown_keys(strategy, {"adaptive", "sybil", "coop"}, "strategy");
+    if (const auto s = strategy.find("adaptive"); s != strategy.end()) {
+      const JsonObject& adaptive = as_object(s->second, "strategy.adaptive");
+      reject_unknown_keys(adaptive,
+                          {"enabled", "learning_rate", "initial_share",
+                           "reward", "cost"},
+                          "strategy.adaptive");
+      AdaptiveAdversarySpec& out = spec.strategy.adaptive;
+      if (const auto a = adaptive.find("enabled"); a != adaptive.end()) {
+        out.enabled = as_bool(a->second, "strategy.adaptive.enabled");
+      }
+      if (const auto a = adaptive.find("learning_rate");
+          a != adaptive.end()) {
+        out.learning_rate =
+            as_number(a->second, "strategy.adaptive.learning_rate");
+      }
+      if (const auto a = adaptive.find("initial_share");
+          a != adaptive.end()) {
+        out.initial_share =
+            as_number(a->second, "strategy.adaptive.initial_share");
+      }
+      if (const auto a = adaptive.find("reward"); a != adaptive.end()) {
+        out.reward = as_number(a->second, "strategy.adaptive.reward");
+      }
+      if (const auto a = adaptive.find("cost"); a != adaptive.end()) {
+        out.cost = as_number(a->second, "strategy.adaptive.cost");
+      }
+    }
+    if (const auto s = strategy.find("sybil"); s != strategy.end()) {
+      const JsonObject& sybil = as_object(s->second, "strategy.sybil");
+      reject_unknown_keys(sybil, {"enabled", "cohort", "reveal_stagger_us"},
+                          "strategy.sybil");
+      SybilSpec& out = spec.strategy.sybil;
+      if (const auto y = sybil.find("enabled"); y != sybil.end()) {
+        out.enabled = as_bool(y->second, "strategy.sybil.enabled");
+      }
+      if (const auto y = sybil.find("cohort"); y != sybil.end()) {
+        out.cohort = static_cast<std::uint32_t>(
+            as_uint(y->second, "strategy.sybil.cohort"));
+      }
+      if (const auto y = sybil.find("reveal_stagger_us"); y != sybil.end()) {
+        out.reveal_stagger_us =
+            as_uint(y->second, "strategy.sybil.reveal_stagger_us");
+      }
+    }
+    if (const auto s = strategy.find("coop"); s != strategy.end()) {
+      const JsonObject& coop = as_object(s->second, "strategy.coop");
+      reject_unknown_keys(coop, {"enabled", "audit_fraction", "poisoned"},
+                          "strategy.coop");
+      CoopSpec& out = spec.strategy.coop;
+      if (const auto c = coop.find("enabled"); c != coop.end()) {
+        out.enabled = as_bool(c->second, "strategy.coop.enabled");
+      }
+      if (const auto c = coop.find("audit_fraction"); c != coop.end()) {
+        out.audit_fraction =
+            as_number(c->second, "strategy.coop.audit_fraction");
+      }
+      if (const auto c = coop.find("poisoned"); c != coop.end()) {
+        out.poisoned = as_bool(c->second, "strategy.coop.poisoned");
+      }
     }
   }
 
@@ -760,6 +876,55 @@ void ScenarioSpec::validate() const {
       throw std::invalid_argument(
           "ScenarioSpec: partition window must satisfy 1 <= from < until");
     }
+  }
+  if (strategy.adaptive.enabled) {
+    if (!std::isfinite(strategy.adaptive.learning_rate) ||
+        strategy.adaptive.learning_rate <= 0.0 ||
+        strategy.adaptive.learning_rate > 1.0) {
+      throw std::invalid_argument(
+          "ScenarioSpec: strategy.adaptive.learning_rate must be in (0, 1]");
+    }
+    if (strategy.adaptive.initial_share <= 0.0 ||
+        strategy.adaptive.initial_share >= 1.0) {
+      throw std::invalid_argument(
+          "ScenarioSpec: strategy.adaptive.initial_share must be in (0, 1)");
+    }
+    if (!std::isfinite(strategy.adaptive.reward) ||
+        !std::isfinite(strategy.adaptive.cost) ||
+        strategy.adaptive.cost <= 0.0 ||
+        strategy.adaptive.reward <= strategy.adaptive.cost) {
+      // Mirrors game::GameParams::validate (Ra > k1 > 0): the replicator
+      // payoff only has the paper's structure under these signs.
+      throw std::invalid_argument(
+          "ScenarioSpec: strategy.adaptive requires reward > cost > 0");
+    }
+    if (forged_fraction <= 0.0) {
+      throw std::invalid_argument(
+          "ScenarioSpec: strategy.adaptive needs forged_fraction > 0 (it "
+          "bounds the per-interval flood intensity)");
+    }
+  }
+  if (strategy.sybil.enabled) {
+    if (strategy.sybil.cohort == 0 || strategy.sybil.cohort > 64) {
+      throw std::invalid_argument(
+          "ScenarioSpec: strategy.sybil.cohort must be in [1, 64]");
+    }
+    if (strategy.sybil.reveal_stagger_us >= interval_us) {
+      throw std::invalid_argument(
+          "ScenarioSpec: strategy.sybil.reveal_stagger_us must be smaller "
+          "than interval_us");
+    }
+  }
+  if (strategy.coop.enabled) {
+    if (!std::isfinite(strategy.coop.audit_fraction) ||
+        strategy.coop.audit_fraction < 0.0 ||
+        strategy.coop.audit_fraction > 1.0) {
+      throw std::invalid_argument(
+          "ScenarioSpec: strategy.coop.audit_fraction must be in [0, 1]");
+    }
+  } else if (strategy.coop.poisoned) {
+    throw std::invalid_argument(
+        "ScenarioSpec: strategy.coop.poisoned requires strategy.coop.enabled");
   }
   for (const DegradedRelaySpec& degraded : faults.degraded) {
     if (degraded.node >= topo.node_count) {

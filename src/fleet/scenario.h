@@ -79,6 +79,54 @@ struct FaultSpec {
   [[nodiscard]] std::uint32_t last_clear_interval() const noexcept;
 };
 
+/// Online adaptive flooding adversary (driven by src/strategy): re-tunes
+/// its attack share along discretized replicator dynamics from observed
+/// per-interval authentication outcomes. The offline game solver with
+/// SuccessModel::kReservoir is the ESS oracle it should converge to.
+struct AdaptiveAdversarySpec {
+  bool enabled = false;
+  /// Step size eta of the replicator update y += eta*y*(1-y)*(S*Ra-k1*p*y).
+  double learning_rate = 0.25;
+  /// Initial attack share y(0).
+  double initial_share = 0.5;
+  /// Attack reward Ra and cost coefficient k1 of the attacker's payoff
+  /// (paper §V notation; must satisfy reward > cost > 0).
+  double reward = 200.0;
+  double cost = 180.0;
+};
+
+/// Sybil cohort: `cohort` coordinated identities share one forged key
+/// chain and stagger their reveals across relay hops to stress the
+/// ingress guards (distinct payload bytes defeat relay dedup).
+struct SybilSpec {
+  bool enabled = false;
+  std::uint32_t cohort = 3;
+  sim::SimTime reveal_stagger_us = sim::kMillisecond;
+};
+
+/// Cooperative verification: already-drained cohorts share *invalid*
+/// reveal verdicts so followers skip redundant chain walks. Valid
+/// verdicts are never trusted remotely, and a deterministic audit
+/// fraction of skips is re-walked locally, so poisoning can never
+/// admit a forged key — at worst it is a liveness attack the audits
+/// catch (poisoned = true exercises exactly that).
+struct CoopSpec {
+  bool enabled = false;
+  double audit_fraction = 0.25;
+  bool poisoned = false;
+};
+
+/// Strategy-layer extensions; empty/disabled = plain FleetSim run.
+struct StrategySpec {
+  AdaptiveAdversarySpec adaptive;
+  SybilSpec sybil;
+  CoopSpec coop;
+
+  [[nodiscard]] bool engaged() const noexcept {
+    return adaptive.enabled || sybil.enabled || coop.enabled;
+  }
+};
+
 struct ScenarioSpec {
   std::string name = "fleet";
   std::uint64_t seed = 1;
@@ -123,6 +171,11 @@ struct ScenarioSpec {
   /// Relay fault plan (crash/restart, healing partitions, degraded
   /// budgets). Non-empty plans also enable sentinel resync recovery.
   FaultSpec faults{};
+
+  /// Adaptive-adversary / sybil / cooperative-verification extensions,
+  /// interpreted by strategy::run_scenario (a plain FleetSim::run
+  /// ignores them). Emitted to JSON only when engaged.
+  StrategySpec strategy{};
 
   HopSpec hop{};
 

@@ -11,13 +11,26 @@
 //   Cd = k2 * m  * X          (defence cost grows with defending share)
 // with p = xa (the attacker's bandwidth fraction IS the forged fraction).
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 
 #include "common/contracts.h"
 
 namespace dap::game {
+
+/// How the attack-success probability P is derived from (p, m).
+///
+/// kPaperPower is the paper's closed form P = p^m (every one of the m
+/// buffered offers must independently be forged). kReservoir matches the
+/// repo's actual receiver: Algorithm-R reservoir sampling keeps a uniform
+/// m-subset of the F+1 offers, so the single authentic copy survives with
+/// probability min(1, m/(F+1)) and the attack succeeds with
+/// P = max(0, 1 - m*(1-p)) where p = F/(F+1). Selecting kReservoir makes
+/// the offline solver an honest ESS oracle for the simulated fleet.
+enum class SuccessModel : std::uint8_t { kPaperPower, kReservoir };
 
 struct GameParams {
   double Ra = 200.0;  // reward of a successful attack (= defender damage Ld)
@@ -25,6 +38,9 @@ struct GameParams {
   double k2 = 4.0;    // defender cost coefficient
   double xa = 0.8;    // attacker bandwidth fraction; equals forged fraction p
   std::size_t m = 4;  // defender buffer count
+  /// Success-probability model; see SuccessModel. Defaults to the paper's
+  /// closed form so existing figures are unchanged.
+  SuccessModel success_model = SuccessModel::kPaperPower;
 
   /// The paper's evaluation constants (§VI-B): Ra=200, k1=20, k2=4.
   [[nodiscard]] static GameParams paper_defaults(double xa, std::size_t m) {
@@ -38,14 +54,20 @@ struct GameParams {
   /// Forged-data fraction p (= xa in the paper's model).
   [[nodiscard]] double p() const noexcept { return xa; }
 
-  /// Attack success probability P = p^m.
+  /// Attack success probability: P = p^m (paper) or the reservoir
+  /// displacement probability max(0, 1 - m*(1-p)). Everything downstream
+  /// (ess_candidates, solve_ess, replicator_field) consumes P through
+  /// this accessor, so the whole solver honors the selected model.
   [[nodiscard]] double attack_success() const noexcept {
-    const double P = std::pow(xa, static_cast<double>(m));
+    const double P =
+        success_model == SuccessModel::kReservoir
+            ? std::max(0.0, 1.0 - static_cast<double>(m) * (1.0 - xa))
+            : std::pow(xa, static_cast<double>(m));
     // For validated parameters (xa in (0,1)) the success probability is a
     // probability; tolerate out-of-range xa here because validate() owns
     // that rejection.
     DAP_ENSURE(!(xa > 0.0 && xa < 1.0) || (P >= 0.0 && P <= 1.0),
-               "attack_success: P = xa^m escaped [0,1]");
+               "attack_success: P escaped [0,1]");
     return P;
   }
 

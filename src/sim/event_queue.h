@@ -32,8 +32,13 @@ class EventQueue {
   /// Runs the next event; returns false if none remain.
   bool step();
 
-  /// Runs all events with time <= `until` (events scheduled during the run
-  /// are included if they also fall within the horizon).
+  /// Runs all events with time <= `until`. The horizon is inclusive and
+  /// applies to events scheduled *during* the run too: an action firing
+  /// at any t <= until may schedule new work at exactly `until` and that
+  /// work runs in this same call (same-time events still fire in
+  /// scheduling order). Events strictly beyond `until` stay queued.
+  /// After the call now() == max(now(), until) even when the queue went
+  /// quiet earlier, so back-to-back run_until calls see monotone time.
   void run_until(SimTime until);
 
   /// Drains the queue completely.

@@ -1,0 +1,113 @@
+#include "strategy/adaptive.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/contracts.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "crypto/mac.h"
+#include "sim/time.h"
+
+namespace dap::strategy {
+
+namespace {
+/// y is kept strictly interior: the replicator field vanishes on the
+/// edges, so a learner that ever hit 0 or 1 could never move again.
+constexpr double kShareFloor = 0.02;
+constexpr double kShareCeil = 0.98;
+}  // namespace
+
+AdaptiveFloodAttacker::AdaptiveFloodAttacker(const fleet::ScenarioSpec& spec,
+                                             fleet::FleetSim& sim)
+    : sim_(&sim),
+      forger_(1, crypto::kMacSize,
+              common::Rng(common::subseed(spec.seed, 0xada9))),
+      flood_copies_(sim::FloodingForger::copies_for_fraction(
+          1, spec.forged_fraction)),
+      eta_(spec.strategy.adaptive.learning_rate),
+      y_(spec.strategy.adaptive.initial_share) {
+  if (!spec.strategy.adaptive.enabled) {
+    throw std::invalid_argument(
+        "AdaptiveFloodAttacker: spec.strategy.adaptive must be enabled");
+  }
+  if (spec.forged_fraction <= 0.0) {
+    throw std::invalid_argument(
+        "AdaptiveFloodAttacker: forged_fraction > 0 required (flood "
+        "intensity of an attacked interval)");
+  }
+  p_eff_ = static_cast<double>(flood_copies_) /
+           static_cast<double>(flood_copies_ + 1);
+  cost_over_reward_ = spec.strategy.adaptive.cost * p_eff_ /
+                      spec.strategy.adaptive.reward;
+  attacker_nodes_ = spec.attackers;
+  if (attacker_nodes_.empty()) attacker_nodes_.push_back(0);
+
+  sim.set_drain_observer(
+      [this](const fleet::DrainObservation& obs) { observe(obs); });
+
+  // One decision event per interval, 1 ms behind the root's announce —
+  // the same offset the static flood uses, so forged copies race the
+  // authentic one into every reservoir.
+  const sim::IntervalSchedule sched(0, spec.interval_us);
+  for (std::uint32_t i = 1; i <= spec.intervals; ++i) {
+    const sim::SimTime at =
+        sched.interval_start(i) + spec.interval_us / 2 + sim::kMillisecond;
+    sim.queue().schedule_at(at, [this, i] { decide(i); });
+  }
+}
+
+void AdaptiveFloodAttacker::observe(const fleet::DrainObservation& obs) {
+  if (obs.forged) return;  // only the authentic stream carries payoff
+  if (attacked_.count(obs.interval) == 0) return;
+  Feedback& fb = feedback_[obs.interval];
+  fb.auth += obs.members_authenticated + (obs.sentinel_authenticated ? 1 : 0);
+  fb.total += obs.members_total + 1;
+}
+
+void AdaptiveFloodAttacker::update(double success) {
+  const double step =
+      eta_ * y_ * (1.0 - y_) * (success - cost_over_reward_ * y_);
+  y_ = std::clamp(y_ + step, kShareFloor, kShareCeil);
+}
+
+void AdaptiveFloodAttacker::absorb_feedback(std::uint32_t up_to) {
+  // Interval j's reveal drains at start(j+1) + 3/4 interval, before the
+  // decision for j+2 fires at start(j+2) + 1/2 interval + 1 ms.
+  for (auto it = feedback_.begin(); it != feedback_.end();) {
+    if (up_to != 0 && it->first + 2 > up_to) break;  // map is ordered
+    if (it->second.total > 0) {
+      const double auth = static_cast<double>(it->second.auth) /
+                          static_cast<double>(it->second.total);
+      update(1.0 - auth);
+    }
+    it = feedback_.erase(it);
+  }
+}
+
+void AdaptiveFloodAttacker::decide(std::uint32_t interval) {
+  absorb_feedback(interval);
+  history_.push_back(y_);
+  acc_ += y_;
+  if (acc_ < 1.0) return;
+  acc_ -= 1.0;
+  attacked_.insert(interval);
+  ++attacks_;
+  for (const std::uint32_t node : attacker_nodes_) {
+    for (std::size_t c = 0; c < flood_copies_; ++c) {
+      sim_->inject(node, forger_.forge(interval));
+    }
+  }
+}
+
+void AdaptiveFloodAttacker::finalize() { absorb_feedback(0); }
+
+double AdaptiveFloodAttacker::empirical_share() const noexcept {
+  if (history_.empty()) return y_;
+  const std::size_t from = history_.size() / 2;
+  double sum = 0.0;
+  for (std::size_t i = from; i < history_.size(); ++i) sum += history_[i];
+  return sum / static_cast<double>(history_.size() - from);
+}
+
+}  // namespace dap::strategy

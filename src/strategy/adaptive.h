@@ -1,0 +1,103 @@
+#pragma once
+// Online adaptive flooding adversary — the live half of the game loop.
+//
+// The offline solver (game/ess.h) predicts the attacker's share at the
+// ESS; the paper's §V claim is that replicator dynamics *drive* a
+// population there. This attacker closes that loop inside the fleet
+// simulation: before each interval's announce it decides to flood or
+// stay silent with its current mixed strategy y (error-diffusion over
+// intervals, so the attacked fraction tracks y exactly), observes the
+// authentic stream's authentication outcomes through FleetSim's drain
+// observer, and re-tunes y along a discretized, payoff-normalized
+// replicator update
+//
+//   y <- y + eta * y * (1 - y) * (S - (k1 * p / Ra) * y)
+//
+// where S is the observed attack success of an attacked interval
+// (1 - authenticated fraction of the authentic reveal), Ra/k1 are the
+// spec's reward/cost, and p = F/(F+1) the effective forged fraction
+// when flooding with F copies. The update's fixed point
+// y* = S * Ra / (k1 * p) is exactly the game's Y'(X = 1) = P*Ra/(k1*xa)
+// ESS candidate under SuccessModel::kReservoir with xa = p — so the
+// offline solver is the oracle the learner is gated against
+// (strategy.ess_gap in the obs registry, gate 7 in bench_trend.py).
+//
+// Feedback is delayed: interval i's reveal drains during interval i+1,
+// so the decision for interval i incorporates outcomes up to i-2. The
+// whole loop is event-driven on FleetSim's queue and bitwise
+// deterministic at any thread count.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "fleet/fleet.h"
+#include "fleet/scenario.h"
+#include "sim/adversary.h"
+
+namespace dap::strategy {
+
+class AdaptiveFloodAttacker {
+ public:
+  /// Binds to `sim` (this object must outlive sim.run()): installs the
+  /// drain observer and schedules one attack-decision event per interval
+  /// on sim.queue(). Call before sim.run(). Requires
+  /// spec.strategy.adaptive.enabled and spec.forged_fraction > 0 (the
+  /// flood intensity used when an interval is attacked).
+  AdaptiveFloodAttacker(const fleet::ScenarioSpec& spec, fleet::FleetSim& sim);
+
+  /// Applies feedback from the final intervals (whose drains happen
+  /// after the last decision event). Call once, after sim.run().
+  void finalize();
+
+  /// The learner's current attack share y.
+  [[nodiscard]] double share() const noexcept { return y_; }
+
+  /// Mean share over the last half of the intervals — the empirical p
+  /// the ESS gap is measured on (one noisy S sample per attacked
+  /// interval makes the final point jitter; the tail mean does not).
+  [[nodiscard]] double empirical_share() const noexcept;
+
+  /// Effective forged fraction of an attacked interval, p = F/(F+1).
+  [[nodiscard]] double effective_fraction() const noexcept { return p_eff_; }
+
+  /// Intervals actually flooded.
+  [[nodiscard]] std::uint64_t attacks_launched() const noexcept {
+    return attacks_;
+  }
+
+  /// Pre-decision share per interval, in interval order.
+  [[nodiscard]] const std::vector<double>& share_history() const noexcept {
+    return history_;
+  }
+
+ private:
+  void observe(const fleet::DrainObservation& obs);
+  void decide(std::uint32_t interval);
+  /// Applies the replicator update for every attacked interval whose
+  /// feedback is complete (drained before the decision for `up_to`).
+  void absorb_feedback(std::uint32_t up_to);
+  void update(double success);
+
+  fleet::FleetSim* sim_;
+  std::vector<std::uint32_t> attacker_nodes_;
+  sim::FloodingForger forger_;
+  std::size_t flood_copies_;  // F: forged copies per attacked interval
+  double p_eff_;              // F / (F + 1)
+  double eta_;
+  double cost_over_reward_;  // k1 * p / Ra, the normalized cost slope
+  double y_;
+  double acc_ = 0.0;  // error-diffusion accumulator
+  std::uint64_t attacks_ = 0;
+  std::set<std::uint32_t> attacked_;
+  /// Authentic-reveal outcome sums per interval (auth, total).
+  struct Feedback {
+    std::uint64_t auth = 0;
+    std::uint64_t total = 0;
+  };
+  std::map<std::uint32_t, Feedback> feedback_;
+  std::vector<double> history_;
+};
+
+}  // namespace dap::strategy

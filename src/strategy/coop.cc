@@ -1,0 +1,55 @@
+#include "strategy/coop.h"
+
+#include <stdexcept>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+
+namespace dap::strategy {
+
+CoopCoordinator::CoopCoordinator(const fleet::ScenarioSpec& spec)
+    : audit_fraction_(spec.strategy.coop.audit_fraction),
+      poisoned_(spec.strategy.coop.poisoned),
+      seed_(common::subseed(spec.seed, 0xc00b)) {
+  if (!spec.strategy.coop.enabled) {
+    throw std::invalid_argument(
+        "CoopCoordinator: spec.strategy.coop must be enabled");
+  }
+}
+
+void CoopCoordinator::before_drain(std::uint32_t node,
+                                   fleet::ReceiverCohort& cohort) {
+  if (in_sweep_ && node <= last_node_) {
+    // New sweep: the previous sweep's verdicts covered reveals that are
+    // drained by now — stale, drop them.
+    hints_.clear();
+    seen_.clear();
+  }
+  in_sweep_ = true;
+  last_node_ = node;
+  if (!poison_source_set_) {
+    poison_source_ = node;
+    poison_source_set_ = true;
+  }
+  cohort.install_hints(hints_, audit_fraction_,
+                       common::subseed(seed_, ++install_counter_));
+}
+
+void CoopCoordinator::after_drain(
+    std::uint32_t node, fleet::ReceiverCohort& cohort,
+    const std::vector<fleet::RevealOutcome>& outcomes) {
+  (void)outcomes;
+  const bool liar = poisoned_ && node == poison_source_;
+  for (const fleet::WalkResult& walk : cohort.last_drain_walks()) {
+    // Honest peers share only their invalid verdicts; the poisoned one
+    // additionally claims its *valid* walks (the authentic reveals)
+    // failed — the strongest lie the hint schema admits.
+    if (walk.weak_valid && !liar) continue;
+    if (!seen_.emplace(walk.interval, walk.key).second) continue;
+    hints_.push_back(fleet::RevealHint{walk.interval, walk.key, node});
+    ++verdicts_shared_;
+    if (walk.weak_valid) ++lies_;
+  }
+}
+
+}  // namespace dap::strategy

@@ -1,0 +1,62 @@
+#pragma once
+// MABS-style batch-signature baseline (Multicast Authentication Based on
+// Batch Signature, Zhou & Fang) — the third receiver family next to DAP
+// and TESLA++ in the bandwidth/defense-cost curves.
+//
+// Instead of time-asymmetric MACs, the sender batches each interval's B
+// packets into a Merkle tree and signs the root once with a many-time
+// signature (crypto::MerkleSigner, the repo's hash-based stand-in for
+// the paper's batch RSA/BLS). Each packet ships its authentication path
+// plus the amortized root signature, so a receiver authenticates every
+// packet *immediately* — no buffering window, hence no memory-DoS
+// surface at all: a forged packet fails its path/signature check and is
+// dropped on arrival, and stored state is zero. The price is bandwidth
+// (path + signature share per packet) and per-packet hash work — the
+// trade DAP's curves are compared against in bench/game_loop.
+//
+// This is a self-contained mini-sim (no event queue): batch signing has
+// no timing dimension worth simulating, only per-packet costs.
+
+#include <cstdint>
+
+namespace dap::strategy {
+
+struct MabsConfig {
+  std::uint64_t seed = 1;
+  std::uint32_t intervals = 8;
+  /// Authentic packets batched per interval (the batch size B).
+  std::size_t packets_per_interval = 8;
+  /// Forged packets injected per interval (wrong path / wrong root).
+  std::size_t forged_per_interval = 0;
+  /// Merkle-signature tree height: 2^height root signatures available
+  /// (one per interval; must cover `intervals`).
+  unsigned signer_height = 6;
+};
+
+struct MabsReport {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t forged_sent = 0;
+  std::uint64_t authenticated = 0;
+  /// Forged packets rejected on arrival. MUST equal forged_sent.
+  std::uint64_t forged_rejected = 0;
+  /// Total bits on the wire: payload + per-packet auth path + one root
+  /// signature per batch (amortized exactly, not per-copy).
+  std::uint64_t bits_sent = 0;
+  /// Root-signature verifications (cached per root: once per batch).
+  std::uint64_t signature_verifications = 0;
+  /// Per-packet Merkle path foldings.
+  std::uint64_t path_verifications = 0;
+  /// Records buffered awaiting a later key: structurally zero for MABS.
+  std::uint64_t stored_records = 0;
+  double auth_rate = 0.0;
+  [[nodiscard]] bool zero_forged() const noexcept {
+    return forged_rejected == forged_sent;
+  }
+};
+
+/// Runs the batch-signature loop; deterministic in `config.seed`.
+/// Throws std::invalid_argument for a zero batch or an exhausted signer
+/// (2^signer_height < intervals).
+MabsReport run_mabs(const MabsConfig& config);
+
+}  // namespace dap::strategy

@@ -1,0 +1,65 @@
+#pragma once
+// Strategy-scenario driver: interprets ScenarioSpec::strategy.
+//
+// run_scenario wires the requested strategy components around a
+// FleetSim — the adaptive flooding adversary (drain observer + injected
+// floods), the Sybil cohort (scheduled injections), cooperative
+// verification (drain participant) — runs the scenario, and rolls the
+// strategy-level results into the ambient obs registry:
+//
+//   strategy.attacker.p            empirical attack share (gauge)
+//   strategy.oracle.p              offline ESS prediction  (gauge)
+//   strategy.ess_gap               |empirical - oracle|    (gauge)
+//   strategy.attacks_launched      intervals flooded       (counter)
+//   strategy.forged_accepted      forged auths, MUST be 0  (counter)
+//   strategy.sybil.{announces,reveals}                     (counters)
+//   strategy.coop.{verdicts_shared,walks_skipped,
+//                  hint_audits,poisoned_rejected}          (counters)
+//
+// A spec with no strategy engaged runs as a plain FleetSim (the gauges
+// are not registered). The ESS oracle is game::solve_ess over
+// GameParams{Ra = reward, k1 = cost, xa = p_eff, m = buffers} with
+// SuccessModel::kReservoir — the exact game the fleet's reservoir
+// receivers are playing.
+
+#include <cstdint>
+
+#include "fleet/fleet.h"
+#include "fleet/scenario.h"
+#include "obs/snapshot.h"
+
+namespace dap::strategy {
+
+struct StrategyOutcome {
+  fleet::FleetReport report;
+  // ---- Adaptive adversary (zeros unless strategy.adaptive.enabled) ----
+  /// Empirical attack share (tail mean of the learner's trajectory).
+  double attacker_share = 0.0;
+  /// Offline ESS prediction for the attacker share.
+  double oracle_share = 0.0;
+  /// |attacker_share - oracle_share| — the convergence gap gate 7 caps.
+  double ess_gap = 0.0;
+  std::uint64_t attacks_launched = 0;
+  // ---- Sybil cohort ----
+  std::uint64_t sybil_announces = 0;
+  std::uint64_t sybil_reveals = 0;
+  // ---- Cooperative verification (summed over cohorts) ----
+  std::uint64_t coop_verdicts_shared = 0;
+  std::uint64_t coop_walks_skipped = 0;
+  std::uint64_t coop_hint_audits = 0;
+  std::uint64_t coop_poisoned_rejected = 0;
+};
+
+/// Computes the offline oracle's predicted attacker share for an
+/// adaptive spec (clamped Y'(X=1) candidate under the reservoir success
+/// model). Exposed for tests and the bench's predicted-vs-measured
+/// table. Throws std::invalid_argument unless strategy.adaptive is
+/// enabled and forged_fraction > 0.
+[[nodiscard]] double oracle_attack_share(const fleet::ScenarioSpec& spec);
+
+/// Runs `spec` with its strategy components attached. The snapshotter,
+/// when given, must outlive the call (same contract as FleetSim).
+StrategyOutcome run_scenario(const fleet::ScenarioSpec& spec,
+                             obs::Snapshotter* snapshotter = nullptr);
+
+}  // namespace dap::strategy

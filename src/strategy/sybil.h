@@ -1,0 +1,46 @@
+#pragma once
+// Sybil cohorts: coordinated forged identities sharing one key chain.
+//
+// A lone flooding forger sends random MAC bytes; a coordinated Sybil
+// cohort is strictly stronger. All `cohort` identities share one
+// *self-consistent* forged key chain (randomly seeded, so its anchor can
+// never verify against the root's authenticated commitment), MAC their
+// announces under the forged chain's real per-interval MAC keys, and
+// reveal the forged chain keys staggered across relay hops — each
+// identity with distinct payload bytes so relay dedup cannot collapse
+// the cohort into one packet. Strong auth would accept these reveals if
+// weak auth ever let the forged keys through; the chain walk back to
+// the commitment is therefore the single trust anchor the scenario
+// stresses (and the chaos soak asserts zero forged authentications).
+
+#include <cstdint>
+
+#include "crypto/keychain.h"
+#include "fleet/fleet.h"
+#include "fleet/scenario.h"
+
+namespace dap::strategy {
+
+class SybilCoordinator {
+ public:
+  /// Binds to `sim` (must outlive sim.run()): schedules the cohort's
+  /// announce + staggered reveal injections on sim.queue(). Call before
+  /// sim.run(). Requires spec.strategy.sybil.enabled.
+  SybilCoordinator(const fleet::ScenarioSpec& spec, fleet::FleetSim& sim);
+
+  [[nodiscard]] std::uint64_t announces_injected() const noexcept {
+    return announces_;
+  }
+  [[nodiscard]] std::uint64_t reveals_injected() const noexcept {
+    return reveals_;
+  }
+
+ private:
+  fleet::FleetSim* sim_;
+  /// The shared forged chain — self-consistent, wrong anchor.
+  crypto::KeyChain chain_;
+  std::uint64_t announces_ = 0;
+  std::uint64_t reveals_ = 0;
+};
+
+}  // namespace dap::strategy

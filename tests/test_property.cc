@@ -250,6 +250,46 @@ TEST(Property, RandomStartsConvergeToClassifiedEss) {
   }
 }
 
+TEST(Property, RandomPayoffMatricesConvergeToClosedFormEss) {
+  // Satellite of the game-loop PR: the closed-form ESS must be the
+  // attractor not just at the paper's constants but across randomized
+  // payoff matrices (Ra, k1, k2, xa, m) under BOTH success models —
+  // the paper's P = p^m and the reservoir P = max(0, 1 - m(1-p)) the
+  // online oracle uses.
+  Rng rng(1011);
+  for (int trial = 0; trial < 10; ++trial) {
+    game::GameParams g;
+    g.Ra = 50.0 + 350.0 * rng.next_double();
+    g.k1 = 5.0 + (0.8 * g.Ra - 5.0) * rng.next_double();  // keeps Ra > k1
+    g.k2 = 0.5 + 19.5 * rng.next_double();
+    g.xa = 0.1 + 0.85 * rng.next_double();
+    g.m = rng.uniform(1, 40);
+    g.success_model = trial % 2 == 0 ? game::SuccessModel::kPaperPower
+                                     : game::SuccessModel::kReservoir;
+    game::GameParams::validate(g);
+    const auto ess = game::solve_ess(g);
+    game::IntegrationOptions options;
+    options.method = game::Integrator::kRk4;
+    options.boundary = game::Boundary::kInteriorPreserving;
+    options.dt = 0.01;
+    options.max_steps = 3000000;
+    options.convergence_eps = 1e-13;
+    options.record_every = 0;
+    const game::State start{0.05 + 0.9 * rng.next_double(),
+                            0.05 + 0.9 * rng.next_double()};
+    const auto traj = game::integrate(g, start, options);
+    EXPECT_NEAR(traj.final.x, ess.point.x, 2e-2)
+        << "Ra=" << g.Ra << " k1=" << g.k1 << " k2=" << g.k2
+        << " xa=" << g.xa << " m=" << g.m << " model="
+        << (g.success_model == game::SuccessModel::kReservoir ? "reservoir"
+                                                              : "power")
+        << " start=(" << start.x << "," << start.y << ")";
+    EXPECT_NEAR(traj.final.y, ess.point.y, 2e-2)
+        << "Ra=" << g.Ra << " k1=" << g.k1 << " k2=" << g.k2
+        << " xa=" << g.xa << " m=" << g.m;
+  }
+}
+
 TEST(Property, CostsAreFiniteAndBoundedAcrossGrid) {
   for (double p = 0.05; p < 1.0; p += 0.05) {
     for (std::size_t m = 1; m <= 100; m += 9) {

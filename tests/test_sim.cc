@@ -69,6 +69,46 @@ TEST(EventQueue, RunUntilStopsAtHorizon) {
   EXPECT_EQ(fired, 2);
 }
 
+TEST(EventQueue, RunUntilHorizonIsInclusive) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(15, [&] { ++fired; });
+  q.run_until(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 15u);
+}
+
+TEST(EventQueue, RunUntilFiresWorkScheduledAtTheHorizonDuringTheRun) {
+  // An event inside the run schedules new work at exactly `until`; the
+  // documented contract is that it fires in the same call — including a
+  // chain of same-time events scheduled by each other at the horizon.
+  EventQueue q;
+  std::vector<SimTime> times;
+  q.schedule_at(10, [&] {
+    times.push_back(q.now());
+    q.schedule_at(15, [&] {
+      times.push_back(q.now());
+      q.schedule_at(15, [&] { times.push_back(q.now()); });
+    });
+    q.schedule_at(16, [&] { times.push_back(q.now()); });  // beyond: queued
+  });
+  q.run_until(15);
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 15, 15}));
+  EXPECT_EQ(q.now(), 15u);
+  EXPECT_EQ(q.pending(), 1u);  // the t=16 event survives the horizon
+  q.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 15, 15, 16}));
+}
+
+TEST(EventQueue, RunUntilAdvancesNowPastAQuietQueue) {
+  EventQueue q;
+  q.schedule_at(3, [] {});
+  q.run_until(50);
+  EXPECT_EQ(q.now(), 50u);  // horizon reached even though events ended at 3
+  q.run_until(40);          // never moves now() backwards
+  EXPECT_EQ(q.now(), 50u);
+}
+
 TEST(EventQueue, RejectsPastAndEmptyActions) {
   EventQueue q;
   q.schedule_at(10, [] {});
